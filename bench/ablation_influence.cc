@@ -1,0 +1,44 @@
+// Ablation: influence-list filtering (Section 4.2). With filtering off,
+// every object/edge update probes every query instead of only the queries
+// whose influenced region it intersects. Results are identical (see
+// equivalence_test); this bench quantifies the routing win.
+
+#include "bench/bench_common.h"
+#include "src/core/ima.h"
+
+namespace cknn::bench {
+namespace {
+
+void AblationInfluence(benchmark::State& state) {
+  const bool use_filter = state.range(0) == 1;
+  ExperimentSpec spec = DefaultSpec();
+  for (auto _ : state) {
+    RoadNetwork net = GenerateRoadNetwork(spec.network);
+    MonitoringServer server(std::move(net), Algorithm::kIma);
+    dynamic_cast<Ima&>(server.monitor())
+        .engine()
+        .set_use_influence_filter(use_filter);
+    Workload workload(&server.network(), &server.spatial_index(),
+                      spec.workload);
+    SimulationOptions options;
+    options.timestamps = spec.timestamps;
+    const RunMetrics metrics = RunSimulation(&server, &workload, options);
+    state.SetIterationTime(metrics.AvgSeconds());
+    state.counters["sec_per_ts"] = metrics.AvgSeconds();
+    const auto& stats = dynamic_cast<Ima&>(server.monitor()).engine().stats();
+    state.counters["updates_ignored"] =
+        static_cast<double>(stats.updates_ignored);
+    state.counters["rebuilds"] = static_cast<double>(stats.rebuilds);
+  }
+  state.SetLabel(use_filter ? "IMA(influence lists)" : "IMA(probe all)");
+}
+
+BENCHMARK(AblationInfluence)
+    ->ArgNames({"filter_on"})
+    ->ArgsProduct({{1, 0}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

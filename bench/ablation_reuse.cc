@@ -1,0 +1,44 @@
+// Ablation: expansion-tree reuse (Sections 4.2-4.4). With reuse off, any
+// affecting update triggers from-scratch recomputation of the query (but
+// non-affecting updates are still filtered) — isolating the value of the
+// valid-subtree machinery from the value of influence lists.
+
+#include "bench/bench_common.h"
+#include "src/core/ima.h"
+
+namespace cknn::bench {
+namespace {
+
+void AblationReuse(benchmark::State& state) {
+  const bool use_reuse = state.range(0) == 1;
+  ExperimentSpec spec = DefaultSpec();
+  for (auto _ : state) {
+    RoadNetwork net = GenerateRoadNetwork(spec.network);
+    MonitoringServer server(std::move(net), Algorithm::kIma);
+    dynamic_cast<Ima&>(server.monitor())
+        .engine()
+        .set_use_tree_reuse(use_reuse);
+    Workload workload(&server.network(), &server.spatial_index(),
+                      spec.workload);
+    SimulationOptions options;
+    options.timestamps = spec.timestamps;
+    const RunMetrics metrics = RunSimulation(&server, &workload, options);
+    state.SetIterationTime(metrics.AvgSeconds());
+    state.counters["sec_per_ts"] = metrics.AvgSeconds();
+    const auto& stats = dynamic_cast<Ima&>(server.monitor()).engine().stats();
+    state.counters["full_recomputes"] =
+        static_cast<double>(stats.full_recomputes);
+    state.counters["reroots"] = static_cast<double>(stats.reroots);
+  }
+  state.SetLabel(use_reuse ? "IMA(tree reuse)" : "IMA(recompute affected)");
+}
+
+BENCHMARK(AblationReuse)
+    ->ArgNames({"reuse_on"})
+    ->ArgsProduct({{1, 0}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

@@ -1,0 +1,78 @@
+#ifndef CKNN_BENCH_BENCH_COMMON_H_
+#define CKNN_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/server.h"
+#include "src/sim/experiment.h"
+
+namespace cknn::bench {
+
+/// Scale of the benchmark suite.
+///
+/// The paper's defaults (Table 2: 10K edges, N=100K, Q=5K, k=50, 100
+/// timestamps) take hours across 14 figures on a laptop, so the default
+/// `quick` scale divides the query cardinality by 5 and the horizon by 10
+/// while preserving the *object density* (objects per edge) — the quantity
+/// the expansion radii, and therefore all relative costs, depend on. Set
+/// CKNN_BENCH_SCALE=paper to run the original parameters.
+inline bool PaperScale() {
+  const char* env = std::getenv("CKNN_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "paper") == 0;
+}
+
+/// Cardinality divisor of the current scale.
+inline std::size_t Div() { return PaperScale() ? 1 : 5; }
+
+/// Monitoring horizon of the current scale.
+inline int Timestamps() { return PaperScale() ? 100 : 10; }
+
+/// Table-2 default experiment (both scales share the 10K-edge network and
+/// the full N=100K object population so expansion radii match the paper).
+inline ExperimentSpec DefaultSpec() {
+  ExperimentSpec spec;
+  spec.network.target_edges = 10000;
+  spec.network.seed = 1;
+  spec.workload.num_objects = 100000;
+  spec.workload.num_queries = 5000 / Div();
+  spec.workload.k = PaperScale() ? 50 : 25;
+  spec.workload.seed = 42;
+  spec.timestamps = Timestamps();
+  return spec;
+}
+
+inline Algorithm AlgoOf(std::int64_t index) {
+  switch (index) {
+    case 0:
+      return Algorithm::kOvh;
+    case 1:
+      return Algorithm::kIma;
+    default:
+      return Algorithm::kGma;
+  }
+}
+
+/// Runs one experiment inside a benchmark iteration: manual time is the
+/// mean per-timestamp maintenance cost (the paper's y-axis), and counters
+/// expose the totals.
+inline void RunAndReport(benchmark::State& state, Algorithm algorithm,
+                         const ExperimentSpec& spec) {
+  for (auto _ : state) {
+    const RunMetrics metrics = RunExperiment(algorithm, spec);
+    state.SetIterationTime(metrics.AvgSeconds());
+    state.counters["sec_per_ts"] = metrics.AvgSeconds();
+    state.counters["max_sec"] = metrics.MaxSeconds();
+    if (spec.measure_memory) {
+      state.counters["mem_kb"] = metrics.AvgMemoryKb();
+    }
+  }
+  state.SetLabel(AlgorithmName(algorithm));
+}
+
+}  // namespace cknn::bench
+
+#endif  // CKNN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,25 @@
+// Figure 13(a): per-timestamp CPU time vs object cardinality N.
+// Paper: N in {10K, 50K, 100K, 150K, 200K} on the 10K-edge network; all
+// methods scale mildly, GMA < IMA < OVH throughout.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig13a(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  // N is the x-axis here: the paper's absolute values at both scales.
+  spec.workload.num_objects = static_cast<std::size_t>(state.range(1)) * 1000;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig13a)
+    ->ArgNames({"algo", "N_thousands"})
+    ->ArgsProduct({{0, 1, 2}, {10, 50, 100, 150, 200}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

@@ -1,0 +1,25 @@
+// Figure 13(b): per-timestamp CPU time vs query cardinality Q.
+// Paper: Q in {1K, 3K, 5K, 7K, 10K}; GMA's shared execution widens its lead
+// over IMA as Q grows (2x faster at Q=10K; OVH 4.5x slower).
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig13b(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.workload.num_queries =
+      static_cast<std::size_t>(state.range(1)) * 1000 / Div();
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig13b)
+    ->ArgNames({"algo", "Q_thousands"})
+    ->ArgsProduct({{0, 1, 2}, {1, 3, 5, 7, 10}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

@@ -1,0 +1,26 @@
+// Figure 14(a): per-timestamp CPU time vs k (log y-axis in the paper).
+// Paper: k in {1, 25, 50, 100, 200}. IMA wins at k=1 (the nearest object is
+// usually closer than any active node); GMA wins for k >= 25 because active
+// node results are shared by more queries.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig14a(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  // k is a shape parameter: keep the paper's values at both scales.
+  spec.workload.k = static_cast<int>(state.range(1));
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig14a)
+    ->ArgNames({"algo", "k"})
+    ->ArgsProduct({{0, 1, 2}, {1, 25, 50, 100, 200}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

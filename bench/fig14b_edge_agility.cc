@@ -1,0 +1,24 @@
+// Figure 14(b): per-timestamp CPU time vs edge agility f_edg.
+// Paper: f_edg in {1, 2, 4, 8, 16}%. Both incremental methods degrade with
+// more weight updates, but GMA stays flat-ish (+37% from 1% to 16%).
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig14b(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.workload.edge_agility = static_cast<double>(state.range(1)) / 100.0;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig14b)
+    ->ArgNames({"algo", "f_edg_pct"})
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4, 8, 16}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

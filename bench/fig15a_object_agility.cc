@@ -1,0 +1,24 @@
+// Figure 15(a): per-timestamp CPU time vs object agility f_obj.
+// Paper: f_obj in {0, 5, 10, 15, 20}%. Cost grows with agility (more result
+// invalidations); GMA is more robust than IMA.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig15a(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.workload.object_agility = static_cast<double>(state.range(1)) / 100.0;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig15a)
+    ->ArgNames({"algo", "f_obj_pct"})
+    ->ArgsProduct({{0, 1, 2}, {0, 5, 10, 15, 20}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

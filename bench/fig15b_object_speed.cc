@@ -1,0 +1,25 @@
+// Figure 15(b): per-timestamp CPU time vs object speed v_obj.
+// Paper: v_obj in {0.25, 0.5, 1, 2, 4} average edge lengths per timestamp.
+// Practically flat: an update is a deletion plus an insertion, so the
+// distance covered does not matter.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig15b(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.workload.object_speed = static_cast<double>(state.range(1)) / 100.0;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig15b)
+    ->ArgNames({"algo", "v_obj_x100"})
+    ->ArgsProduct({{0, 1, 2}, {25, 50, 100, 200, 400}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

@@ -1,0 +1,25 @@
+// Figure 16(a): per-timestamp CPU time vs query agility f_qry.
+// Paper: f_qry in {0, 5, 10, 15, 20}%. IMA degrades (query movement
+// invalidates expansion trees); GMA is nearly flat because moving queries
+// are always answered from the static active nodes of their sequence.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig16a(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.workload.query_agility = static_cast<double>(state.range(1)) / 100.0;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig16a)
+    ->ArgNames({"algo", "f_qry_pct"})
+    ->ArgsProduct({{0, 1, 2}, {0, 5, 10, 15, 20}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

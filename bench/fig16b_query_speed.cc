@@ -1,0 +1,24 @@
+// Figure 16(b): per-timestamp CPU time vs query speed v_qry.
+// Paper: v_qry in {0.25, 0.5, 1, 2, 4}. GMA is constant; IMA grows mildly
+// because faster queries keep less of their expansion tree valid.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig16b(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.workload.query_speed = static_cast<double>(state.range(1)) / 100.0;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig16b)
+    ->ArgNames({"algo", "v_qry_x100"})
+    ->ArgsProduct({{0, 1, 2}, {25, 50, 100, 200, 400}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

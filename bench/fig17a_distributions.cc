@@ -1,0 +1,32 @@
+// Figure 17(a): per-timestamp CPU time for the four object/query
+// distribution combinations (Uniform/Gaussian x Uniform/Gaussian).
+// Paper: GMA wins for Gaussian (clustered) queries — few active nodes cover
+// many queries; IMA wins for uniform queries (sparse sequences). Gaussian
+// objects use stddev 50%.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig17a(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.workload.object_distribution = state.range(1) == 0
+                                          ? Distribution::kUniform
+                                          : Distribution::kGaussian;
+  spec.workload.query_distribution = state.range(2) == 0
+                                         ? Distribution::kUniform
+                                         : Distribution::kGaussian;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+// Arg encoding: (algo, obj_gaussian, qry_gaussian).
+BENCHMARK(Fig17a)
+    ->ArgNames({"algo", "obj_gauss", "qry_gauss"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}, {0, 1}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

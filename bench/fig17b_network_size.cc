@@ -1,0 +1,48 @@
+// Figure 17(b): per-timestamp CPU time vs network size (log y-axis in the
+// paper). Paper: 1K..100K edges with N and Q proportional (10 objects and
+// 0.5 queries per edge). At 10K edges the paper reports 0.3-0.6 s per
+// timestamp for GMA/IMA.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig17b(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  const std::size_t edges = static_cast<std::size_t>(state.range(1)) * 1000;
+  spec.network.target_edges = edges;
+  spec.workload.num_objects = edges * 10;  // Paper: 10 objects per edge.
+  spec.workload.num_queries = edges / 2 / Div();
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+// The 100K-edge point is only run at paper scale (it dominates runtime).
+BENCHMARK(Fig17b)
+    ->ArgNames({"algo", "edges_thousands"})
+    ->ArgsProduct({{0, 1, 2}, {1, 5, 10, 50}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void Fig17bLarge(benchmark::State& state) {
+  if (!PaperScale()) {
+    state.SkipWithError("set CKNN_BENCH_SCALE=paper for the 100K point");
+    return;
+  }
+  ExperimentSpec spec = DefaultSpec();
+  spec.network.target_edges = 100000;
+  spec.workload.num_objects = 1000000;
+  spec.workload.num_queries = 50000;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig17bLarge)
+    ->ArgNames({"algo"})
+    ->ArgsProduct({{0, 1, 2}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

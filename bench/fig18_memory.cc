@@ -1,0 +1,42 @@
+// Figure 18: memory of the monitoring structures (KBytes) vs query
+// cardinality (a) and vs k (b). Paper: IMA > GMA, the gap growing with both
+// Q (more expansion trees) and k (bigger trees); GMA scales gracefully
+// because only active nodes keep trees.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void Fig18aMemoryVsQ(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.workload.num_queries =
+      static_cast<std::size_t>(state.range(1)) * 1000 / Div();
+  spec.measure_memory = true;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+// Only IMA and GMA keep monitoring structures (the paper plots these two).
+BENCHMARK(Fig18aMemoryVsQ)
+    ->ArgNames({"algo", "Q_thousands"})
+    ->ArgsProduct({{1, 2}, {1, 3, 5, 7, 10}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void Fig18bMemoryVsK(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.workload.k = static_cast<int>(state.range(1));
+  spec.measure_memory = true;
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(Fig18bMemoryVsK)
+    ->ArgNames({"algo", "k"})
+    ->ArgsProduct({{1, 2}, {1, 25, 50, 100, 200}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

@@ -1,0 +1,66 @@
+// Figure 19: experiments with the Brinkhoff-style network-based generator
+// on an Oldenburg-sized network (6105 nodes / 7035 edges in the paper).
+// (a) CPU vs query cardinality Q in {1K..32K(64K)} with N = 64K objects;
+// (b) CPU vs k with Q = 8K. Same shapes as Figures 13(b)/14(a): GMA's lead
+// grows with Q; IMA wins only at k=1.
+
+#include "bench/bench_common.h"
+#include "src/gen/network_gen.h"
+
+namespace cknn::bench {
+namespace {
+
+const RoadNetwork& OldenburgNetwork() {
+  static const RoadNetwork& net = *new RoadNetwork(GenerateOldenburgLike(7));
+  return net;
+}
+
+BrinkhoffWorkload::Config BaseConfig() {
+  BrinkhoffWorkload::Config cfg;
+  cfg.num_objects = 64000;  // Density is preserved at both scales.
+  cfg.num_queries = 8000 / Div();
+  cfg.k = PaperScale() ? 50 : 25;
+  cfg.generator.churn = 0.02;
+  cfg.generator.seed = 11;
+  return cfg;
+}
+
+void ReportBrinkhoff(benchmark::State& state, Algorithm algorithm,
+                     const BrinkhoffWorkload::Config& cfg) {
+  for (auto _ : state) {
+    const RunMetrics metrics = RunBrinkhoffExperiment(
+        algorithm, OldenburgNetwork(), cfg, Timestamps());
+    state.SetIterationTime(metrics.AvgSeconds());
+    state.counters["sec_per_ts"] = metrics.AvgSeconds();
+  }
+  state.SetLabel(AlgorithmName(algorithm));
+}
+
+void Fig19aVsQ(benchmark::State& state) {
+  BrinkhoffWorkload::Config cfg = BaseConfig();
+  cfg.num_queries = static_cast<std::size_t>(state.range(1)) * 1000 / Div();
+  ReportBrinkhoff(state, AlgoOf(state.range(0)), cfg);
+}
+
+BENCHMARK(Fig19aVsQ)
+    ->ArgNames({"algo", "Q_thousands"})
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4, 8, 16, 32}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void Fig19bVsK(benchmark::State& state) {
+  BrinkhoffWorkload::Config cfg = BaseConfig();
+  cfg.k = static_cast<int>(state.range(1));
+  ReportBrinkhoff(state, AlgoOf(state.range(0)), cfg);
+}
+
+BENCHMARK(Fig19bVsK)
+    ->ArgNames({"algo", "k"})
+    ->ArgsProduct({{0, 1, 2}, {1, 25, 50, 100, 200}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

@@ -1,0 +1,95 @@
+// Quickstart: build a toy road network by hand, register a continuous 2-NN
+// query, and watch the result change as objects move, the query moves, and
+// an edge gets congested.
+//
+//   n0 --- n1 --- n2
+//    |      |      |
+//   n3 --- n4 --- n5
+//
+// Run: ./quickstart
+
+#include <cstdio>
+
+#include "src/core/server.h"
+
+using cknn::Algorithm;
+using cknn::MonitoringServer;
+using cknn::NetworkPoint;
+using cknn::Point;
+using cknn::RoadNetwork;
+
+namespace {
+
+void PrintResult(const MonitoringServer& server, cknn::QueryId q) {
+  const auto* result = server.ResultOf(q);
+  if (result == nullptr) {
+    std::printf("  query %u: (not registered)\n", q);
+    return;
+  }
+  std::printf("  query %u 2-NNs:", q);
+  for (const cknn::Neighbor& nb : *result) {
+    std::printf("  object %u @ %.2f", nb.id, nb.distance);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // 1. Build the network (weights default to Euclidean lengths).
+  RoadNetwork net;
+  const cknn::NodeId n0 = net.AddNode(Point{0, 1});
+  const cknn::NodeId n1 = net.AddNode(Point{1, 1});
+  const cknn::NodeId n2 = net.AddNode(Point{2, 1});
+  const cknn::NodeId n3 = net.AddNode(Point{0, 0});
+  const cknn::NodeId n4 = net.AddNode(Point{1, 0});
+  const cknn::NodeId n5 = net.AddNode(Point{2, 0});
+  const cknn::EdgeId top_left = *net.AddEdge(n0, n1);
+  const cknn::EdgeId top_right = *net.AddEdge(n1, n2);
+  *net.AddEdge(n0, n3);
+  const cknn::EdgeId middle = *net.AddEdge(n1, n4);
+  *net.AddEdge(n2, n5);
+  const cknn::EdgeId bottom_left = *net.AddEdge(n3, n4);
+  const cknn::EdgeId bottom_right = *net.AddEdge(n4, n5);
+
+  // 2. Start a server with the incremental monitoring algorithm.
+  MonitoringServer server(std::move(net), Algorithm::kIma);
+
+  // 3. Objects appear; a continuous 2-NN query is installed mid-edge.
+  server.AddObject(/*id=*/0, NetworkPoint{top_right, 0.5});
+  server.AddObject(/*id=*/1, NetworkPoint{bottom_left, 0.25});
+  server.AddObject(/*id=*/2, NetworkPoint{bottom_right, 0.8});
+  server.InstallQuery(/*id=*/7, NetworkPoint{top_left, 0.5}, /*k=*/2);
+  std::printf("after install:\n");
+  PrintResult(server, 7);
+
+  // 4. An object moves closer — the result updates incrementally.
+  server.MoveObject(2, NetworkPoint{middle, 0.3});
+  std::printf("after object 2 moves onto the middle edge:\n");
+  PrintResult(server, 7);
+
+  // 5. Congestion: the middle edge's travel cost triples.
+  server.UpdateEdgeWeight(middle, server.network().edge(middle).weight * 3);
+  std::printf("after congestion on the middle edge:\n");
+  PrintResult(server, 7);
+
+  // 6. The query itself drives east.
+  server.MoveQuery(7, NetworkPoint{top_right, 0.9});
+  std::printf("after the query moves east:\n");
+  PrintResult(server, 7);
+
+  // 7. Batched updates (one timestamp, mixed types) — the normal mode.
+  cknn::UpdateBatch batch;
+  batch.objects.push_back(cknn::ObjectUpdate{
+      1, server.objects().Position(1).value(),
+      NetworkPoint{top_right, 0.2}});
+  batch.edges.push_back(cknn::EdgeUpdate{
+      middle, server.network().edge(middle).weight / 3});
+  if (cknn::Status st = server.Tick(batch); !st.ok()) {
+    std::printf("tick failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("after one batched timestamp:\n");
+  PrintResult(server, 7);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reverse dispatch — the paper's future-work scenario (Section 7): each
+// vacant cab wants the clients that are closer to it than to ANY other
+// cab (its reverse nearest neighbors) — the clients it is the best-placed
+// cab to serve. Continuous bichromatic reverse-NN monitoring over a moving
+// fleet.
+//
+// Run: ./reverse_dispatch [timestamps=10]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/rnn.h"
+#include "src/gen/network_gen.h"
+#include "src/gen/placement.h"
+#include "src/gen/random_walk.h"
+#include "src/spatial/pmr_quadtree.h"
+#include "src/util/macros.h"
+#include "src/util/rng.h"
+
+using namespace cknn;
+
+int main(int argc, char** argv) {
+  const int timestamps = argc > 1 ? std::atoi(argv[1]) : 10;
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 1200, .seed = 31});
+  Rect box = net.BoundingBox();
+  box.min_x -= 1;
+  box.min_y -= 1;
+  box.max_x += 1;
+  box.max_y += 1;
+  PmrQuadtree si(box);
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    CKNN_CHECK(si.Insert(e, net.EdgeSegment(e)).ok());
+  }
+
+  ObjectTable clients(net.NumEdges());
+  RnnMonitor monitor(&net, &clients);
+  Rng rng(5);
+  std::vector<NetworkPoint> client_pos =
+      PlaceEntities(net, si, Distribution::kGaussian, 120, 0.2, &rng);
+  std::vector<NetworkPoint> cab_pos =
+      PlaceEntities(net, si, Distribution::kUniform, 8, 0.1, &rng);
+
+  UpdateBatch setup;
+  for (ObjectId i = 0; i < client_pos.size(); ++i) {
+    setup.objects.push_back(ObjectUpdate{i, std::nullopt, client_pos[i]});
+  }
+  for (QueryId c = 0; c < cab_pos.size(); ++c) {
+    setup.queries.push_back(
+        QueryUpdate{c, QueryUpdate::Kind::kInstall, cab_pos[c], 1});
+  }
+  if (!monitor.ProcessTimestamp(setup).ok()) return 1;
+
+  const double step = net.AverageEdgeLength() * 2;
+  for (int ts = 0; ts < timestamps; ++ts) {
+    UpdateBatch batch;
+    for (QueryId c = 0; c < cab_pos.size(); ++c) {
+      cab_pos[c] = RandomWalkStep(net, cab_pos[c], step, &rng);
+      batch.queries.push_back(
+          QueryUpdate{c, QueryUpdate::Kind::kMove, cab_pos[c], 0});
+    }
+    if (!monitor.ProcessTimestamp(batch).ok()) return 1;
+  }
+
+  std::printf("after %d timestamps, each cab's exclusive client pool:\n",
+              timestamps);
+  std::size_t total = 0;
+  for (QueryId c = 0; c < cab_pos.size(); ++c) {
+    const auto* rnn = monitor.ResultOf(c);
+    std::printf("  cab %u serves %zu clients", c, rnn->size());
+    if (!rnn->empty()) {
+      std::printf(" (closest: client %u at %.0fm)", (*rnn)[0].id,
+                  (*rnn)[0].distance);
+    }
+    std::printf("\n");
+    total += rnn->size();
+  }
+  std::printf("%zu of %zu clients have a reachable best cab\n", total,
+              client_pos.size());
+  return 0;
+}

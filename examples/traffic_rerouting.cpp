@@ -1,0 +1,75 @@
+// Traffic-aware monitoring: nothing moves — only edge weights fluctuate
+// with congestion — yet k-NN results keep changing, the situation no
+// Euclidean method can handle (Section 1). Service vans (queries) monitor
+// their 5 closest job sites (objects) by travel time while 8% of the roads
+// change cost every timestamp; IMA processes only the affecting updates.
+//
+// Run: ./traffic_rerouting [timestamps=30]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/ima.h"
+#include "src/core/server.h"
+#include "src/gen/network_gen.h"
+#include "src/gen/placement.h"
+#include "src/gen/weight_gen.h"
+#include "src/util/rng.h"
+
+using namespace cknn;
+
+int main(int argc, char** argv) {
+  const int timestamps = argc > 1 ? std::atoi(argv[1]) : 30;
+  RoadNetwork city = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 2000, .seed = 7});
+  MonitoringServer server(std::move(city), Algorithm::kIma);
+  const RoadNetwork& net = server.network();
+  Rng rng(3);
+
+  std::vector<NetworkPoint> sites = PlaceEntities(
+      net, server.spatial_index(), Distribution::kUniform, 600, 0.1, &rng);
+  std::vector<NetworkPoint> vans = PlaceEntities(
+      net, server.spatial_index(), Distribution::kUniform, 40, 0.1, &rng);
+  UpdateBatch setup;
+  for (ObjectId i = 0; i < sites.size(); ++i) {
+    setup.objects.push_back(ObjectUpdate{i, std::nullopt, sites[i]});
+  }
+  for (QueryId v = 0; v < vans.size(); ++v) {
+    setup.queries.push_back(
+        QueryUpdate{v, QueryUpdate::Kind::kInstall, vans[v], 5});
+  }
+  if (!server.Tick(setup).ok()) return 1;
+
+  // Remember the initial results to count churn.
+  std::vector<std::vector<Neighbor>> previous(vans.size());
+  for (QueryId v = 0; v < vans.size(); ++v) previous[v] = *server.ResultOf(v);
+
+  int total_changes = 0;
+  for (int ts = 1; ts <= timestamps; ++ts) {
+    UpdateBatch batch;
+    batch.edges = GenerateWeightUpdates(net, /*edge_agility=*/0.08,
+                                        /*magnitude=*/0.10, &rng);
+    if (!server.Tick(batch).ok()) return 1;
+    int changed = 0;
+    for (QueryId v = 0; v < vans.size(); ++v) {
+      const auto& now = *server.ResultOf(v);
+      if (!(now == previous[v])) {
+        ++changed;
+        previous[v] = now;
+      }
+    }
+    total_changes += changed;
+    std::printf("ts %2d: %3zu weight updates -> %2d/%zu van lists changed\n",
+                ts, batch.edges.size(), changed, vans.size());
+  }
+
+  const auto& stats = dynamic_cast<Ima&>(server.monitor()).engine().stats();
+  std::printf(
+      "\n%d result changes across %d timestamps without a single object or "
+      "query moving.\nIMA maintenance: %llu incremental rebuilds, %llu full "
+      "recomputations.\n",
+      total_changes, timestamps,
+      static_cast<unsigned long long>(stats.rebuilds),
+      static_cast<unsigned long long>(stats.full_recomputes));
+  return 0;
+}

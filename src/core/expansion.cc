@@ -1,0 +1,212 @@
+#include "src/core/expansion.h"
+
+#include <algorithm>
+
+#include "src/util/macros.h"
+#include "src/util/mem.h"
+
+namespace cknn {
+
+void ExpansionState::ResetToPoint(const NetworkPoint& p) {
+  Clear();
+  source_ = ExpansionSource::AtPoint(p);
+}
+
+void ExpansionState::ResetToNode(NodeId n) {
+  Clear();
+  source_ = ExpansionSource::AtNodeSource(n);
+}
+
+void ExpansionState::SetSourcePoint(const NetworkPoint& p) {
+  CKNN_DCHECK(!source_.at_node);
+  source_.point = p;
+}
+
+std::optional<double> ExpansionState::NodeDistance(NodeId n) const {
+  auto it = settled_.find(n);
+  if (it == settled_.end()) return std::nullopt;
+  return it->second.dist;
+}
+
+const ExpansionState::SettledInfo* ExpansionState::Info(NodeId n) const {
+  auto it = settled_.find(n);
+  return it == settled_.end() ? nullptr : &it->second;
+}
+
+void ExpansionState::Settle(NodeId n, double dist, NodeId parent,
+                            EdgeId via_edge) {
+  auto [it, inserted] = settled_.emplace(n, SettledInfo{dist, parent, via_edge});
+  (void)it;
+  CKNN_CHECK(inserted);
+  if (parent != kInvalidNode) children_[parent].push_back(n);
+  max_settled_dist_ = std::max(max_settled_dist_, dist);
+}
+
+void ExpansionState::DetachFromParent(NodeId n, NodeId parent) {
+  if (parent == kInvalidNode) return;
+  auto it = children_.find(parent);
+  if (it == children_.end()) return;
+  auto pos = std::find(it->second.begin(), it->second.end(), n);
+  if (pos != it->second.end()) {
+    *pos = it->second.back();
+    it->second.pop_back();
+  }
+}
+
+void ExpansionState::EraseNodes(const std::vector<NodeId>& nodes) {
+  // Two passes: erase everything first, then detach survivors' child links
+  // (a removed node whose parent is also removed needs no detaching).
+  std::vector<NodeId> parents(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto it = settled_.find(nodes[i]);
+    CKNN_DCHECK(it != settled_.end());
+    parents[i] = it->second.parent;
+    settled_.erase(it);
+    children_.erase(nodes[i]);
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (parents[i] != kInvalidNode && settled_.count(parents[i]) != 0) {
+      DetachFromParent(nodes[i], parents[i]);
+    }
+  }
+}
+
+std::optional<NodeId> ExpansionState::TreeChildVia(const RoadNetwork& net,
+                                                   EdgeId e) const {
+  const RoadNetwork::Edge& ed = net.edge(e);
+  const SettledInfo* iu = Info(ed.u);
+  if (iu != nullptr && iu->via_edge == e) return ed.u;
+  const SettledInfo* iv = Info(ed.v);
+  if (iv != nullptr && iv->via_edge == e) return ed.v;
+  return std::nullopt;
+}
+
+std::vector<NodeId> ExpansionState::SubtreeOf(NodeId root) const {
+  CKNN_DCHECK(IsSettled(root));
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    auto it = children_.find(n);
+    if (it == children_.end()) continue;
+    stack.insert(stack.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+std::vector<NodeId> ExpansionState::PruneSubtree(NodeId root) {
+  std::vector<NodeId> removed = SubtreeOf(root);
+  EraseNodes(removed);
+  return removed;
+}
+
+std::vector<NodeId> ExpansionState::AdjustSubtree(NodeId root, double delta) {
+  std::vector<NodeId> nodes = SubtreeOf(root);
+  for (NodeId n : nodes) settled_[n].dist += delta;
+  return nodes;
+}
+
+std::vector<NodeId> ExpansionState::PruneBeyond(double threshold) {
+  std::vector<NodeId> removed;
+  for (const auto& [n, info] : settled_) {
+    if (info.dist > threshold) removed.push_back(n);
+  }
+  EraseNodes(removed);
+  return removed;
+}
+
+std::vector<NodeId> ExpansionState::PruneOthersBeyond(NodeId keep_root,
+                                                      double threshold) {
+  std::vector<NodeId> keep = SubtreeOf(keep_root);
+  std::unordered_map<NodeId, bool> in_subtree;
+  in_subtree.reserve(keep.size());
+  for (NodeId n : keep) in_subtree.emplace(n, true);
+  std::vector<NodeId> removed;
+  for (const auto& [n, info] : settled_) {
+    if (info.dist > threshold && in_subtree.count(n) == 0) {
+      removed.push_back(n);
+    }
+  }
+  EraseNodes(removed);
+  return removed;
+}
+
+void ExpansionState::ReRootToSubtree(NodeId subtree_root,
+                                     const NetworkPoint& new_source,
+                                     double delta) {
+  std::vector<NodeId> keep = SubtreeOf(subtree_root);
+  std::unordered_map<NodeId, SettledInfo> next;
+  next.reserve(keep.size());
+  for (NodeId n : keep) {
+    SettledInfo info = settled_[n];
+    info.dist += delta;
+    next.emplace(n, info);
+  }
+  // The kept subtree root hangs directly off the new source.
+  auto root_it = next.find(subtree_root);
+  CKNN_CHECK(root_it != next.end());
+  root_it->second.parent = kInvalidNode;
+  root_it->second.via_edge = new_source.edge;
+  settled_ = std::move(next);
+  children_.clear();
+  double max_dist = 0.0;
+  for (const auto& [n, info] : settled_) {
+    if (info.parent != kInvalidNode) children_[info.parent].push_back(n);
+    max_dist = std::max(max_dist, info.dist);
+  }
+  max_settled_dist_ = max_dist;
+  source_ = ExpansionSource::AtPoint(new_source);
+}
+
+std::optional<double> ExpansionState::PointDistance(
+    const RoadNetwork& net, const NetworkPoint& p) const {
+  const RoadNetwork::Edge& ed = net.edge(p.edge);
+  double best = kInfDist;
+  if (const SettledInfo* iu = Info(ed.u); iu != nullptr) {
+    best = std::min(best, iu->dist + p.t * ed.weight);
+  }
+  if (const SettledInfo* iv = Info(ed.v); iv != nullptr) {
+    best = std::min(best, iv->dist + (1.0 - p.t) * ed.weight);
+  }
+  if (!source_.at_node && source_.point.edge == p.edge) {
+    best = std::min(best, AlongEdgeDistance(net, source_.point, p));
+  }
+  if (best == kInfDist) return std::nullopt;
+  return best;
+}
+
+bool ExpansionState::EdgeTouched(const RoadNetwork& net, EdgeId e) const {
+  if (!source_.at_node && source_.point.edge == e) return true;
+  const RoadNetwork::Edge& ed = net.edge(e);
+  return IsSettled(ed.u) || IsSettled(ed.v);
+}
+
+bool ExpansionState::InInfluencingInterval(const RoadNetwork& net, EdgeId e,
+                                           double offset_from_u) const {
+  const RoadNetwork::Edge& ed = net.edge(e);
+  const double t =
+      ed.weight > 0.0 ? std::clamp(offset_from_u / ed.weight, 0.0, 1.0) : 0.0;
+  auto d = PointDistance(net, NetworkPoint{e, t});
+  return d.has_value() && *d <= bound_;
+}
+
+void ExpansionState::Clear() {
+  settled_.clear();
+  children_.clear();
+  bound_ = kInfDist;
+  max_settled_dist_ = 0.0;
+}
+
+std::size_t ExpansionState::MemoryBytes() const {
+  std::size_t bytes = HashMapBytes(settled_) + HashMapBytes(children_) +
+                      sizeof(*this);
+  for (const auto& [n, kids] : children_) {
+    (void)n;
+    bytes += VectorBytes(kids);
+  }
+  return bytes;
+}
+
+}  // namespace cknn

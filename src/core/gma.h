@@ -1,0 +1,123 @@
+#ifndef CKNN_CORE_GMA_H_
+#define CKNN_CORE_GMA_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/ima.h"
+#include "src/core/monitor.h"
+#include "src/core/object_table.h"
+#include "src/core/top_k.h"
+#include "src/core/updates.h"
+#include "src/graph/road_network.h"
+#include "src/graph/sequences.h"
+
+namespace cknn {
+
+/// \brief GMA — the group monitoring algorithm of Section 5.
+///
+/// GMA partitions the network into *sequences* (chains between
+/// intersections, SequenceTable) and groups the queries by the sequence
+/// containing them. Instead of monitoring each moving query, it monitors the
+/// static *active nodes* — the intersection endpoints of sequences that
+/// currently contain queries — with the IMA engine, each with
+/// `n.k = max{q.k : q in n.Q}` neighbors.
+///
+/// By Lemma 1, the k-NN set of a query inside a sequence is contained in
+/// the union of the objects on the sequence and the k-NN sets of its
+/// endpoints, so each user query is answered by a cheap bidirectional walk
+/// along its sequence that merges the endpoint NN sets on arrival.
+///
+/// Update filtering for user queries uses per-sequence influence lists:
+/// each edge the walk of `q` reaches keeps `q` with the reached interval;
+/// object / edge-weight updates outside all intervals are ignored, and NN
+/// changes of an active node only re-evaluate the queries whose walks
+/// reached that node within their bound. Affected queries are re-evaluated
+/// from scratch (Fig. 12 line 17) — the walk is O(reach + k).
+class Gma : public Monitor {
+ public:
+  struct Stats {
+    std::uint64_t evaluations = 0;
+    std::uint64_t affected_by_node_change = 0;
+    std::uint64_t affected_by_object = 0;
+    std::uint64_t affected_by_edge = 0;
+  };
+
+  /// Builds the sequence table of `net`; both tables must outlive the
+  /// monitor. The network topology must not change afterwards (weights may).
+  Gma(RoadNetwork* net, ObjectTable* objects);
+
+  Status ProcessTimestamp(const UpdateBatch& batch) override;
+  const std::vector<Neighbor>* ResultOf(QueryId id) const override;
+  std::size_t NumQueries() const override { return queries_.size(); }
+  std::size_t MemoryBytes() const override;
+  std::string_view name() const override { return "GMA"; }
+
+  const SequenceTable& sequences() const { return st_; }
+  /// Number of currently active (monitored) intersection nodes.
+  std::size_t NumActiveNodes() const { return active_.size(); }
+  const Stats& stats() const { return stats_; }
+  ImaEngine& engine() { return engine_; }
+
+ private:
+  /// Reached portion of an edge, as a t-fraction interval (the influencing
+  /// interval of Section 5, stored explicitly because GMA walks are 1-D).
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+
+  struct UserQuery {
+    NetworkPoint pos;
+    int k = 1;
+    SequenceId seq = kInvalidSequence;
+    std::vector<Neighbor> result;
+    double bound = kInfDist;
+    /// Endpoint nodes whose NN set the walk consumed within the bound.
+    std::vector<NodeId> reached_nodes;
+    /// Edges holding this query in their influence list.
+    std::vector<EdgeId> covered;
+  };
+
+  struct ActiveNode {
+    std::unordered_set<QueryId> queries;  // n.Q
+    int k = 0;                            // n.k
+  };
+
+  /// True iff `n` can be an active node (an intersection; terminals and
+  /// pure-cycle anchors contribute nothing beyond the sequence itself).
+  bool IsIntersection(NodeId n) const { return net_->Degree(n) >= 3; }
+
+  /// Registers `q` at the active candidates among its sequence endpoints,
+  /// creating/growing monitored nodes as needed.
+  void AttachToEndpoints(QueryId id, UserQuery* uq);
+  /// Inverse of AttachToEndpoints (shrinks / deactivates nodes).
+  void DetachFromEndpoints(QueryId id, UserQuery* uq);
+
+  /// Recomputes n.k for an active node after membership change; returns
+  /// true if the node's monitored result may have changed shape.
+  void SyncNodeK(NodeId n, ActiveNode* an);
+
+  /// From-scratch evaluation of one query: bidirectional sequence walk plus
+  /// endpoint NN merge; refreshes result, bound, influence intervals.
+  void EvaluateQuery(QueryId id, UserQuery* uq);
+
+  /// Removes q from the influence lists of its covered edges.
+  void ClearInfluence(QueryId id, UserQuery* uq);
+
+  RoadNetwork* net_;
+  ObjectTable* objects_;
+  SequenceTable st_;
+  ImaEngine engine_;  // Monitors active nodes, keyed by NodeId.
+  std::unordered_map<QueryId, UserQuery> queries_;
+  std::unordered_map<NodeId, ActiveNode> active_;
+  /// Per-edge influence lists of *user queries* with reached intervals.
+  std::vector<std::unordered_map<QueryId, Interval>> il_;
+  Stats stats_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_GMA_H_

@@ -1,0 +1,236 @@
+#ifndef CKNN_CORE_IMA_H_
+#define CKNN_CORE_IMA_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/expansion.h"
+#include "src/core/knn_search.h"
+#include "src/core/monitor.h"
+#include "src/core/object_table.h"
+#include "src/core/top_k.h"
+#include "src/core/updates.h"
+#include "src/graph/road_network.h"
+#include "src/util/result.h"
+
+namespace cknn {
+
+/// \brief The incremental monitoring machinery of Section 4, factored as an
+/// engine so that it can serve two masters:
+///  * `Ima` monitors the user queries directly with it;
+///  * `Gma` monitors the *active nodes* of Section 5 with it.
+///
+/// Per monitored query the engine owns the expansion tree
+/// (`ExpansionState`), the persistent frontier (`Frontier` — the paper's
+/// marks), and the known set (`CandidateSet`: every object discovered in
+/// the covered region with its best known distance). Globally it owns the
+/// influence lists (edge -> ids of queries the edge affects), which route
+/// updates to exactly the queries they can invalidate (Section 4.2).
+///
+/// Maintenance cost is proportional to the *invalidated region*, as in the
+/// paper:
+///  * object updates touch the known set and at most continue the expansion
+///    from the live frontier (a heap peek when nothing grows);
+///  * edge-weight updates adjust/prune only the affected subtree and repair
+///    the frontier along the pruned boundary;
+///  * query movement re-roots onto the valid subtree (Section 4.3).
+///
+/// `ProcessUpdates` implements the complete algorithm of Figure 10:
+/// weight decreases first, then increases, then query movements, then
+/// object updates, then one rebuild pass per affected query.
+class ImaEngine {
+ public:
+  /// Movement request for a monitored query (Section 4.3).
+  struct MoveRequest {
+    QueryId id = kInvalidQuery;
+    NetworkPoint pos;
+  };
+
+  /// Maintenance counters (ablation benches report these).
+  struct Stats {
+    std::uint64_t full_recomputes = 0;
+    std::uint64_t reroots = 0;
+    std::uint64_t rebuilds = 0;
+    std::uint64_t updates_routed = 0;
+    std::uint64_t updates_ignored = 0;
+  };
+
+  /// Both tables outlive the engine and are mutated by ProcessUpdates.
+  ImaEngine(RoadNetwork* net, ObjectTable* objects);
+
+  ImaEngine(const ImaEngine&) = delete;
+  ImaEngine& operator=(const ImaEngine&) = delete;
+
+  /// Registers a query and computes its initial result (Fig. 2).
+  Status AddQuery(QueryId id, const ExpansionSource& source, int k);
+
+  /// Unregisters a query and clears its influence-list entries.
+  Status RemoveQuery(QueryId id);
+
+  /// Changes the number of monitored neighbors (GMA adjusts n.k when the
+  /// query population of a sequence changes). Returns whether the result
+  /// changed.
+  Result<bool> SetK(QueryId id, int k);
+
+  bool HasQuery(QueryId id) const { return entries_.count(id) != 0; }
+  std::size_t NumQueries() const { return entries_.size(); }
+
+  /// Current result in (distance, id) order; nullptr if unknown.
+  const std::vector<Neighbor>* ResultOf(QueryId id) const;
+
+  /// Current q.kNN_dist; +inf while fewer than k neighbors exist.
+  double BoundOf(QueryId id) const;
+
+  /// Number of monitored neighbors of a query.
+  int KOf(QueryId id) const;
+
+  /// Expansion tree of a query (inspection for tests/diagnostics);
+  /// nullptr if unknown.
+  const ExpansionState* StateOf(QueryId id) const;
+
+  /// Influence list of an edge (inspection for tests/diagnostics).
+  const std::unordered_set<QueryId>& InfluenceOf(EdgeId e) const {
+    return influence_[e];
+  }
+
+  /// Known set of a query (inspection for tests/diagnostics); nullptr if
+  /// unknown.
+  const CandidateSet* KnownOf(QueryId id) const {
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second.known;
+  }
+
+  /// Applies one timestamp of object/edge/movement updates (Fig. 10) and
+  /// returns the ids of queries whose result changed.
+  std::vector<QueryId> ProcessUpdates(
+      const std::vector<ObjectUpdate>& object_updates,
+      const std::vector<EdgeUpdate>& edge_updates,
+      const std::vector<MoveRequest>& moves);
+
+  std::size_t MemoryBytes() const;
+  const Stats& stats() const { return stats_; }
+
+  /// Verifies the engine's internal invariants (tree label consistency,
+  /// known-set/coverage/influence-list agreement, frontier sanity).
+  /// O(everything) — used by the property tests and for diagnostics.
+  Status CheckInvariants() const;
+
+  /// \name Ablation switches (default on; see bench/ablations)
+  /// @{
+  /// Off: affecting updates trigger from-scratch recomputation instead of
+  /// expansion-tree reuse.
+  void set_use_tree_reuse(bool on) { use_tree_reuse_ = on; }
+  /// Off: every update is routed to every query (no influence-list
+  /// filtering); non-affecting ones are still detected, but only after a
+  /// per-query probe.
+  void set_use_influence_filter(bool on) { use_influence_filter_ = on; }
+  /// @}
+
+ private:
+  struct Entry {
+    ExpansionSource source;
+    int k = 1;
+    ExpansionState state;
+    Frontier frontier;
+    CandidateSet known;
+    std::vector<Neighbor> result;
+    /// Edges holding this query in their influence list.
+    std::unordered_set<EdgeId> covered;
+    /// Edges whose objects must be re-derived before the next rebuild.
+    std::unordered_set<EdgeId> rescan_edges;
+    /// Edges that may have left the covered region. Influence-list removal
+    /// is deferred to the rebuild phase: within the timestamp, object
+    /// updates must still be routed through these edges (Fig. 10 processes
+    /// edge updates *before* object updates).
+    std::unordered_set<EdgeId> pending_uncover;
+    bool needs_recompute = false;
+    bool affected = false;
+    /// Re-derive every known distance and rebuild coverage wholesale
+    /// (set by re-rooting, where all distances shift frames).
+    bool full_refresh = false;
+  };
+
+  void ApplyEdgeDecrease(const EdgeUpdate& update);
+  void ApplyEdgeIncrease(const EdgeUpdate& update);
+  void ApplyMove(const MoveRequest& move);
+  void ApplyObjectUpdate(const ObjectUpdate& update);
+
+  /// \name Frontier / coverage repairs (cost: O(region x degree))
+  /// @{
+  /// After settled nodes were removed: drops orphaned tentative labels,
+  /// re-derives boundary candidates from the surviving settled set, shrinks
+  /// coverage, and marks the region's edges for object re-derivation.
+  void RepairAfterRemoval(QueryId id, Entry* entry,
+                          const std::vector<NodeId>& removed);
+  /// After subtree distances were lowered: re-relaxes the region's frontier
+  /// and marks its edges for object re-derivation.
+  void RepairAfterAdjust(Entry* entry, const std::vector<NodeId>& adjusted);
+  /// After an edge's weight changed: re-derives tentative labels that went
+  /// through it (stale keys would otherwise settle wrongly).
+  void RepairEdgeKeys(Entry* entry, EdgeId edge);
+  /// Re-relaxes one unsettled node from all its settled neighbors.
+  void RederiveFrontierNode(Entry* entry, NodeId n);
+  /// @}
+
+  /// Continues the expansion of an affected entry and refreshes its
+  /// result. Returns whether the result changed.
+  bool RebuildEntry(QueryId id, Entry* entry);
+  /// From-scratch recomputation (Fig. 2). Returns whether result changed.
+  bool RecomputeEntry(QueryId id, Entry* entry);
+
+  /// Re-derives the distances of objects on one edge in the known set.
+  void RescanEdge(Entry* entry, EdgeId e);
+  /// Re-derives every known distance (re-rooting).
+  void RefreshKnownAll(Entry* entry);
+  /// Recomputes the covered-edge set from scratch and diffs the influence
+  /// lists accordingly.
+  void RebuildCoverage(QueryId id, Entry* entry);
+  /// Adds the incident edges of newly settled nodes to the coverage.
+  void GrowCoverage(QueryId id, Entry* entry,
+                    const std::vector<NodeId>& fresh);
+
+  /// Extracts the new top-k result; returns whether it changed.
+  bool ExtractResult(Entry* entry);
+
+  /// Invokes fn(id, entry) for every query influenced by `e` (or every
+  /// query when influence filtering is disabled).
+  template <typename Fn>
+  void ForEachInfluenced(EdgeId e, Fn&& fn);
+
+  RoadNetwork* net_;
+  ObjectTable* objects_;
+  std::unordered_map<QueryId, Entry> entries_;
+  /// Influence lists, indexed by edge (the `e.IL` of Section 3).
+  std::vector<std::unordered_set<QueryId>> influence_;
+  Stats stats_;
+  bool use_tree_reuse_ = true;
+  bool use_influence_filter_ = true;
+};
+
+/// \brief IMA — the incremental monitoring algorithm (Section 4) as a
+/// user-facing Monitor: each continuous query is monitored individually
+/// through its own expansion tree and influence lists.
+class Ima : public Monitor {
+ public:
+  Ima(RoadNetwork* net, ObjectTable* objects) : engine_(net, objects) {}
+
+  Status ProcessTimestamp(const UpdateBatch& batch) override;
+  const std::vector<Neighbor>* ResultOf(QueryId id) const override {
+    return engine_.ResultOf(id);
+  }
+  std::size_t NumQueries() const override { return engine_.NumQueries(); }
+  std::size_t MemoryBytes() const override { return engine_.MemoryBytes(); }
+  std::string_view name() const override { return "IMA"; }
+
+  ImaEngine& engine() { return engine_; }
+  const ImaEngine& engine() const { return engine_; }
+
+ private:
+  ImaEngine engine_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_IMA_H_

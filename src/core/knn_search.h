@@ -1,0 +1,103 @@
+#ifndef CKNN_CORE_KNN_SEARCH_H_
+#define CKNN_CORE_KNN_SEARCH_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/expansion.h"
+#include "src/core/object_table.h"
+#include "src/core/top_k.h"
+#include "src/graph/road_network.h"
+#include "src/util/indexed_min_heap.h"
+#include "src/util/mem.h"
+
+namespace cknn {
+
+/// Counters for one expansion run; the ablation benches report these.
+struct ExpandStats {
+  std::size_t nodes_settled = 0;
+  std::size_t heap_pushes = 0;
+  std::size_t objects_offered = 0;
+};
+
+/// \brief The expansion frontier — the persistent representation of the
+/// paper's *marks*: every un-verified node reachable from the settled
+/// region, keyed by its best tentative distance, with the tree label it
+/// would settle with.
+///
+/// Keeping the frontier alive between timestamps is what makes IMA's
+/// maintenance proportional to the invalidated region: when only objects
+/// moved, continuing the expansion costs a single heap peek, and when an
+/// edge update prunes part of the tree, only the pruned boundary has to be
+/// repaired (see ima.cc).
+struct Frontier {
+  IndexedMinHeap heap;
+  /// Tentative tree label (parent, via edge) of each en-heaped node.
+  std::unordered_map<NodeId, std::pair<NodeId, EdgeId>> pending;
+
+  void Clear() {
+    heap.Clear();
+    pending.clear();
+  }
+
+  /// Inserts or improves a tentative node. Skips nodes already settled in
+  /// `state`. Returns true if the frontier changed.
+  bool Relax(const ExpansionState& state, NodeId n, double dist,
+             NodeId parent, EdgeId via) {
+    if (state.IsSettled(n)) return false;
+    if (heap.PushOrDecrease(n, dist)) {
+      pending[n] = {parent, via};
+      return true;
+    }
+    return false;
+  }
+
+  /// Drops a tentative node if present.
+  void Erase(NodeId n) {
+    heap.Erase(n);
+    pending.erase(n);
+  }
+
+  std::size_t MemoryBytes() const {
+    return pending.size() * (sizeof(std::pair<const NodeId,
+                                              std::pair<NodeId, EdgeId>>) +
+                             2 * sizeof(void*) + 16);
+  }
+};
+
+/// \brief Dijkstra network expansion — the initial-result algorithm of the
+/// paper's Figure 2, generalized into a resumable form.
+///
+/// Continues the expansion of (`state`, `frontier`) until the next frontier
+/// node is farther than the current k-th candidate distance
+/// (`candidates->KthDist(k)`, +inf while fewer than k candidates are
+/// known). When `state` is empty the frontier is (re)seeded from the
+/// source; the source edge's endpoints are always re-relaxed (they can be
+/// lost to shortcut prunes). Each settled node contributes the objects on
+/// its incident edges to `candidates`.
+///
+/// Newly settled nodes are appended to `newly_settled` (if given) so the
+/// caller can update coverage/influence-list structures incrementally.
+void ExpandToK(const RoadNetwork& net, const ObjectTable& objects, int k,
+               ExpansionState* state, Frontier* frontier,
+               CandidateSet* candidates,
+               std::vector<NodeId>* newly_settled = nullptr,
+               ExpandStats* stats = nullptr);
+
+/// Rebuilds `frontier` from scratch: every settled->unsettled adjacency of
+/// `state` is relaxed. Used after operations that invalidate tentative
+/// labels wholesale (query re-rooting).
+void RebuildFrontier(const RoadNetwork& net, const ExpansionState& state,
+                     Frontier* frontier);
+
+/// Convenience: one-shot k-NN search from a point (what OVH runs per query
+/// per timestamp). Returns the k nearest objects in (distance, id) order.
+std::vector<Neighbor> SnapshotKnn(const RoadNetwork& net,
+                                  const ObjectTable& objects,
+                                  const NetworkPoint& source, int k,
+                                  ExpandStats* stats = nullptr);
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_KNN_SEARCH_H_

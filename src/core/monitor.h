@@ -1,0 +1,45 @@
+#ifndef CKNN_CORE_MONITOR_H_
+#define CKNN_CORE_MONITOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/core/updates.h"
+#include "src/graph/types.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+/// \brief Interface of a continuous k-NN monitoring algorithm (IMA, GMA, or
+/// the OVH baseline).
+///
+/// The monitor owns result maintenance. `ProcessTimestamp` receives the
+/// (pre-aggregated) updates of one timestamp, applies object movements and
+/// edge-weight changes to the shared `ObjectTable` / `RoadNetwork`, and
+/// brings every registered query's result up to date.
+class Monitor {
+ public:
+  virtual ~Monitor() = default;
+
+  /// Processes one timestamp worth of updates. The batch must contain at
+  /// most one update per object, query, and edge (the server aggregates).
+  virtual Status ProcessTimestamp(const UpdateBatch& batch) = 0;
+
+  /// Current k-NN set of a registered query, in (distance, id) order.
+  /// nullptr if the query is unknown.
+  virtual const std::vector<Neighbor>* ResultOf(QueryId id) const = 0;
+
+  /// Number of registered queries.
+  virtual std::size_t NumQueries() const = 0;
+
+  /// Estimated bytes of the monitoring structures (expansion trees,
+  /// influence lists, result sets) — the quantity of Figure 18.
+  virtual std::size_t MemoryBytes() const = 0;
+
+  /// Algorithm name for reports ("IMA", "GMA", "OVH").
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_MONITOR_H_

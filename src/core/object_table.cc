@@ -1,0 +1,70 @@
+#include "src/core/object_table.h"
+
+#include <algorithm>
+
+#include "src/util/macros.h"
+#include "src/util/mem.h"
+
+namespace cknn {
+
+Status ObjectTable::Insert(ObjectId id, const NetworkPoint& pos) {
+  if (pos.edge >= per_edge_.size()) {
+    return Status::InvalidArgument("object position on unknown edge");
+  }
+  auto [it, inserted] = positions_.emplace(id, pos);
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("object id already present");
+  per_edge_[pos.edge].push_back(id);
+  return Status::OK();
+}
+
+Status ObjectTable::Remove(ObjectId id) {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return Status::NotFound("unknown object id");
+  DetachFromEdge(id, it->second.edge);
+  positions_.erase(it);
+  return Status::OK();
+}
+
+Status ObjectTable::Move(ObjectId id, const NetworkPoint& new_pos) {
+  if (new_pos.edge >= per_edge_.size()) {
+    return Status::InvalidArgument("object position on unknown edge");
+  }
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return Status::NotFound("unknown object id");
+  if (it->second.edge != new_pos.edge) {
+    DetachFromEdge(id, it->second.edge);
+    per_edge_[new_pos.edge].push_back(id);
+  }
+  it->second = new_pos;
+  return Status::OK();
+}
+
+Result<NetworkPoint> ObjectTable::Position(ObjectId id) const {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return Status::NotFound("unknown object id");
+  return it->second;
+}
+
+const std::vector<ObjectId>& ObjectTable::ObjectsOn(EdgeId e) const {
+  CKNN_CHECK(e < per_edge_.size());
+  return per_edge_[e];
+}
+
+void ObjectTable::DetachFromEdge(ObjectId id, EdgeId e) {
+  std::vector<ObjectId>& list = per_edge_[e];
+  auto it = std::find(list.begin(), list.end(), id);
+  CKNN_CHECK(it != list.end());
+  // Order within an edge list is immaterial: swap-erase.
+  *it = list.back();
+  list.pop_back();
+}
+
+std::size_t ObjectTable::MemoryBytes() const {
+  std::size_t bytes = HashMapBytes(positions_) +
+                      per_edge_.capacity() * sizeof(std::vector<ObjectId>);
+  for (const auto& list : per_edge_) bytes += VectorBytes(list);
+  return bytes;
+}
+
+}  // namespace cknn

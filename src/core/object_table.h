@@ -1,0 +1,64 @@
+#ifndef CKNN_CORE_OBJECT_TABLE_H_
+#define CKNN_CORE_OBJECT_TABLE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/network_point.h"
+#include "src/graph/road_network.h"
+#include "src/graph/types.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+/// \brief Positions of all data objects, with per-edge object lists — the
+/// object half of the paper's edge table *ET* (Section 3).
+///
+/// Lookup directions:
+///  * object id -> network point (for update validation and distances),
+///  * edge id   -> ids of objects currently on the edge (scanned during
+///                 network expansion, Fig. 2 line 14).
+class ObjectTable {
+ public:
+  /// \param num_edges edge-count of the network the table serves.
+  explicit ObjectTable(std::size_t num_edges) : per_edge_(num_edges) {}
+
+  ObjectTable(const ObjectTable&) = delete;
+  ObjectTable& operator=(const ObjectTable&) = delete;
+  ObjectTable(ObjectTable&&) = default;
+  ObjectTable& operator=(ObjectTable&&) = default;
+
+  /// Registers a new object. AlreadyExists if the id is in use.
+  Status Insert(ObjectId id, const NetworkPoint& pos);
+
+  /// Removes an object. NotFound if absent.
+  Status Remove(ObjectId id);
+
+  /// Moves an existing object. NotFound if absent.
+  Status Move(ObjectId id, const NetworkPoint& new_pos);
+
+  /// Current position of an object.
+  Result<NetworkPoint> Position(ObjectId id) const;
+
+  bool Contains(ObjectId id) const { return positions_.count(id) != 0; }
+
+  /// Objects currently lying on edge `e`.
+  const std::vector<ObjectId>& ObjectsOn(EdgeId e) const;
+
+  std::size_t size() const { return positions_.size(); }
+
+  /// Estimated heap footprint in bytes.
+  std::size_t MemoryBytes() const;
+
+ private:
+  void DetachFromEdge(ObjectId id, EdgeId e);
+
+  std::unordered_map<ObjectId, NetworkPoint> positions_;
+  std::vector<std::vector<ObjectId>> per_edge_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_OBJECT_TABLE_H_

@@ -1,0 +1,99 @@
+#include "src/core/path_knn.h"
+
+#include <algorithm>
+
+#include "src/core/knn_search.h"
+#include "src/core/top_k.h"
+#include "src/util/macros.h"
+
+namespace cknn {
+
+namespace {
+
+/// Validates the path and returns cumulative weights: cum[i] is the
+/// along-path cost from nodes[0] to nodes[i].
+std::vector<double> CumulativeWeights(const RoadNetwork& net,
+                                      const QueryPath& path) {
+  CKNN_CHECK(!path.nodes.empty());
+  CKNN_CHECK(path.edges.size() + 1 == path.nodes.size());
+  std::vector<double> cum(path.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < path.edges.size(); ++i) {
+    const RoadNetwork::Edge& ed = net.edge(path.edges[i]);
+    CKNN_CHECK((ed.u == path.nodes[i] && ed.v == path.nodes[i + 1]) ||
+               (ed.v == path.nodes[i] && ed.u == path.nodes[i + 1]));
+    cum[i + 1] = cum[i] + ed.weight;
+  }
+  return cum;
+}
+
+/// k-NN sets of every path node (each node queried at its own location).
+std::vector<std::vector<Neighbor>> NodeKnnSets(const RoadNetwork& net,
+                                               const ObjectTable& objects,
+                                               const QueryPath& path,
+                                               int k) {
+  std::vector<std::vector<Neighbor>> sets;
+  sets.reserve(path.nodes.size());
+  for (NodeId n : path.nodes) {
+    sets.push_back(SnapshotKnn(net, objects, AtNode(net, n), k));
+  }
+  return sets;
+}
+
+}  // namespace
+
+std::vector<ObjectId> PathKnnCandidates(const RoadNetwork& net,
+                                        const ObjectTable& objects,
+                                        const QueryPath& path, int k) {
+  CKNN_CHECK(k >= 1);
+  (void)CumulativeWeights(net, path);  // Validate structure.
+  std::vector<ObjectId> out;
+  for (const auto& set : NodeKnnSets(net, objects, path, k)) {
+    for (const Neighbor& nb : set) out.push_back(nb.id);
+  }
+  for (EdgeId e : path.edges) {
+    const auto& objs = objects.ObjectsOn(e);
+    out.insert(out.end(), objs.begin(), objs.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Neighbor> KnnAtPathPoint(const RoadNetwork& net,
+                                     const ObjectTable& objects,
+                                     const QueryPath& path, int k,
+                                     std::size_t edge_index, double t) {
+  CKNN_CHECK(k >= 1);
+  CKNN_CHECK(edge_index < path.edges.size());
+  CKNN_CHECK(t >= 0.0 && t <= 1.0);
+  const std::vector<double> cum = CumulativeWeights(net, path);
+  const double cum_x =
+      cum[edge_index] + t * net.edge(path.edges[edge_index]).weight;
+
+  CandidateSet cand;
+  // Via path nodes: along-path cost to the node plus the node's k-NN
+  // distances. Exact for every true k-NN whose shortest path exits the
+  // trajectory (the Lemma-1 argument).
+  const auto node_sets = NodeKnnSets(net, objects, path, k);
+  for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+    const double along = std::abs(cum[i] - cum_x);
+    for (const Neighbor& nb : node_sets[i]) {
+      cand.Offer(nb.id, along + nb.distance);
+    }
+  }
+  // Objects on the trajectory itself: pure along-path distance.
+  for (std::size_t j = 0; j < path.edges.size(); ++j) {
+    const EdgeId e = path.edges[j];
+    const RoadNetwork::Edge& ed = net.edge(e);
+    const bool forward = ed.u == path.nodes[j];
+    for (ObjectId obj : objects.ObjectsOn(e)) {
+      const NetworkPoint pos = objects.Position(obj).value();
+      const double off =
+          (forward ? pos.t : 1.0 - pos.t) * ed.weight;
+      cand.Offer(obj, std::abs(cum[j] + off - cum_x));
+    }
+  }
+  return cand.TopK(k);
+}
+
+}  // namespace cknn

@@ -1,0 +1,53 @@
+#ifndef CKNN_CORE_PATH_KNN_H_
+#define CKNN_CORE_PATH_KNN_H_
+
+#include <vector>
+
+#include "src/core/object_table.h"
+#include "src/core/updates.h"
+#include "src/graph/network_point.h"
+#include "src/graph/road_network.h"
+
+namespace cknn {
+
+/// \name Path (trajectory) k-NN queries
+///
+/// The snapshot problem of Cho & Chung [4] and Kolahdouzan & Shahabi [12]
+/// reviewed in Section 2.1, included here because Lemma 1 of GMA is its
+/// one-sequence special case: given a known query trajectory (a node
+/// path), find the k-NNs of *every* point on it.
+///
+/// The candidate theorem (paper, Section 2.1): the union of the k-NN sets
+/// of all path nodes and the objects lying on the path edges contains the
+/// k-NN set of every point on the path.
+/// @{
+
+/// A path given as consecutive nodes joined by the listed edges
+/// (edges.size() == nodes.size() - 1), e.g. a PathResult from
+/// ShortestPath().
+struct QueryPath {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+};
+
+/// Candidate objects whose union provably contains the k-NN set of every
+/// point on the path. Sorted by object id, deduplicated.
+std::vector<ObjectId> PathKnnCandidates(const RoadNetwork& net,
+                                        const ObjectTable& objects,
+                                        const QueryPath& path, int k);
+
+/// Exact k-NNs of a point on the path (`edge_index` into path.edges,
+/// fraction t along that edge from path.nodes[edge_index]), computed from
+/// the candidate set: distance = min over path nodes of (along-path
+/// distance to the node + node's distance to the candidate), plus direct
+/// along-edge terms for candidates sharing the point's edge.
+std::vector<Neighbor> KnnAtPathPoint(const RoadNetwork& net,
+                                     const ObjectTable& objects,
+                                     const QueryPath& path, int k,
+                                     std::size_t edge_index, double t);
+
+/// @}
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_PATH_KNN_H_

@@ -1,0 +1,129 @@
+#include "src/core/range_search.h"
+
+#include <algorithm>
+
+#include "src/util/indexed_min_heap.h"
+#include "src/util/macros.h"
+
+namespace cknn {
+
+std::vector<Neighbor> RangeSearch(const RoadNetwork& net,
+                                  const ObjectTable& objects,
+                                  const NetworkPoint& center,
+                                  double radius) {
+  CKNN_CHECK(radius >= 0.0);
+  CKNN_CHECK(center.edge < net.NumEdges());
+  std::unordered_map<ObjectId, double> best;
+  auto offer = [&](ObjectId obj, double dist) {
+    if (dist > radius) return;
+    auto [it, inserted] = best.emplace(obj, dist);
+    if (!inserted && dist < it->second) it->second = dist;
+  };
+  // Objects sharing the center's edge.
+  for (ObjectId obj : objects.ObjectsOn(center.edge)) {
+    const NetworkPoint pos = objects.Position(obj).value();
+    offer(obj, AlongEdgeDistance(net, center, pos));
+  }
+  // Bounded Dijkstra from the center's edge endpoints.
+  const RoadNetwork::Edge& ed = net.edge(center.edge);
+  IndexedMinHeap heap;
+  std::unordered_map<NodeId, double> settled;
+  heap.PushOrDecrease(ed.u, WeightOffsetFromU(net, center));
+  heap.PushOrDecrease(ed.v, WeightOffsetFromV(net, center));
+  while (!heap.empty()) {
+    if (heap.Top().key > radius) break;
+    const auto [id, dist] = heap.Pop();
+    const NodeId n = static_cast<NodeId>(id);
+    settled.emplace(n, dist);
+    for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
+      const RoadNetwork::Edge& e = net.edge(inc.edge);
+      for (ObjectId obj : objects.ObjectsOn(inc.edge)) {
+        const NetworkPoint pos = objects.Position(obj).value();
+        const double off =
+            e.u == n ? pos.t * e.weight : (1.0 - pos.t) * e.weight;
+        offer(obj, dist + off);
+      }
+      if (settled.count(inc.neighbor) == 0) {
+        heap.PushOrDecrease(inc.neighbor, dist + e.weight);
+      }
+    }
+  }
+  std::vector<Neighbor> out;
+  out.reserve(best.size());
+  for (const auto& [obj, dist] : best) out.push_back(Neighbor{obj, dist});
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+  });
+  return out;
+}
+
+RangeMonitor::RangeMonitor(RoadNetwork* net, ObjectTable* objects)
+    : net_(net), objects_(objects) {
+  CKNN_CHECK(net_ != nullptr);
+  CKNN_CHECK(objects_ != nullptr);
+}
+
+Status RangeMonitor::InstallQuery(QueryId id, const NetworkPoint& center,
+                                  double radius) {
+  if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
+  if (center.edge >= net_->NumEdges()) {
+    return Status::InvalidArgument("center on unknown edge");
+  }
+  auto [it, inserted] = queries_.try_emplace(id);
+  if (!inserted) return Status::AlreadyExists("query id already monitored");
+  it->second.center = center;
+  it->second.radius = radius;
+  Refresh(&it->second);
+  return Status::OK();
+}
+
+Status RangeMonitor::TerminateQuery(QueryId id) {
+  if (queries_.erase(id) == 0) return Status::NotFound("unknown query id");
+  return Status::OK();
+}
+
+Status RangeMonitor::MoveQuery(QueryId id, const NetworkPoint& center) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return Status::NotFound("unknown query id");
+  if (center.edge >= net_->NumEdges()) {
+    return Status::InvalidArgument("center on unknown edge");
+  }
+  it->second.center = center;
+  Refresh(&it->second);
+  return Status::OK();
+}
+
+Status RangeMonitor::ProcessTimestamp(const UpdateBatch& batch) {
+  if (!batch.queries.empty()) {
+    return Status::InvalidArgument(
+        "range queries are managed through the typed methods");
+  }
+  for (const ObjectUpdate& u : batch.objects) {
+    if (u.old_pos.has_value() && u.new_pos.has_value()) {
+      CKNN_RETURN_NOT_OK(objects_->Move(u.id, *u.new_pos));
+    } else if (u.old_pos.has_value()) {
+      CKNN_RETURN_NOT_OK(objects_->Remove(u.id));
+    } else if (u.new_pos.has_value()) {
+      CKNN_RETURN_NOT_OK(objects_->Insert(u.id, *u.new_pos));
+    }
+  }
+  for (const EdgeUpdate& u : batch.edges) {
+    CKNN_RETURN_NOT_OK(net_->SetWeight(u.edge, u.new_weight));
+  }
+  for (auto& [id, query] : queries_) {
+    (void)id;
+    Refresh(&query);
+  }
+  return Status::OK();
+}
+
+const std::vector<Neighbor>* RangeMonitor::ResultOf(QueryId id) const {
+  auto it = queries_.find(id);
+  return it == queries_.end() ? nullptr : &it->second.result;
+}
+
+void RangeMonitor::Refresh(RangeQuery* query) {
+  query->result = RangeSearch(*net_, *objects_, query->center, query->radius);
+}
+
+}  // namespace cknn

@@ -1,0 +1,73 @@
+#ifndef CKNN_CORE_RANGE_SEARCH_H_
+#define CKNN_CORE_RANGE_SEARCH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/object_table.h"
+#include "src/core/updates.h"
+#include "src/graph/network_point.h"
+#include "src/graph/road_network.h"
+#include "src/util/result.h"
+
+namespace cknn {
+
+/// \name Network range queries
+///
+/// The range counterpart of the k-NN queries: all objects within network
+/// distance `radius` of a point. Continuous range monitoring over moving
+/// objects is the problem solved by the Euclidean systems reviewed in
+/// Section 2.2 (Q-index, SINA, MQM); here it comes in the road-network
+/// metric, sharing the expansion substrate with the k-NN algorithms.
+/// @{
+
+/// All objects within `radius` of `center` (network distance), in
+/// (distance, id) order. Bounded Dijkstra expansion: O(region).
+std::vector<Neighbor> RangeSearch(const RoadNetwork& net,
+                                  const ObjectTable& objects,
+                                  const NetworkPoint& center, double radius);
+
+/// \brief Continuous range monitoring: per-timestamp maintenance of all
+/// registered range queries, recomputed with the bounded expansion (an
+/// OVH-style evaluator; each query's cost is proportional to its range
+/// region, which the fluctuating weights keep changing anyway).
+class RangeMonitor {
+ public:
+  /// Both tables outlive the monitor and are mutated by ProcessTimestamp.
+  RangeMonitor(RoadNetwork* net, ObjectTable* objects);
+
+  /// Registers a range query. The `k` field of an install update is
+  /// ignored; use this method instead of batched installs.
+  Status InstallQuery(QueryId id, const NetworkPoint& center, double radius);
+  Status TerminateQuery(QueryId id);
+  Status MoveQuery(QueryId id, const NetworkPoint& center);
+
+  /// Applies object/edge updates to the shared tables and refreshes every
+  /// query's result. Query updates in the batch are rejected (ranges are
+  /// managed through the typed methods above, which carry the radius).
+  Status ProcessTimestamp(const UpdateBatch& batch);
+
+  /// Objects currently within the query's radius; nullptr if unknown.
+  const std::vector<Neighbor>* ResultOf(QueryId id) const;
+
+  std::size_t NumQueries() const { return queries_.size(); }
+
+ private:
+  struct RangeQuery {
+    NetworkPoint center;
+    double radius = 0.0;
+    std::vector<Neighbor> result;
+  };
+
+  void Refresh(RangeQuery* query);
+
+  RoadNetwork* net_;
+  ObjectTable* objects_;
+  std::unordered_map<QueryId, RangeQuery> queries_;
+};
+
+/// @}
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_RANGE_SEARCH_H_

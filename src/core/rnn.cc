@@ -1,0 +1,183 @@
+#include "src/core/rnn.h"
+
+#include <algorithm>
+
+#include "src/util/indexed_min_heap.h"
+#include "src/util/macros.h"
+
+namespace cknn {
+
+namespace {
+
+/// Node label of the multi-source expansion.
+struct Label {
+  double dist = kInfDist;
+  QueryId owner = kInvalidQuery;
+};
+
+/// Improves (dist, owner) with tie-break toward the smaller query id.
+bool Better(double dist, QueryId owner, const Label& current) {
+  return dist < current.dist ||
+         (dist == current.dist && owner < current.owner);
+}
+
+}  // namespace
+
+std::unordered_map<ObjectId, RnnAssignment> ComputeObjectAssignments(
+    const RoadNetwork& net, const ObjectTable& objects,
+    const std::unordered_map<QueryId, NetworkPoint>& queries) {
+  // Multi-source Dijkstra over nodes: every query seeds the endpoints of
+  // its edge with the along-edge offsets.
+  std::unordered_map<NodeId, Label> tentative;
+  std::unordered_map<NodeId, Label> settled;
+  IndexedMinHeap heap;
+  auto relax = [&](NodeId n, double dist, QueryId owner) {
+    if (settled.count(n) != 0) return;
+    Label& label = tentative[n];
+    if (Better(dist, owner, label)) {
+      label = Label{dist, owner};
+      heap.PushOrDecrease(n, dist);
+    }
+  };
+  // Queries grouped by edge for same-edge object assignment later.
+  std::unordered_map<EdgeId, std::vector<QueryId>> queries_on_edge;
+  for (const auto& [q, pos] : queries) {
+    CKNN_CHECK(pos.edge < net.NumEdges());
+    const RoadNetwork::Edge& ed = net.edge(pos.edge);
+    relax(ed.u, WeightOffsetFromU(net, pos), q);
+    relax(ed.v, WeightOffsetFromV(net, pos), q);
+    queries_on_edge[pos.edge].push_back(q);
+  }
+  while (!heap.empty()) {
+    const auto [id, dist] = heap.Pop();
+    const NodeId n = static_cast<NodeId>(id);
+    auto it = tentative.find(n);
+    CKNN_DCHECK(it != tentative.end());
+    settled.emplace(n, it->second);
+    const Label here = it->second;
+    tentative.erase(it);
+    for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
+      relax(inc.neighbor, here.dist + net.edge(inc.edge).weight, here.owner);
+    }
+  }
+
+  // Object assignment: best of (via u, via v, along-edge to a co-located
+  // query).
+  std::unordered_map<ObjectId, RnnAssignment> out;
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    const auto& objs = objects.ObjectsOn(e);
+    if (objs.empty()) continue;
+    const RoadNetwork::Edge& ed = net.edge(e);
+    const Label* lu = nullptr;
+    const Label* lv = nullptr;
+    if (auto it = settled.find(ed.u); it != settled.end()) {
+      lu = &it->second;
+    }
+    if (auto it = settled.find(ed.v); it != settled.end()) {
+      lv = &it->second;
+    }
+    auto co_located = queries_on_edge.find(e);
+    for (ObjectId obj : objs) {
+      const NetworkPoint pos = objects.Position(obj).value();
+      Label best;
+      if (lu != nullptr) {
+        const double d = lu->dist + pos.t * ed.weight;
+        if (Better(d, lu->owner, best)) best = Label{d, lu->owner};
+      }
+      if (lv != nullptr) {
+        const double d = lv->dist + (1.0 - pos.t) * ed.weight;
+        if (Better(d, lv->owner, best)) best = Label{d, lv->owner};
+      }
+      if (co_located != queries_on_edge.end()) {
+        for (QueryId q : co_located->second) {
+          const double d = AlongEdgeDistance(net, queries.at(q), pos);
+          if (Better(d, q, best)) best = Label{d, q};
+        }
+      }
+      if (best.owner != kInvalidQuery) {
+        out.emplace(obj, RnnAssignment{best.owner, best.dist});
+      }
+    }
+  }
+  return out;
+}
+
+std::unordered_map<QueryId, std::vector<Neighbor>> ComputeReverseNearest(
+    const RoadNetwork& net, const ObjectTable& objects,
+    const std::unordered_map<QueryId, NetworkPoint>& queries) {
+  std::unordered_map<QueryId, std::vector<Neighbor>> out;
+  out.reserve(queries.size());
+  for (const auto& [q, pos] : queries) {
+    (void)pos;
+    out.emplace(q, std::vector<Neighbor>{});
+  }
+  for (const auto& [obj, assignment] :
+       ComputeObjectAssignments(net, objects, queries)) {
+    out[assignment.query].push_back(Neighbor{obj, assignment.distance});
+  }
+  for (auto& [q, list] : out) {
+    (void)q;
+    std::sort(list.begin(), list.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance != b.distance ? a.distance < b.distance
+                                                : a.id < b.id;
+              });
+  }
+  return out;
+}
+
+RnnMonitor::RnnMonitor(RoadNetwork* net, ObjectTable* objects)
+    : net_(net), objects_(objects) {
+  CKNN_CHECK(net_ != nullptr);
+  CKNN_CHECK(objects_ != nullptr);
+}
+
+Status RnnMonitor::ProcessTimestamp(const UpdateBatch& batch) {
+  for (const ObjectUpdate& u : batch.objects) {
+    if (u.old_pos.has_value() && u.new_pos.has_value()) {
+      CKNN_RETURN_NOT_OK(objects_->Move(u.id, *u.new_pos));
+    } else if (u.old_pos.has_value()) {
+      CKNN_RETURN_NOT_OK(objects_->Remove(u.id));
+    } else if (u.new_pos.has_value()) {
+      CKNN_RETURN_NOT_OK(objects_->Insert(u.id, *u.new_pos));
+    }
+  }
+  for (const EdgeUpdate& u : batch.edges) {
+    CKNN_RETURN_NOT_OK(net_->SetWeight(u.edge, u.new_weight));
+  }
+  for (const QueryUpdate& qu : batch.queries) {
+    switch (qu.kind) {
+      case QueryUpdate::Kind::kTerminate:
+        if (queries_.erase(qu.id) == 0) {
+          return Status::NotFound("terminate for unknown query");
+        }
+        break;
+      case QueryUpdate::Kind::kMove: {
+        auto it = queries_.find(qu.id);
+        if (it == queries_.end()) {
+          return Status::NotFound("move for unknown query");
+        }
+        it->second = qu.pos;
+        break;
+      }
+      case QueryUpdate::Kind::kInstall:
+        if (queries_.count(qu.id) != 0) {
+          return Status::AlreadyExists("query id already monitored");
+        }
+        if (qu.pos.edge >= net_->NumEdges()) {
+          return Status::InvalidArgument("install on unknown edge");
+        }
+        queries_.emplace(qu.id, qu.pos);
+        break;
+    }
+  }
+  results_ = ComputeReverseNearest(*net_, *objects_, queries_);
+  return Status::OK();
+}
+
+const std::vector<Neighbor>* RnnMonitor::ResultOf(QueryId id) const {
+  auto it = results_.find(id);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cknn

@@ -1,0 +1,81 @@
+#ifndef CKNN_CORE_RNN_H_
+#define CKNN_CORE_RNN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/object_table.h"
+#include "src/core/updates.h"
+#include "src/graph/network_point.h"
+#include "src/graph/road_network.h"
+#include "src/util/result.h"
+
+namespace cknn {
+
+/// \name Bichromatic reverse nearest neighbors in road networks
+///
+/// The paper's future-work direction (Section 7): given queries (e.g.
+/// vacant cabs) and objects (clients), report for each query the objects
+/// that are *closer to it than to any other query* — its reverse nearest
+/// neighbors. The cab example: the clients a driver is the best-placed cab
+/// for.
+///
+/// The snapshot computation runs one multi-source Dijkstra expansion
+/// seeded from every query simultaneously, labelling each network node
+/// with its closest query (a network Voronoi assignment); each object is
+/// then assigned via its edge endpoints plus the along-edge distances to
+/// queries sharing its edge — exact, O(E log V + N).
+/// @{
+
+/// One object's assignment.
+struct RnnAssignment {
+  QueryId query = kInvalidQuery;  ///< Closest query.
+  double distance = 0.0;          ///< Network distance to it.
+};
+
+/// Computes the reverse-nearest-neighbor sets of all queries. Objects
+/// unreachable from every query are absent from the output. Exact ties are
+/// broken toward the smaller query id.
+///
+/// Returns per query the list of (object, distance) pairs, sorted by
+/// (distance, id). Queries with no reverse neighbors map to empty lists.
+std::unordered_map<QueryId, std::vector<Neighbor>> ComputeReverseNearest(
+    const RoadNetwork& net, const ObjectTable& objects,
+    const std::unordered_map<QueryId, NetworkPoint>& queries);
+
+/// Assignment of every reachable object to its closest query.
+std::unordered_map<ObjectId, RnnAssignment> ComputeObjectAssignments(
+    const RoadNetwork& net, const ObjectTable& objects,
+    const std::unordered_map<QueryId, NetworkPoint>& queries);
+
+/// \brief Continuous reverse-NN monitoring — evaluated per timestamp by
+/// recomputation (the incremental version is open research; the paper
+/// names it as future work). Mirrors the Monitor workflow: feed update
+/// batches, read per-query reverse neighbor lists.
+class RnnMonitor {
+ public:
+  /// Both tables outlive the monitor and are mutated by ProcessTimestamp.
+  RnnMonitor(RoadNetwork* net, ObjectTable* objects);
+
+  /// Applies the batch to the shared tables and recomputes all
+  /// assignments.
+  Status ProcessTimestamp(const UpdateBatch& batch);
+
+  /// Reverse neighbors of a query, in (distance, id) order; nullptr if
+  /// the query is unknown.
+  const std::vector<Neighbor>* ResultOf(QueryId id) const;
+
+  std::size_t NumQueries() const { return queries_.size(); }
+
+ private:
+  RoadNetwork* net_;
+  ObjectTable* objects_;
+  std::unordered_map<QueryId, NetworkPoint> queries_;
+  std::unordered_map<QueryId, std::vector<Neighbor>> results_;
+};
+
+/// @}
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_RNN_H_

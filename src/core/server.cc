@@ -1,0 +1,223 @@
+#include "src/core/server.h"
+
+#include <unordered_map>
+
+#include "src/core/gma.h"
+#include "src/core/ima.h"
+#include "src/core/ovh.h"
+#include "src/util/macros.h"
+
+namespace cknn {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kIma:
+      return "IMA";
+    case Algorithm::kGma:
+      return "GMA";
+    case Algorithm::kOvh:
+      return "OVH";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<PmrQuadtree> BuildSpatialIndex(const RoadNetwork& net) {
+  Rect box = net.BoundingBox();
+  // Pad so border segments survive floating-point containment checks.
+  const double pad = 1e-9 + 1e-3 * std::max(box.Width(), box.Height());
+  box.min_x -= pad;
+  box.min_y -= pad;
+  box.max_x += pad;
+  box.max_y += pad;
+  auto tree = std::make_unique<PmrQuadtree>(box);
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    CKNN_CHECK(tree->Insert(e, net.EdgeSegment(e)).ok());
+  }
+  return tree;
+}
+
+std::unique_ptr<Monitor> MakeMonitor(Algorithm algorithm, RoadNetwork* net,
+                                     ObjectTable* objects) {
+  switch (algorithm) {
+    case Algorithm::kIma:
+      return std::make_unique<Ima>(net, objects);
+    case Algorithm::kGma:
+      return std::make_unique<Gma>(net, objects);
+    case Algorithm::kOvh:
+      return std::make_unique<Ovh>(net, objects);
+  }
+  CKNN_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+MonitoringServer::MonitoringServer(RoadNetwork network, Algorithm algorithm)
+    : network_(std::move(network)),
+      objects_(network_.NumEdges()),
+      spatial_index_(BuildSpatialIndex(network_)),
+      algorithm_(algorithm),
+      monitor_(MakeMonitor(algorithm, &network_, &objects_)) {}
+
+UpdateBatch MonitoringServer::AggregateBatch(const UpdateBatch& batch) {
+  UpdateBatch out;
+  // Objects: first old position + last new position per id; an object that
+  // appears and disappears within the timestamp cancels out.
+  {
+    std::unordered_map<ObjectId, std::size_t> index;
+    for (const ObjectUpdate& u : batch.objects) {
+      auto it = index.find(u.id);
+      if (it == index.end()) {
+        index.emplace(u.id, out.objects.size());
+        out.objects.push_back(u);
+      } else {
+        out.objects[it->second].new_pos = u.new_pos;
+      }
+    }
+    std::erase_if(out.objects, [](const ObjectUpdate& u) {
+      return !u.old_pos.has_value() && !u.new_pos.has_value();
+    });
+  }
+  // Queries: collapse install/move/terminate chains.
+  {
+    std::unordered_map<QueryId, std::size_t> index;
+    std::vector<bool> drop;
+    for (const QueryUpdate& u : batch.queries) {
+      auto it = index.find(u.id);
+      if (it == index.end()) {
+        index.emplace(u.id, out.queries.size());
+        out.queries.push_back(u);
+        drop.push_back(false);
+        continue;
+      }
+      QueryUpdate& acc = out.queries[it->second];
+      switch (u.kind) {
+        case QueryUpdate::Kind::kMove:
+          acc.pos = u.pos;  // Keep the original kind (install stays install).
+          break;
+        case QueryUpdate::Kind::kTerminate:
+          if (acc.kind == QueryUpdate::Kind::kInstall) {
+            drop[it->second] = true;  // Installed and gone: net no-op.
+          } else {
+            acc.kind = QueryUpdate::Kind::kTerminate;
+          }
+          break;
+        case QueryUpdate::Kind::kInstall:
+          acc = u;  // Re-install after terminate.
+          drop[it->second] = false;
+          break;
+      }
+    }
+    UpdateBatch filtered;
+    for (std::size_t i = 0; i < out.queries.size(); ++i) {
+      if (!drop[i]) filtered.queries.push_back(out.queries[i]);
+    }
+    out.queries = std::move(filtered.queries);
+  }
+  // Edges: last weight wins (the paper aggregates weight changes into one
+  // overall change per timestamp).
+  {
+    std::unordered_map<EdgeId, std::size_t> index;
+    for (const EdgeUpdate& u : batch.edges) {
+      auto it = index.find(u.edge);
+      if (it == index.end()) {
+        index.emplace(u.edge, out.edges.size());
+        out.edges.push_back(u);
+      } else {
+        out.edges[it->second].new_weight = u.new_weight;
+      }
+    }
+  }
+  return out;
+}
+
+Status MonitoringServer::Tick(const UpdateBatch& batch) {
+  const UpdateBatch aggregated = AggregateBatch(batch);
+  // Validate object updates against the table before the algorithms mutate
+  // shared state (the engines CKNN_CHECK internally).
+  for (const ObjectUpdate& u : aggregated.objects) {
+    if (u.old_pos.has_value()) {
+      auto pos = objects_.Position(u.id);
+      if (!pos.ok()) return Status::NotFound("update for unknown object");
+      if (!(pos.value() == *u.old_pos)) {
+        return Status::InvalidArgument(
+            "object update old position does not match the table");
+      }
+    } else if (u.new_pos.has_value() && objects_.Contains(u.id)) {
+      return Status::AlreadyExists("object appears but already exists");
+    }
+    if (u.new_pos.has_value() && u.new_pos->edge >= network_.NumEdges()) {
+      return Status::InvalidArgument("object position on unknown edge");
+    }
+  }
+  for (const EdgeUpdate& u : aggregated.edges) {
+    if (u.edge >= network_.NumEdges()) {
+      return Status::NotFound("weight update for unknown edge");
+    }
+    if (u.new_weight < 0.0) {
+      return Status::InvalidArgument("negative edge weight");
+    }
+  }
+  CKNN_RETURN_NOT_OK(monitor_->ProcessTimestamp(aggregated));
+  ++timestamp_;
+  return Status::OK();
+}
+
+Status MonitoringServer::InstallQuery(QueryId id, const NetworkPoint& pos,
+                                      int k) {
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{id, QueryUpdate::Kind::kInstall, pos, k});
+  return Tick(batch);
+}
+
+Status MonitoringServer::TerminateQuery(QueryId id) {
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{id, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  return Tick(batch);
+}
+
+Status MonitoringServer::MoveQuery(QueryId id, const NetworkPoint& pos) {
+  UpdateBatch batch;
+  batch.queries.push_back(QueryUpdate{id, QueryUpdate::Kind::kMove, pos, 0});
+  return Tick(batch);
+}
+
+Status MonitoringServer::AddObject(ObjectId id, const NetworkPoint& pos) {
+  UpdateBatch batch;
+  batch.objects.push_back(ObjectUpdate{id, std::nullopt, pos});
+  return Tick(batch);
+}
+
+Status MonitoringServer::RemoveObject(ObjectId id) {
+  auto pos = objects_.Position(id);
+  if (!pos.ok()) return pos.status();
+  UpdateBatch batch;
+  batch.objects.push_back(ObjectUpdate{id, pos.value(), std::nullopt});
+  return Tick(batch);
+}
+
+Status MonitoringServer::MoveObject(ObjectId id, const NetworkPoint& pos) {
+  auto old_pos = objects_.Position(id);
+  if (!old_pos.ok()) return old_pos.status();
+  UpdateBatch batch;
+  batch.objects.push_back(ObjectUpdate{id, old_pos.value(), pos});
+  return Tick(batch);
+}
+
+Status MonitoringServer::UpdateEdgeWeight(EdgeId edge, double new_weight) {
+  UpdateBatch batch;
+  batch.edges.push_back(EdgeUpdate{edge, new_weight});
+  return Tick(batch);
+}
+
+Result<NetworkPoint> MonitoringServer::Snap(const Point& p) const {
+  auto hit = spatial_index_->Nearest(p);
+  if (!hit.ok()) return hit.status();
+  return NetworkPoint{static_cast<EdgeId>(hit->id), hit->t};
+}
+
+}  // namespace cknn

@@ -1,0 +1,94 @@
+#ifndef CKNN_CORE_SERVER_H_
+#define CKNN_CORE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/monitor.h"
+#include "src/core/object_table.h"
+#include "src/core/updates.h"
+#include "src/graph/road_network.h"
+#include "src/spatial/pmr_quadtree.h"
+#include "src/util/result.h"
+
+namespace cknn {
+
+/// Monitoring algorithm selection.
+enum class Algorithm {
+  kIma,  ///< Incremental monitoring (Section 4).
+  kGma,  ///< Group monitoring over sequences (Section 5).
+  kOvh,  ///< Overhaul baseline: recompute everything each timestamp.
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// \brief The central monitoring server of Section 3: owns the road
+/// network, the spatial index *SI* (PMR quadtree over the edges), the
+/// object table, and one monitoring algorithm.
+///
+/// Per timestamp, clients feed the server one `UpdateBatch`; the server
+/// pre-aggregates multiple updates per entity (Section 4.5's preprocessing
+/// step) and hands the batch to the algorithm, which maintains every
+/// registered query's k-NN set. Positions may be given directly as
+/// `NetworkPoint`s or as raw coordinates snapped through the spatial index.
+class MonitoringServer {
+ public:
+  /// Takes ownership of the network. The network topology is fixed for the
+  /// lifetime of the server; weights change through edge updates.
+  MonitoringServer(RoadNetwork network, Algorithm algorithm);
+
+  MonitoringServer(const MonitoringServer&) = delete;
+  MonitoringServer& operator=(const MonitoringServer&) = delete;
+
+  /// Processes one timestamp of updates (aggregating duplicates per
+  /// entity) and advances the clock.
+  Status Tick(const UpdateBatch& batch);
+
+  /// \name Convenience single-entity operations (each runs a mini-tick).
+  /// @{
+  Status InstallQuery(QueryId id, const NetworkPoint& pos, int k);
+  Status TerminateQuery(QueryId id);
+  Status MoveQuery(QueryId id, const NetworkPoint& pos);
+  Status AddObject(ObjectId id, const NetworkPoint& pos);
+  Status RemoveObject(ObjectId id);
+  Status MoveObject(ObjectId id, const NetworkPoint& pos);
+  Status UpdateEdgeWeight(EdgeId edge, double new_weight);
+  /// @}
+
+  /// Snaps raw coordinates to the nearest point on the network through the
+  /// PMR quadtree (how coordinate-only location updates are interpreted).
+  Result<NetworkPoint> Snap(const Point& p) const;
+
+  /// Current k-NN set of a query, nullptr if unknown.
+  const std::vector<Neighbor>* ResultOf(QueryId id) const {
+    return monitor_->ResultOf(id);
+  }
+
+  const RoadNetwork& network() const { return network_; }
+  const ObjectTable& objects() const { return objects_; }
+  const PmrQuadtree& spatial_index() const { return *spatial_index_; }
+  Monitor& monitor() { return *monitor_; }
+  const Monitor& monitor() const { return *monitor_; }
+  Algorithm algorithm() const { return algorithm_; }
+  std::uint64_t timestamp() const { return timestamp_; }
+
+  /// Monitoring-structure bytes (Figure 18's quantity).
+  std::size_t MonitorMemoryBytes() const { return monitor_->MemoryBytes(); }
+
+  /// Collapses multiple updates per object/query/edge into at most one, as
+  /// required by the algorithms (Section 4.5). Exposed for testing.
+  static UpdateBatch AggregateBatch(const UpdateBatch& batch);
+
+ private:
+  RoadNetwork network_;
+  ObjectTable objects_;
+  std::unique_ptr<PmrQuadtree> spatial_index_;
+  Algorithm algorithm_;
+  std::unique_ptr<Monitor> monitor_;
+  std::uint64_t timestamp_ = 0;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_SERVER_H_

@@ -1,0 +1,96 @@
+#include "src/core/top_k.h"
+
+#include "src/util/macros.h"
+#include "src/util/mem.h"
+
+namespace cknn {
+
+bool CandidateSet::Offer(ObjectId id, double dist) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    by_id_.emplace(id, dist);
+    ordered_.emplace(dist, id);
+    return true;
+  }
+  if (dist >= it->second) return false;
+  ordered_.erase(Key{it->second, id});
+  it->second = dist;
+  ordered_.emplace(dist, id);
+  return true;
+}
+
+void CandidateSet::Set(ObjectId id, double dist) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    by_id_.emplace(id, dist);
+    ordered_.emplace(dist, id);
+    return;
+  }
+  if (dist == it->second) return;
+  ordered_.erase(Key{it->second, id});
+  it->second = dist;
+  ordered_.emplace(dist, id);
+}
+
+std::optional<double> CandidateSet::Remove(ObjectId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  const double dist = it->second;
+  ordered_.erase(Key{dist, id});
+  by_id_.erase(it);
+  return dist;
+}
+
+std::optional<double> CandidateSet::DistanceOf(ObjectId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+double CandidateSet::KthDist(int k) const {
+  CKNN_DCHECK(k >= 1);
+  if (static_cast<int>(ordered_.size()) < k) return kInfDist;
+  auto it = ordered_.begin();
+  std::advance(it, k - 1);
+  return it->first;
+}
+
+std::vector<Neighbor> CandidateSet::TopK(int k) const {
+  std::vector<Neighbor> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (auto it = ordered_.begin(); it != ordered_.end() && k > 0; ++it, --k) {
+    out.push_back(Neighbor{it->second, it->first});
+  }
+  return out;
+}
+
+std::vector<Neighbor> CandidateSet::All() const {
+  std::vector<Neighbor> out;
+  out.reserve(ordered_.size());
+  for (const Key& key : ordered_) {
+    out.push_back(Neighbor{key.second, key.first});
+  }
+  return out;
+}
+
+void CandidateSet::PruneBeyond(double bound) {
+  while (!ordered_.empty()) {
+    auto last = std::prev(ordered_.end());
+    if (last->first <= bound) break;
+    by_id_.erase(last->second);
+    ordered_.erase(last);
+  }
+}
+
+void CandidateSet::Clear() {
+  by_id_.clear();
+  ordered_.clear();
+}
+
+std::size_t CandidateSet::MemoryBytes() const {
+  // std::set nodes: key + three pointers + color.
+  return HashMapBytes(by_id_) +
+         ordered_.size() * (sizeof(Key) + 4 * sizeof(void*));
+}
+
+}  // namespace cknn

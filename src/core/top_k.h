@@ -1,0 +1,83 @@
+#ifndef CKNN_CORE_TOP_K_H_
+#define CKNN_CORE_TOP_K_H_
+
+#include <cstddef>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/updates.h"
+#include "src/graph/types.h"
+
+namespace cknn {
+
+/// \brief Distance-ordered candidate set — the generalized `q.result` of the
+/// paper.
+///
+/// Stores, for every object the expansion has discovered, its best known
+/// network distance. The k nearest neighbors are the k smallest entries;
+/// `KthDist(k)` is the paper's `q.kNN_dist` (infinity while fewer than k
+/// candidates are known). Keeping *all* discovered candidates — the k best
+/// plus everything else inside the covered region — is what lets the
+/// incremental algorithms re-rank after outgoing/incoming updates without
+/// re-scanning the network, and closes the tie-at-the-kth-distance gap of
+/// the paper's presentation.
+///
+/// Ordering is by (distance, id) so results are deterministic under ties.
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+
+  /// Lowers the stored distance of `id` to `dist` if it improves (or inserts
+  /// it). Returns true if the set changed.
+  bool Offer(ObjectId id, double dist);
+
+  /// Replaces the stored distance of `id` (inserting if absent), regardless
+  /// of direction. Used when a known object's distance is re-derived after
+  /// weight changes.
+  void Set(ObjectId id, double dist);
+
+  /// Removes `id` if present; returns its old distance, or nullopt.
+  std::optional<double> Remove(ObjectId id);
+
+  /// Stored distance of `id`, or nullopt.
+  std::optional<double> DistanceOf(ObjectId id) const;
+
+  bool Contains(ObjectId id) const { return by_id_.count(id) != 0; }
+
+  std::size_t size() const { return by_id_.size(); }
+  bool empty() const { return by_id_.empty(); }
+
+  /// Distance of the k-th nearest candidate; +inf while size() < k.
+  /// O(k) — k is small (<= a few hundred) in all workloads.
+  double KthDist(int k) const;
+
+  /// The k nearest candidates in (distance, id) order (fewer if size() < k).
+  std::vector<Neighbor> TopK(int k) const;
+
+  /// All candidates in (distance, id) order.
+  std::vector<Neighbor> All() const;
+
+  /// Removes every candidate with distance > bound.
+  void PruneBeyond(double bound);
+
+  void Clear();
+
+  /// Estimated heap footprint in bytes.
+  std::size_t MemoryBytes() const;
+
+  /// Iteration over (id -> distance); unspecified order.
+  const std::unordered_map<ObjectId, double>& entries() const {
+    return by_id_;
+  }
+
+ private:
+  using Key = std::pair<double, ObjectId>;
+
+  std::unordered_map<ObjectId, double> by_id_;
+  std::set<Key> ordered_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_TOP_K_H_

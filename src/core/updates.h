@@ -1,0 +1,69 @@
+#ifndef CKNN_CORE_UPDATES_H_
+#define CKNN_CORE_UPDATES_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/graph/network_point.h"
+#include "src/graph/types.h"
+
+namespace cknn {
+
+/// \brief Location update of a data object: `<p.id, p_old, p_new>`.
+///
+/// A missing old position means the object appears in the system; a missing
+/// new position means it disappears (Section 4.2 treats these as incoming /
+/// outgoing objects).
+struct ObjectUpdate {
+  ObjectId id = kInvalidObject;
+  std::optional<NetworkPoint> old_pos;
+  std::optional<NetworkPoint> new_pos;
+};
+
+/// \brief Update of a continuous query: installation, movement, or
+/// termination.
+struct QueryUpdate {
+  enum class Kind { kInstall, kMove, kTerminate };
+
+  QueryId id = kInvalidQuery;
+  Kind kind = Kind::kMove;
+  /// Target position (ignored for kTerminate).
+  NetworkPoint pos;
+  /// Number of neighbors (only used for kInstall).
+  int k = 1;
+};
+
+/// \brief Weight change of a network edge (e.g., from congestion sensors).
+struct EdgeUpdate {
+  EdgeId edge = kInvalidEdge;
+  double new_weight = 0.0;
+};
+
+/// \brief All updates received in one timestamp. The complete IMA (Fig. 10)
+/// consumes exactly these three streams; the preprocessing requirement that
+/// each entity issues at most one update per timestamp is enforced by the
+/// server.
+struct UpdateBatch {
+  std::vector<ObjectUpdate> objects;
+  std::vector<QueryUpdate> queries;
+  std::vector<EdgeUpdate> edges;
+
+  bool Empty() const {
+    return objects.empty() && queries.empty() && edges.empty();
+  }
+};
+
+/// \brief One nearest neighbor of a query: object id plus its network
+/// distance from the query point.
+struct Neighbor {
+  ObjectId id = kInvalidObject;
+  double distance = 0.0;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.distance == b.distance;
+  }
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_UPDATES_H_

@@ -1,0 +1,88 @@
+#ifndef CKNN_GEN_BRINKHOFF_H_
+#define CKNN_GEN_BRINKHOFF_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/network_point.h"
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+
+/// \brief Network-based moving-entity generator in the spirit of
+/// Brinkhoff [2], used by the Figure-19 experiments (see DESIGN.md for the
+/// substitution notes).
+///
+/// Each entity spawns at a random network node, draws a random destination
+/// node, and follows the shortest (by length) path toward it at a speed
+/// determined by its speed class; on arrival it re-routes to a fresh
+/// destination. A configurable churn fraction of entities disappears each
+/// timestamp and is replaced by newly appearing ones, keeping cardinality
+/// constant while exercising the appear/disappear code paths.
+class BrinkhoffGenerator {
+ public:
+  struct Config {
+    std::size_t num_entities = 1000;
+    /// Number of speed classes; class c moves at
+    /// base_speed * (c + 1) / num_classes average edge lengths / timestamp.
+    int num_classes = 6;
+    double base_speed = 2.0;
+    /// Fraction of entities replaced (disappear + appear) per timestamp.
+    double churn = 0.02;
+    std::uint64_t seed = 7;
+  };
+
+  /// One per-timestamp transition of an entity.
+  struct Transition {
+    std::uint32_t id = 0;
+    std::optional<NetworkPoint> old_pos;  ///< nullopt: entity appears.
+    std::optional<NetworkPoint> new_pos;  ///< nullopt: entity disappears.
+  };
+
+  /// `net` must outlive the generator; `first_id` offsets the entity ids so
+  /// several generators (objects vs queries) can share an id space.
+  BrinkhoffGenerator(const RoadNetwork* net, const Config& config,
+                     std::uint32_t first_id);
+
+  /// Initial appearance of all entities.
+  std::vector<Transition> Initial();
+
+  /// Advances every entity one timestamp.
+  std::vector<Transition> Step();
+
+  /// Current position of a live entity (tests / harness).
+  const std::unordered_map<std::uint32_t, NetworkPoint>& positions() const {
+    return positions_;
+  }
+
+ private:
+  struct Route {
+    /// Remaining edges to traverse, in order.
+    std::vector<EdgeId> edges;
+    /// Index of the edge the entity is on.
+    std::size_t leg = 0;
+    /// Node at the far end of the current leg.
+    NodeId toward = kInvalidNode;
+    int speed_class = 0;
+  };
+
+  NetworkPoint SpawnPosition(std::uint32_t id);
+  /// Moves one entity by its per-timestamp distance; re-routes on arrival.
+  NetworkPoint Advance(std::uint32_t id, const NetworkPoint& from);
+  void NewRoute(std::uint32_t id, NodeId from);
+
+  const RoadNetwork* net_;
+  Config config_;
+  Rng rng_;
+  double avg_edge_length_;
+  std::uint32_t next_fresh_id_;
+  std::unordered_map<std::uint32_t, NetworkPoint> positions_;
+  std::unordered_map<std::uint32_t, Route> routes_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_GEN_BRINKHOFF_H_

@@ -1,0 +1,156 @@
+#include "src/gen/network_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/util/macros.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+
+namespace {
+
+/// Union-find over grid node indices (spanning-tree protection).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+RoadNetwork GenerateRoadNetwork(const NetworkGenConfig& config) {
+  CKNN_CHECK(config.target_edges >= 4);
+  CKNN_CHECK(config.delete_fraction >= 0.0 && config.delete_fraction < 1.0);
+  CKNN_CHECK(config.subdivide_fraction >= 0.0 &&
+             config.subdivide_fraction <= 1.0);
+  CKNN_CHECK(config.max_chain_hops >= 2);
+  Rng rng(config.seed);
+
+  // Expected edge multipliers: (1 - delete * (non-tree share)) from
+  // deletion, then (1 + subdivide * (avg_hops - 1)) from subdivision.
+  const double avg_hops = (2.0 + config.max_chain_hops) / 2.0;
+  const double subdivision_factor =
+      1.0 + config.subdivide_fraction * (avg_hops - 1.0);
+  // A g x g grid has 2g(g-1) edges, of which g^2 - 1 form the spanning tree.
+  // Solve for g against the target, assuming roughly half the edges are
+  // deletable non-tree edges.
+  const double raw_target = static_cast<double>(config.target_edges) /
+                            subdivision_factor /
+                            (1.0 - 0.5 * config.delete_fraction);
+  const int g = std::max(
+      2, static_cast<int>(std::lround(0.5 + std::sqrt(raw_target / 2.0))));
+
+  RoadNetwork net;
+  // Grid nodes with jitter.
+  std::vector<NodeId> grid(static_cast<std::size_t>(g) * g);
+  for (int y = 0; y < g; ++y) {
+    for (int x = 0; x < g; ++x) {
+      const double jx = rng.Uniform(-config.jitter, config.jitter);
+      const double jy = rng.Uniform(-config.jitter, config.jitter);
+      grid[static_cast<std::size_t>(y) * g + x] =
+          net.AddNode(Point{(x + jx) * config.cell_size,
+                            (y + jy) * config.cell_size});
+    }
+  }
+  // Candidate grid edges.
+  struct Candidate {
+    NodeId a;
+    NodeId b;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(2 * static_cast<std::size_t>(g) * (g - 1));
+  for (int y = 0; y < g; ++y) {
+    for (int x = 0; x < g; ++x) {
+      const NodeId here = grid[static_cast<std::size_t>(y) * g + x];
+      if (x + 1 < g) {
+        candidates.push_back(
+            Candidate{here, grid[static_cast<std::size_t>(y) * g + x + 1]});
+      }
+      if (y + 1 < g) {
+        candidates.push_back(Candidate{
+            here, grid[(static_cast<std::size_t>(y) + 1) * g + x]});
+      }
+    }
+  }
+  // Random spanning tree (shuffled Kruskal): tree edges are kept
+  // unconditionally, others survive with probability 1 - delete_fraction.
+  rng.Shuffle(&candidates);
+  UnionFind uf(net.NumNodes());
+  std::vector<Candidate> kept;
+  kept.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    if (uf.Union(c.a, c.b)) {
+      kept.push_back(c);
+    } else if (!rng.NextBool(config.delete_fraction)) {
+      kept.push_back(c);
+    }
+  }
+  // Subdivision into degree-2 chains; intermediate nodes stay on the
+  // segment so chain length equals the original edge length.
+  for (const Candidate& c : kept) {
+    if (!rng.NextBool(config.subdivide_fraction)) {
+      CKNN_CHECK(net.AddEdge(c.a, c.b).ok());
+      continue;
+    }
+    const int hops =
+        static_cast<int>(rng.UniformInt(2, config.max_chain_hops));
+    NodeId prev = c.a;
+    const Point pa = net.NodePosition(c.a);
+    const Point pb = net.NodePosition(c.b);
+    for (int h = 1; h < hops; ++h) {
+      const double t = static_cast<double>(h) / hops;
+      const NodeId mid = net.AddNode(Lerp(pa, pb, t));
+      CKNN_CHECK(net.AddEdge(prev, mid).ok());
+      prev = mid;
+    }
+    CKNN_CHECK(net.AddEdge(prev, c.b).ok());
+  }
+  return net;
+}
+
+RoadNetwork GenerateOldenburgLike(std::uint64_t seed) {
+  NetworkGenConfig config;
+  config.target_edges = 7035;
+  config.delete_fraction = 0.25;
+  config.subdivide_fraction = 0.6;
+  config.max_chain_hops = 4;
+  config.seed = seed;
+  return GenerateRoadNetwork(config);
+}
+
+RoadNetwork CloneNetwork(const RoadNetwork& net) {
+  RoadNetwork out;
+  for (NodeId n = 0; n < net.NumNodes(); ++n) {
+    out.AddNode(net.NodePosition(n));
+  }
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    const RoadNetwork::Edge& ed = net.edge(e);
+    auto added = out.AddEdge(ed.u, ed.v, ed.length);
+    CKNN_CHECK(added.ok());
+    CKNN_CHECK(out.SetWeight(*added, ed.weight).ok());
+  }
+  return out;
+}
+
+}  // namespace cknn

@@ -1,0 +1,63 @@
+#include "src/gen/placement.h"
+
+#include <algorithm>
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "Uniform";
+    case Distribution::kGaussian:
+      return "Gaussian";
+  }
+  return "?";
+}
+
+std::vector<NetworkPoint> PlaceEntities(const RoadNetwork& net,
+                                        const PmrQuadtree& spatial_index,
+                                        Distribution distribution,
+                                        std::size_t count,
+                                        double stddev_frac, Rng* rng) {
+  CKNN_CHECK(net.NumEdges() > 0);
+  std::vector<NetworkPoint> out;
+  out.reserve(count);
+  if (distribution == Distribution::kUniform) {
+    // Cumulative length table for length-proportional edge selection.
+    std::vector<double> cumulative(net.NumEdges());
+    double total = 0.0;
+    for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+      total += net.edge(e).length;
+      cumulative[e] = total;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const double r = rng->Uniform(0.0, total);
+      const auto it =
+          std::lower_bound(cumulative.begin(), cumulative.end(), r);
+      const EdgeId e =
+          static_cast<EdgeId>(std::distance(cumulative.begin(), it));
+      out.push_back(NetworkPoint{std::min<EdgeId>(e, net.NumEdges() - 1),
+                                 rng->NextDouble()});
+    }
+    return out;
+  }
+  const Rect box = net.BoundingBox();
+  const Point center{0.5 * (box.min_x + box.max_x),
+                     0.5 * (box.min_y + box.max_y)};
+  const double half_diag =
+      0.5 * std::sqrt(box.Width() * box.Width() +
+                      box.Height() * box.Height());
+  const double stddev = stddev_frac * half_diag;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Point p{rng->Gaussian(center.x, stddev),
+                  rng->Gaussian(center.y, stddev)};
+    auto hit = spatial_index.Nearest(p);
+    CKNN_CHECK(hit.ok());
+    out.push_back(NetworkPoint{static_cast<EdgeId>(hit->id), hit->t});
+  }
+  return out;
+}
+
+}  // namespace cknn

@@ -1,0 +1,38 @@
+#ifndef CKNN_GEN_PLACEMENT_H_
+#define CKNN_GEN_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/graph/network_point.h"
+#include "src/graph/road_network.h"
+#include "src/spatial/pmr_quadtree.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+
+/// Initial-position distributions of Section 6 (Table 2).
+enum class Distribution {
+  kUniform,   ///< Uniform over the network (edge chosen by length).
+  kGaussian,  ///< 2-D Gaussian around the workspace center, snapped to the
+              ///< nearest edge through the spatial index.
+};
+
+const char* DistributionName(Distribution d);
+
+/// \brief Draws `count` network positions.
+///
+/// Uniform positions pick an edge with probability proportional to its
+/// length and a uniform offset on it. Gaussian positions sample Euclidean
+/// points with mean at the workspace center and standard deviation
+/// `stddev_frac` of the half-diagonal (the paper's "10% of the maximum
+/// network distance from the center"), then snap them onto the network via
+/// the PMR quadtree.
+std::vector<NetworkPoint> PlaceEntities(const RoadNetwork& net,
+                                        const PmrQuadtree& spatial_index,
+                                        Distribution distribution,
+                                        std::size_t count,
+                                        double stddev_frac, Rng* rng);
+
+}  // namespace cknn
+
+#endif  // CKNN_GEN_PLACEMENT_H_

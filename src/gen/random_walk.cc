@@ -1,0 +1,49 @@
+#include "src/gen/random_walk.h"
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+NetworkPoint RandomWalkStep(const RoadNetwork& net, const NetworkPoint& from,
+                            double distance, Rng* rng) {
+  CKNN_CHECK(distance >= 0.0);
+  NetworkPoint pos = from;
+  // true: moving toward edge.v (t grows), false: toward edge.u.
+  bool toward_v = rng->NextBool(0.5);
+  double remaining = distance;
+  // Safety valve against degenerate tiny-edge spirals.
+  for (int hops = 0; hops < 10000 && remaining > 0.0; ++hops) {
+    const RoadNetwork::Edge& ed = net.edge(pos.edge);
+    const double to_end =
+        (toward_v ? (1.0 - pos.t) : pos.t) * ed.length;
+    if (remaining < to_end) {
+      const double dt = remaining / ed.length;
+      pos.t += toward_v ? dt : -dt;
+      return pos;
+    }
+    remaining -= to_end;
+    const NodeId node = toward_v ? ed.v : ed.u;
+    // Pick the next edge: any incident edge except the one we came from,
+    // unless the node is a dead end.
+    const auto& incidences = net.Incidences(node);
+    CKNN_DCHECK(!incidences.empty());
+    EdgeId next = pos.edge;
+    if (incidences.size() > 1) {
+      do {
+        next = incidences[rng->NextIndex(incidences.size())].edge;
+      } while (next == pos.edge);
+    }
+    const RoadNetwork::Edge& ned = net.edge(next);
+    pos.edge = next;
+    if (ned.u == node) {
+      pos.t = 0.0;
+      toward_v = true;
+    } else {
+      pos.t = 1.0;
+      toward_v = false;
+    }
+  }
+  return pos;
+}
+
+}  // namespace cknn

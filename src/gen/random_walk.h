@@ -1,0 +1,23 @@
+#ifndef CKNN_GEN_RANDOM_WALK_H_
+#define CKNN_GEN_RANDOM_WALK_H_
+
+#include "src/graph/network_point.h"
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+
+/// \brief The random-walk movement model of Section 6: a moving object
+/// (query) covers a fixed geometric distance per timestamp, picking a
+/// random next edge at every node it crosses (avoiding an immediate U-turn
+/// when another choice exists).
+///
+/// Distances are measured along the static edge *lengths*, so movement is
+/// unaffected by weight fluctuation — an entity's speed is a property of
+/// the entity, not of traffic.
+NetworkPoint RandomWalkStep(const RoadNetwork& net, const NetworkPoint& from,
+                            double distance, Rng* rng);
+
+}  // namespace cknn
+
+#endif  // CKNN_GEN_RANDOM_WALK_H_

@@ -1,0 +1,30 @@
+#include "src/gen/weight_gen.h"
+
+#include <unordered_set>
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+std::vector<EdgeUpdate> GenerateWeightUpdates(const RoadNetwork& net,
+                                              double edge_agility,
+                                              double magnitude, Rng* rng) {
+  CKNN_CHECK(edge_agility >= 0.0 && edge_agility <= 1.0);
+  CKNN_CHECK(magnitude >= 0.0 && magnitude < 1.0);
+  const std::size_t count = static_cast<std::size_t>(
+      edge_agility * static_cast<double>(net.NumEdges()));
+  std::vector<EdgeUpdate> out;
+  out.reserve(count);
+  std::unordered_set<EdgeId> chosen;
+  chosen.reserve(count * 2);
+  while (chosen.size() < count) {
+    const EdgeId e = static_cast<EdgeId>(rng->NextIndex(net.NumEdges()));
+    if (!chosen.insert(e).second) continue;
+    const double factor = rng->NextBool(0.5) ? 1.0 + magnitude
+                                             : 1.0 - magnitude;
+    out.push_back(EdgeUpdate{e, net.edge(e).weight * factor});
+  }
+  return out;
+}
+
+}  // namespace cknn

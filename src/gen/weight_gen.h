@@ -1,0 +1,23 @@
+#ifndef CKNN_GEN_WEIGHT_GEN_H_
+#define CKNN_GEN_WEIGHT_GEN_H_
+
+#include <vector>
+
+#include "src/core/updates.h"
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+
+/// \brief Traffic model of Section 6: at every timestamp a fraction
+/// `edge_agility` of the edges receives a weight update that increases or
+/// decreases the weight by `magnitude` (10% in the paper) over its previous
+/// value. Edges are drawn without replacement; at most one update per edge
+/// per timestamp.
+std::vector<EdgeUpdate> GenerateWeightUpdates(const RoadNetwork& net,
+                                              double edge_agility,
+                                              double magnitude, Rng* rng);
+
+}  // namespace cknn
+
+#endif  // CKNN_GEN_WEIGHT_GEN_H_

@@ -1,0 +1,138 @@
+#include "src/gen/workload.h"
+
+#include "src/gen/random_walk.h"
+#include "src/gen/weight_gen.h"
+#include "src/util/macros.h"
+
+namespace cknn {
+
+Workload::Workload(const RoadNetwork* net, const PmrQuadtree* spatial_index,
+                   const WorkloadConfig& config)
+    : net_(net),
+      spatial_index_(spatial_index),
+      config_(config),
+      rng_(config.seed),
+      avg_edge_length_(net->AverageEdgeLength()) {
+  CKNN_CHECK(net_ != nullptr);
+  CKNN_CHECK(spatial_index_ != nullptr);
+  CKNN_CHECK(config_.k >= 1);
+}
+
+UpdateBatch Workload::Initial() {
+  UpdateBatch batch;
+  object_pos_ =
+      PlaceEntities(*net_, *spatial_index_, config_.object_distribution,
+                    config_.num_objects, config_.object_gaussian_stddev,
+                    &rng_);
+  query_pos_ =
+      PlaceEntities(*net_, *spatial_index_, config_.query_distribution,
+                    config_.num_queries, config_.query_gaussian_stddev,
+                    &rng_);
+  batch.objects.reserve(object_pos_.size());
+  for (std::size_t i = 0; i < object_pos_.size(); ++i) {
+    batch.objects.push_back(ObjectUpdate{static_cast<ObjectId>(i),
+                                         std::nullopt, object_pos_[i]});
+  }
+  batch.queries.reserve(query_pos_.size());
+  for (std::size_t i = 0; i < query_pos_.size(); ++i) {
+    batch.queries.push_back(QueryUpdate{static_cast<QueryId>(i),
+                                        QueryUpdate::Kind::kInstall,
+                                        query_pos_[i], config_.k});
+  }
+  return batch;
+}
+
+UpdateBatch Workload::Step() {
+  UpdateBatch batch;
+  // Objects: each moves with probability f_obj, covering v_obj average
+  // edge lengths along a random walk.
+  const double object_step = config_.object_speed * avg_edge_length_;
+  for (std::size_t i = 0; i < object_pos_.size(); ++i) {
+    if (!rng_.NextBool(config_.object_agility)) continue;
+    const NetworkPoint old_pos = object_pos_[i];
+    const NetworkPoint new_pos =
+        RandomWalkStep(*net_, old_pos, object_step, &rng_);
+    if (new_pos == old_pos) continue;
+    object_pos_[i] = new_pos;
+    batch.objects.push_back(
+        ObjectUpdate{static_cast<ObjectId>(i), old_pos, new_pos});
+  }
+  // Queries: same movement model with their own agility/speed.
+  const double query_step = config_.query_speed * avg_edge_length_;
+  for (std::size_t i = 0; i < query_pos_.size(); ++i) {
+    if (!rng_.NextBool(config_.query_agility)) continue;
+    const NetworkPoint new_pos =
+        RandomWalkStep(*net_, query_pos_[i], query_step, &rng_);
+    if (new_pos == query_pos_[i]) continue;
+    query_pos_[i] = new_pos;
+    batch.queries.push_back(QueryUpdate{static_cast<QueryId>(i),
+                                        QueryUpdate::Kind::kMove, new_pos,
+                                        0});
+  }
+  // Edges: f_edg of the edges fluctuate by ±magnitude.
+  batch.edges = GenerateWeightUpdates(*net_, config_.edge_agility,
+                                      config_.weight_magnitude, &rng_);
+  return batch;
+}
+
+BrinkhoffWorkload::BrinkhoffWorkload(const RoadNetwork* net,
+                                     const Config& config)
+    : net_(net),
+      config_(config),
+      rng_(config.generator.seed ^ 0xABCDEF1234567ULL),
+      objects_(net,
+               [&] {
+                 BrinkhoffGenerator::Config c = config.generator;
+                 c.num_entities = config.num_objects;
+                 return c;
+               }(),
+               /*first_id=*/0),
+      queries_(net,
+               [&] {
+                 BrinkhoffGenerator::Config c = config.generator;
+                 c.num_entities = config.num_queries;
+                 c.seed = config.generator.seed + 0x5150;
+                 return c;
+               }(),
+               /*first_id=*/0) {
+  CKNN_CHECK(config_.k >= 1);
+}
+
+UpdateBatch BrinkhoffWorkload::Convert(
+    const std::vector<BrinkhoffGenerator::Transition>& object_moves,
+    const std::vector<BrinkhoffGenerator::Transition>& query_moves) {
+  UpdateBatch batch;
+  batch.objects.reserve(object_moves.size());
+  for (const auto& t : object_moves) {
+    batch.objects.push_back(ObjectUpdate{t.id, t.old_pos, t.new_pos});
+  }
+  batch.queries.reserve(query_moves.size());
+  for (const auto& t : query_moves) {
+    if (!t.old_pos.has_value()) {
+      batch.queries.push_back(QueryUpdate{
+          t.id, QueryUpdate::Kind::kInstall, *t.new_pos, config_.k});
+    } else if (!t.new_pos.has_value()) {
+      batch.queries.push_back(
+          QueryUpdate{t.id, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+    } else {
+      batch.queries.push_back(
+          QueryUpdate{t.id, QueryUpdate::Kind::kMove, *t.new_pos, 0});
+    }
+  }
+  return batch;
+}
+
+UpdateBatch BrinkhoffWorkload::Initial() {
+  return Convert(objects_.Initial(), queries_.Initial());
+}
+
+UpdateBatch BrinkhoffWorkload::Step() {
+  UpdateBatch batch = Convert(objects_.Step(), queries_.Step());
+  if (config_.edge_agility > 0.0) {
+    batch.edges = GenerateWeightUpdates(*net_, config_.edge_agility,
+                                        config_.weight_magnitude, &rng_);
+  }
+  return batch;
+}
+
+}  // namespace cknn

@@ -1,0 +1,111 @@
+#ifndef CKNN_GEN_WORKLOAD_H_
+#define CKNN_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/updates.h"
+#include "src/gen/brinkhoff.h"
+#include "src/gen/placement.h"
+#include "src/graph/road_network.h"
+#include "src/spatial/pmr_quadtree.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+
+/// \brief The full parameter set of Table 2 with the paper's defaults.
+struct WorkloadConfig {
+  std::size_t num_objects = 100000;            ///< N
+  std::size_t num_queries = 5000;              ///< Q
+  Distribution object_distribution = Distribution::kUniform;
+  Distribution query_distribution = Distribution::kGaussian;
+  int k = 50;                                  ///< NNs per query
+  double edge_agility = 0.04;                  ///< f_edg
+  double object_agility = 0.10;                ///< f_obj
+  double object_speed = 1.0;                   ///< v_obj (avg edge lengths/ts)
+  double query_agility = 0.10;                 ///< f_qry
+  double query_speed = 1.0;                    ///< v_qry
+  double weight_magnitude = 0.10;              ///< ±10% weight steps
+  double query_gaussian_stddev = 0.10;         ///< stddev fraction (queries)
+  double object_gaussian_stddev = 0.50;        ///< stddev fraction (objects)
+  std::uint64_t seed = 42;
+};
+
+/// \brief Source of per-timestamp update batches. The simulation driver is
+/// agnostic to how updates are produced (Table-2 random walks or the
+/// Brinkhoff-style generator).
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+  /// Appearance of all initial objects and installation of all queries.
+  virtual UpdateBatch Initial() = 0;
+  /// One timestamp of updates.
+  virtual UpdateBatch Step() = 0;
+};
+
+/// \brief The simple generator of Section 6: uniform/Gaussian initial
+/// placement, random-walk movement with per-type agility and speed, and
+/// ±magnitude weight fluctuation with edge agility. Deterministic from the
+/// seed, and independent of edge weights, so every algorithm sees an
+/// identical update stream.
+class Workload : public WorkloadSource {
+ public:
+  /// `net` and `spatial_index` must outlive the workload. Query ids are
+  /// 0-based; object ids are 0-based in a separate id space.
+  Workload(const RoadNetwork* net, const PmrQuadtree* spatial_index,
+           const WorkloadConfig& config);
+
+  UpdateBatch Initial() override;
+  UpdateBatch Step() override;
+
+  const WorkloadConfig& config() const { return config_; }
+  const std::vector<NetworkPoint>& object_positions() const {
+    return object_pos_;
+  }
+  const std::vector<NetworkPoint>& query_positions() const {
+    return query_pos_;
+  }
+
+ private:
+  const RoadNetwork* net_;
+  const PmrQuadtree* spatial_index_;
+  WorkloadConfig config_;
+  Rng rng_;
+  double avg_edge_length_;
+  std::vector<NetworkPoint> object_pos_;
+  std::vector<NetworkPoint> query_pos_;
+};
+
+/// \brief Figure-19 workload: both objects and queries move along shortest
+/// paths per the Brinkhoff-style generator; optional weight fluctuation.
+class BrinkhoffWorkload : public WorkloadSource {
+ public:
+  struct Config {
+    std::size_t num_objects = 64000;
+    std::size_t num_queries = 8000;
+    int k = 50;
+    double edge_agility = 0.0;  ///< Fig. 19 uses the generator defaults.
+    double weight_magnitude = 0.10;
+    BrinkhoffGenerator::Config generator;  ///< Shared motion parameters.
+  };
+
+  BrinkhoffWorkload(const RoadNetwork* net, const Config& config);
+
+  UpdateBatch Initial() override;
+  UpdateBatch Step() override;
+
+ private:
+  UpdateBatch Convert(
+      const std::vector<BrinkhoffGenerator::Transition>& object_moves,
+      const std::vector<BrinkhoffGenerator::Transition>& query_moves);
+
+  const RoadNetwork* net_;
+  Config config_;
+  Rng rng_;
+  BrinkhoffGenerator objects_;
+  BrinkhoffGenerator queries_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_GEN_WORKLOAD_H_

@@ -1,0 +1,87 @@
+#include "src/geom/geometry.h"
+
+namespace cknn {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+Point Lerp(const Point& a, const Point& b, double t) {
+  return Point{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+double ClosestPointParam(const Point& p, const Segment& s) {
+  const double dx = s.b.x - s.a.x;
+  const double dy = s.b.y - s.a.y;
+  const double len_sq = dx * dx + dy * dy;
+  if (len_sq <= 0.0) return 0.0;
+  const double t = ((p.x - s.a.x) * dx + (p.y - s.a.y) * dy) / len_sq;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+double PointSegmentDistance(const Point& p, const Segment& s) {
+  return Distance(p, Lerp(s.a, s.b, ClosestPointParam(p, s)));
+}
+
+double PointRectDistance(const Point& p, const Rect& r) {
+  const double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  const double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+namespace {
+
+// Cohen-Sutherland region code of p relative to r.
+int OutCode(const Point& p, const Rect& r) {
+  int code = 0;
+  if (p.x < r.min_x) code |= 1;
+  if (p.x > r.max_x) code |= 2;
+  if (p.y < r.min_y) code |= 4;
+  if (p.y > r.max_y) code |= 8;
+  return code;
+}
+
+}  // namespace
+
+bool SegmentIntersectsRect(const Segment& s, const Rect& r) {
+  // Cohen-Sutherland line clipping; returns whether any part of the segment
+  // survives the clip.
+  Point a = s.a;
+  Point b = s.b;
+  int code_a = OutCode(a, r);
+  int code_b = OutCode(b, r);
+  while (true) {
+    if ((code_a | code_b) == 0) return true;   // Both inside.
+    if ((code_a & code_b) != 0) return false;  // Same outside half-plane.
+    const int out = code_a != 0 ? code_a : code_b;
+    Point p;
+    if (out & 8) {
+      p.x = a.x + (b.x - a.x) * (r.max_y - a.y) / (b.y - a.y);
+      p.y = r.max_y;
+    } else if (out & 4) {
+      p.x = a.x + (b.x - a.x) * (r.min_y - a.y) / (b.y - a.y);
+      p.y = r.min_y;
+    } else if (out & 2) {
+      p.y = a.y + (b.y - a.y) * (r.max_x - a.x) / (b.x - a.x);
+      p.x = r.max_x;
+    } else {
+      p.y = a.y + (b.y - a.y) * (r.min_x - a.x) / (b.x - a.x);
+      p.x = r.min_x;
+    }
+    if (out == code_a) {
+      a = p;
+      code_a = OutCode(a, r);
+    } else {
+      b = p;
+      code_b = OutCode(b, r);
+    }
+  }
+}
+
+}  // namespace cknn

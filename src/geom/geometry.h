@@ -1,0 +1,75 @@
+#ifndef CKNN_GEOM_GEOMETRY_H_
+#define CKNN_GEOM_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace cknn {
+
+/// \brief 2-D point with double coordinates.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance between two points.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Linear interpolation: a + t * (b - a).
+Point Lerp(const Point& a, const Point& b, double t);
+
+/// \brief Straight segment between two points; the geometry of one network
+/// edge as indexed by the PMR quadtree.
+struct Segment {
+  Point a;
+  Point b;
+
+  double Length() const { return Distance(a, b); }
+};
+
+/// Distance from `p` to the closest point of segment `s`.
+double PointSegmentDistance(const Point& p, const Segment& s);
+
+/// Parameter t in [0, 1] of the point of `s` closest to `p`
+/// (0 at s.a, 1 at s.b).
+double ClosestPointParam(const Point& p, const Segment& s);
+
+/// \brief Axis-aligned rectangle (used for quadtree quads).
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// Grows the rectangle to cover `p`.
+  void Expand(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+};
+
+/// Distance from a point to a rectangle (0 when inside).
+double PointRectDistance(const Point& p, const Rect& r);
+
+/// True iff segment `s` intersects (or touches) rectangle `r`.
+bool SegmentIntersectsRect(const Segment& s, const Rect& r);
+
+}  // namespace cknn
+
+#endif  // CKNN_GEOM_GEOMETRY_H_

@@ -1,0 +1,84 @@
+#include "src/graph/graph_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace cknn {
+
+Status SaveNetwork(const RoadNetwork& net, const std::string& prefix) {
+  {
+    std::ofstream out(prefix + ".cnode");
+    if (!out) return Status::IoError("cannot open " + prefix + ".cnode");
+    out << std::setprecision(17);
+    out << "# node_id x y\n";
+    for (NodeId n = 0; n < net.NumNodes(); ++n) {
+      const Point& p = net.NodePosition(n);
+      out << n << ' ' << p.x << ' ' << p.y << '\n';
+    }
+    if (!out) return Status::IoError("write failure on " + prefix + ".cnode");
+  }
+  {
+    std::ofstream out(prefix + ".cedge");
+    if (!out) return Status::IoError("cannot open " + prefix + ".cedge");
+    out << std::setprecision(17);
+    out << "# edge_id start_node end_node length\n";
+    for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+      const RoadNetwork::Edge& ed = net.edge(e);
+      out << e << ' ' << ed.u << ' ' << ed.v << ' ' << ed.length << '\n';
+    }
+    if (!out) return Status::IoError("write failure on " + prefix + ".cedge");
+  }
+  return Status::OK();
+}
+
+Result<RoadNetwork> LoadNetwork(const std::string& prefix) {
+  RoadNetwork net;
+  {
+    std::ifstream in(prefix + ".cnode");
+    if (!in) return Status::IoError("cannot open " + prefix + ".cnode");
+    std::string line;
+    NodeId expected = 0;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ss(line);
+      NodeId id = 0;
+      double x = 0.0;
+      double y = 0.0;
+      if (!(ss >> id >> x >> y)) {
+        return Status::IoError("malformed node line: " + line);
+      }
+      if (id != expected) {
+        return Status::InvalidArgument("node ids must be dense, zero-based");
+      }
+      ++expected;
+      net.AddNode(Point{x, y});
+    }
+  }
+  {
+    std::ifstream in(prefix + ".cedge");
+    if (!in) return Status::IoError("cannot open " + prefix + ".cedge");
+    std::string line;
+    EdgeId expected = 0;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ss(line);
+      EdgeId id = 0;
+      NodeId u = 0;
+      NodeId v = 0;
+      double length = 0.0;
+      if (!(ss >> id >> u >> v >> length)) {
+        return Status::IoError("malformed edge line: " + line);
+      }
+      if (id != expected) {
+        return Status::InvalidArgument("edge ids must be dense, zero-based");
+      }
+      ++expected;
+      auto added = net.AddEdge(u, v, length);
+      if (!added.ok()) return added.status();
+    }
+  }
+  return net;
+}
+
+}  // namespace cknn

@@ -1,0 +1,36 @@
+#ifndef CKNN_GRAPH_GRAPH_IO_H_
+#define CKNN_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/road_network.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+/// \name Road network (de)serialization
+///
+/// The on-disk format is the plain two-file CSV convention used by the
+/// public road-network datasets the paper evaluates on (node list + edge
+/// list):
+///
+///   <prefix>.cnode : node_id x y
+///   <prefix>.cedge : edge_id start_node end_node length
+///
+/// Fields are whitespace-separated; lines starting with '#' are ignored.
+/// Weights are initialized to lengths on load (the paper's initial setting).
+/// @{
+
+/// Writes `net` under `<prefix>.cnode` / `<prefix>.cedge`.
+Status SaveNetwork(const RoadNetwork& net, const std::string& prefix);
+
+/// Reads a network saved by SaveNetwork (or the public .cnode/.cedge
+/// datasets). Node and edge ids must be dense and zero-based.
+Result<RoadNetwork> LoadNetwork(const std::string& prefix);
+
+/// @}
+
+}  // namespace cknn
+
+#endif  // CKNN_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,44 @@
+#include "src/graph/network_point.h"
+
+#include <cmath>
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+double WeightOffsetFromU(const RoadNetwork& net, const NetworkPoint& p) {
+  return p.t * net.edge(p.edge).weight;
+}
+
+double WeightOffsetFromV(const RoadNetwork& net, const NetworkPoint& p) {
+  return (1.0 - p.t) * net.edge(p.edge).weight;
+}
+
+double LengthOffsetFromU(const RoadNetwork& net, const NetworkPoint& p) {
+  return p.t * net.edge(p.edge).length;
+}
+
+double AlongEdgeDistance(const RoadNetwork& net, const NetworkPoint& a,
+                         const NetworkPoint& b) {
+  CKNN_DCHECK(a.edge == b.edge);
+  return std::abs(a.t - b.t) * net.edge(a.edge).weight;
+}
+
+Point ToEuclidean(const RoadNetwork& net, const NetworkPoint& p) {
+  const RoadNetwork::Edge& e = net.edge(p.edge);
+  return Lerp(net.NodePosition(e.u), net.NodePosition(e.v), p.t);
+}
+
+NetworkPoint AtNode(const RoadNetwork& net, NodeId n) {
+  CKNN_CHECK(net.Degree(n) > 0);
+  const RoadNetwork::Incidence& inc = net.Incidences(n)[0];
+  const RoadNetwork::Edge& e = net.edge(inc.edge);
+  return NetworkPoint{inc.edge, e.u == n ? 0.0 : 1.0};
+}
+
+bool IsAtNode(const RoadNetwork& net, const NetworkPoint& p, NodeId n) {
+  const RoadNetwork::Edge& e = net.edge(p.edge);
+  return (p.t == 0.0 && e.u == n) || (p.t == 1.0 && e.v == n);
+}
+
+}  // namespace cknn

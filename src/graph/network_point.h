@@ -1,0 +1,50 @@
+#ifndef CKNN_GRAPH_NETWORK_POINT_H_
+#define CKNN_GRAPH_NETWORK_POINT_H_
+
+#include "src/geom/geometry.h"
+#include "src/graph/road_network.h"
+#include "src/graph/types.h"
+
+namespace cknn {
+
+/// \brief A position on the network: an edge plus the fraction t in [0, 1]
+/// of the way from `edge.u` to `edge.v`.
+///
+/// Storing the *fraction* (rather than an absolute offset) keeps positions
+/// invariant under edge-weight fluctuation: the entity stays at the same
+/// geometric spot while its travel-cost offsets scale with the weight.
+struct NetworkPoint {
+  EdgeId edge = kInvalidEdge;
+  double t = 0.0;
+
+  friend bool operator==(const NetworkPoint& a, const NetworkPoint& b) {
+    return a.edge == b.edge && a.t == b.t;
+  }
+};
+
+/// Weight-offset of `p` from edge endpoint u (cost to travel p -> u).
+double WeightOffsetFromU(const RoadNetwork& net, const NetworkPoint& p);
+
+/// Weight-offset of `p` from edge endpoint v (cost to travel p -> v).
+double WeightOffsetFromV(const RoadNetwork& net, const NetworkPoint& p);
+
+/// Length-offset of `p` from edge endpoint u (geometric distance).
+double LengthOffsetFromU(const RoadNetwork& net, const NetworkPoint& p);
+
+/// Travel cost between two points on the *same* edge, along that edge.
+double AlongEdgeDistance(const RoadNetwork& net, const NetworkPoint& a,
+                         const NetworkPoint& b);
+
+/// Euclidean coordinates of a network point.
+Point ToEuclidean(const RoadNetwork& net, const NetworkPoint& p);
+
+/// A network point anchored exactly at node `n`, expressed on one of its
+/// incident edges. Checked error if `n` is isolated.
+NetworkPoint AtNode(const RoadNetwork& net, NodeId n);
+
+/// True iff `p` coincides with node `n` (t == 0 at u or t == 1 at v).
+bool IsAtNode(const RoadNetwork& net, const NetworkPoint& p, NodeId n);
+
+}  // namespace cknn
+
+#endif  // CKNN_GRAPH_NETWORK_POINT_H_

@@ -1,0 +1,105 @@
+#include "src/graph/road_network.h"
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+NodeId RoadNetwork::AddNode(const Point& position) {
+  node_positions_.push_back(position);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(node_positions_.size() - 1);
+}
+
+Result<EdgeId> RoadNetwork::AddEdge(NodeId u, NodeId v,
+                                    double length_override) {
+  if (u >= NumNodes() || v >= NumNodes()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loop edges are not supported");
+  }
+  double length = length_override > 0.0
+                      ? length_override
+                      : Distance(node_positions_[u], node_positions_[v]);
+  if (length <= 0.0) {
+    return Status::InvalidArgument("edge length must be positive");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, length, length});
+  adjacency_[u].push_back(Incidence{id, v});
+  adjacency_[v].push_back(Incidence{id, u});
+  return id;
+}
+
+const Point& RoadNetwork::NodePosition(NodeId n) const {
+  CKNN_CHECK(n < NumNodes());
+  return node_positions_[n];
+}
+
+const RoadNetwork::Edge& RoadNetwork::edge(EdgeId e) const {
+  CKNN_CHECK(e < NumEdges());
+  return edges_[e];
+}
+
+std::size_t RoadNetwork::Degree(NodeId n) const {
+  CKNN_CHECK(n < NumNodes());
+  return adjacency_[n].size();
+}
+
+const std::vector<RoadNetwork::Incidence>& RoadNetwork::Incidences(
+    NodeId n) const {
+  CKNN_CHECK(n < NumNodes());
+  return adjacency_[n];
+}
+
+NodeId RoadNetwork::OtherEndpoint(EdgeId e, NodeId n) const {
+  const Edge& ed = edge(e);
+  CKNN_CHECK(ed.u == n || ed.v == n);
+  return ed.u == n ? ed.v : ed.u;
+}
+
+bool RoadNetwork::IsEndpoint(EdgeId e, NodeId n) const {
+  const Edge& ed = edge(e);
+  return ed.u == n || ed.v == n;
+}
+
+Status RoadNetwork::SetWeight(EdgeId e, double weight) {
+  if (e >= NumEdges()) return Status::NotFound("unknown edge");
+  if (weight < 0.0) {
+    return Status::InvalidArgument("edge weight must be non-negative");
+  }
+  edges_[e].weight = weight;
+  return Status::OK();
+}
+
+Segment RoadNetwork::EdgeSegment(EdgeId e) const {
+  const Edge& ed = edge(e);
+  return Segment{node_positions_[ed.u], node_positions_[ed.v]};
+}
+
+Rect RoadNetwork::BoundingBox() const {
+  if (node_positions_.empty()) return Rect{};
+  Rect box{node_positions_[0].x, node_positions_[0].y, node_positions_[0].x,
+           node_positions_[0].y};
+  for (const Point& p : node_positions_) box.Expand(p);
+  return box;
+}
+
+double RoadNetwork::AverageEdgeLength() const {
+  if (edges_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Edge& e : edges_) total += e.length;
+  return total / static_cast<double>(edges_.size());
+}
+
+std::size_t RoadNetwork::MemoryBytes() const {
+  std::size_t bytes = node_positions_.capacity() * sizeof(Point) +
+                      edges_.capacity() * sizeof(Edge) +
+                      adjacency_.capacity() * sizeof(std::vector<Incidence>);
+  for (const auto& adj : adjacency_) {
+    bytes += adj.capacity() * sizeof(Incidence);
+  }
+  return bytes;
+}
+
+}  // namespace cknn

@@ -1,0 +1,100 @@
+#ifndef CKNN_GRAPH_ROAD_NETWORK_H_
+#define CKNN_GRAPH_ROAD_NETWORK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geom/geometry.h"
+#include "src/graph/types.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+/// \brief In-memory road network: nodes with coordinates and bidirectional
+/// weighted edges (Section 3 of the paper).
+///
+/// Each edge carries two scalars:
+///  * `length` — immutable Euclidean geometry, used for movement and as the
+///    initial weight (the paper initializes weights to edge lengths);
+///  * `weight` — the dynamic travel cost that fluctuates with traffic and
+///    defines the network distance metric.
+///
+/// The *edge table* information of the paper (per-edge object lists and
+/// influence lists) lives next to the algorithms (`ObjectTable`, the IMA
+/// engine) so that the graph itself stays a reusable substrate.
+class RoadNetwork {
+ public:
+  struct Edge {
+    NodeId u = kInvalidNode;  ///< e.start
+    NodeId v = kInvalidNode;  ///< e.end
+    double length = 0.0;      ///< static geometric length
+    double weight = 0.0;      ///< dynamic travel cost (>= 0)
+  };
+
+  /// One entry of a node's adjacency list.
+  struct Incidence {
+    EdgeId edge = kInvalidEdge;
+    NodeId neighbor = kInvalidNode;
+  };
+
+  RoadNetwork() = default;
+
+  RoadNetwork(const RoadNetwork&) = delete;
+  RoadNetwork& operator=(const RoadNetwork&) = delete;
+  RoadNetwork(RoadNetwork&&) = default;
+  RoadNetwork& operator=(RoadNetwork&&) = default;
+
+  /// Adds a node at the given coordinates; returns its id.
+  NodeId AddNode(const Point& position);
+
+  /// Adds a bidirectional edge. The weight is initialized to the Euclidean
+  /// length of the edge unless `length_override` is positive, in which case
+  /// both length and weight start at that value. Self-loops and duplicate
+  /// endpoints are rejected.
+  Result<EdgeId> AddEdge(NodeId u, NodeId v, double length_override = -1.0);
+
+  std::size_t NumNodes() const { return node_positions_.size(); }
+  std::size_t NumEdges() const { return edges_.size(); }
+
+  const Point& NodePosition(NodeId n) const;
+  const Edge& edge(EdgeId e) const;
+
+  /// Degree of node `n` (number of incident edges).
+  std::size_t Degree(NodeId n) const;
+
+  /// Adjacency list of node `n`.
+  const std::vector<Incidence>& Incidences(NodeId n) const;
+
+  /// The endpoint of `e` that is not `n`. Checked error if `n` is not an
+  /// endpoint of `e`.
+  NodeId OtherEndpoint(EdgeId e, NodeId n) const;
+
+  /// True iff `n` is an endpoint of `e`.
+  bool IsEndpoint(EdgeId e, NodeId n) const;
+
+  /// Updates the dynamic weight of an edge. Returns InvalidArgument for
+  /// negative weights, NotFound for an unknown edge.
+  Status SetWeight(EdgeId e, double weight);
+
+  /// Geometry of an edge as a segment from u to v.
+  Segment EdgeSegment(EdgeId e) const;
+
+  /// Bounding rectangle of all node positions (workspace extent).
+  Rect BoundingBox() const;
+
+  /// Average edge *length* — the unit for the paper's object/query speeds.
+  double AverageEdgeLength() const;
+
+  /// Estimated heap footprint in bytes (adjacency + edge + node arrays).
+  std::size_t MemoryBytes() const;
+
+ private:
+  std::vector<Point> node_positions_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Incidence>> adjacency_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_GRAPH_ROAD_NETWORK_H_

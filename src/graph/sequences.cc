@@ -1,0 +1,103 @@
+#include "src/graph/sequences.h"
+
+#include "src/util/macros.h"
+#include "src/util/mem.h"
+
+namespace cknn {
+
+namespace {
+
+/// Walks a chain starting at `start` through `first_edge` until a node with
+/// degree != 2 (or the start of a cycle) is reached. Appends to `seq` and
+/// marks edges in `assigned`.
+void WalkChain(const RoadNetwork& net, NodeId start, EdgeId first_edge,
+               std::vector<bool>* assigned, SequenceTable::Sequence* seq) {
+  seq->nodes.push_back(start);
+  NodeId current = start;
+  EdgeId edge = first_edge;
+  while (true) {
+    (*assigned)[edge] = true;
+    seq->edges.push_back(edge);
+    const NodeId next = net.OtherEndpoint(edge, current);
+    seq->nodes.push_back(next);
+    if (net.Degree(next) != 2) return;        // Intersection or terminal.
+    if (next == seq->nodes.front()) return;   // Closed a cycle.
+    // Continue through the other incident edge of the degree-2 node.
+    const auto& inc = net.Incidences(next);
+    CKNN_DCHECK(inc.size() == 2);
+    const EdgeId other = inc[0].edge == edge ? inc[1].edge : inc[0].edge;
+    if ((*assigned)[other]) return;  // Parallel-edge 2-cycle already closed.
+    current = next;
+    edge = other;
+  }
+}
+
+}  // namespace
+
+SequenceTable SequenceTable::Build(const RoadNetwork& net) {
+  SequenceTable table;
+  table.edge_refs_.resize(net.NumEdges());
+  std::vector<bool> assigned(net.NumEdges(), false);
+
+  auto finalize = [&](Sequence&& seq) {
+    const SequenceId id = static_cast<SequenceId>(table.sequences_.size());
+    for (std::uint32_t i = 0; i < seq.edges.size(); ++i) {
+      const EdgeId e = seq.edges[i];
+      table.edge_refs_[e] =
+          EdgeRef{id, i, net.edge(e).u == seq.nodes[i]};
+    }
+    seq.is_cycle = seq.nodes.front() == seq.nodes.back();
+    table.sequences_.push_back(std::move(seq));
+  };
+
+  // Pass 1: start a walk from every non-degree-2 node, down every incident
+  // edge that has not been claimed by a walk from the other side.
+  for (NodeId n = 0; n < net.NumNodes(); ++n) {
+    if (net.Degree(n) == 2) continue;
+    for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
+      if (assigned[inc.edge]) continue;
+      Sequence seq;
+      WalkChain(net, n, inc.edge, &assigned, &seq);
+      finalize(std::move(seq));
+    }
+  }
+  // Pass 2: remaining edges belong to pure degree-2 cycles.
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    if (assigned[e]) continue;
+    Sequence seq;
+    WalkChain(net, net.edge(e).u, e, &assigned, &seq);
+    finalize(std::move(seq));
+  }
+  return table;
+}
+
+const SequenceTable::Sequence& SequenceTable::sequence(SequenceId s) const {
+  CKNN_CHECK(s < sequences_.size());
+  return sequences_[s];
+}
+
+SequenceId SequenceTable::SequenceOf(EdgeId e) const {
+  CKNN_CHECK(e < edge_refs_.size());
+  return edge_refs_[e].seq;
+}
+
+std::uint32_t SequenceTable::PositionOf(EdgeId e) const {
+  CKNN_CHECK(e < edge_refs_.size());
+  return edge_refs_[e].pos;
+}
+
+bool SequenceTable::ForwardOriented(EdgeId e) const {
+  CKNN_CHECK(e < edge_refs_.size());
+  return edge_refs_[e].forward;
+}
+
+std::size_t SequenceTable::MemoryBytes() const {
+  std::size_t bytes = sequences_.capacity() * sizeof(Sequence) +
+                      edge_refs_.capacity() * sizeof(EdgeRef);
+  for (const Sequence& s : sequences_) {
+    bytes += VectorBytes(s.edges) + VectorBytes(s.nodes);
+  }
+  return bytes;
+}
+
+}  // namespace cknn

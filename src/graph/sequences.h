@@ -1,0 +1,72 @@
+#ifndef CKNN_GRAPH_SEQUENCES_H_
+#define CKNN_GRAPH_SEQUENCES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/graph/types.h"
+
+namespace cknn {
+
+/// \brief Sequence decomposition of a road network — the paper's *ST*
+/// (Section 5).
+///
+/// A sequence is a path between two nodes whose degree differs from 2 such
+/// that every intermediate node has degree exactly 2. Endpoints are either
+/// intersections (degree > 2) or terminals (degree 1). Every edge belongs to
+/// exactly one sequence; the decomposition partitions the edge set.
+///
+/// Degenerate component: a cycle in which *every* node has degree 2 has no
+/// qualifying endpoint. We represent it as a cyclic sequence anchored at an
+/// arbitrary node (`is_cycle` set, `nodes.front() == nodes.back()`); GMA
+/// treats such queries specially (no active nodes, candidates are the cycle
+/// objects only).
+class SequenceTable {
+ public:
+  struct Sequence {
+    /// Edges in path order.
+    std::vector<EdgeId> edges;
+    /// Nodes in path order; size == edges.size() + 1. nodes[i] and
+    /// nodes[i+1] are the endpoints of edges[i]. For cycles,
+    /// nodes.front() == nodes.back().
+    std::vector<NodeId> nodes;
+    bool is_cycle = false;
+
+    NodeId EndpointA() const { return nodes.front(); }
+    NodeId EndpointB() const { return nodes.back(); }
+  };
+
+  /// Builds the decomposition of `net`. O(V + E).
+  static SequenceTable Build(const RoadNetwork& net);
+
+  std::size_t NumSequences() const { return sequences_.size(); }
+  const Sequence& sequence(SequenceId s) const;
+
+  /// Sequence that contains edge `e`.
+  SequenceId SequenceOf(EdgeId e) const;
+
+  /// Index of `e` within its sequence's edge list.
+  std::uint32_t PositionOf(EdgeId e) const;
+
+  /// True iff nodes[pos] == edge.u for edge `e` at its position, i.e. the
+  /// edge is traversed u->v when walking the sequence from A to B.
+  bool ForwardOriented(EdgeId e) const;
+
+  /// Estimated heap footprint in bytes.
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct EdgeRef {
+    SequenceId seq = kInvalidSequence;
+    std::uint32_t pos = 0;
+    bool forward = true;
+  };
+
+  std::vector<Sequence> sequences_;
+  std::vector<EdgeRef> edge_refs_;  // Indexed by EdgeId.
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_GRAPH_SEQUENCES_H_

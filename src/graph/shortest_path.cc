@@ -1,0 +1,125 @@
+#include "src/graph/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/indexed_min_heap.h"
+#include "src/util/macros.h"
+
+namespace cknn {
+
+std::unordered_map<NodeId, double> DijkstraDistances(const RoadNetwork& net,
+                                                     NodeId source,
+                                                     double max_dist) {
+  std::unordered_map<NodeId, double> dist;
+  IndexedMinHeap heap;
+  heap.Push(source, 0.0);
+  while (!heap.empty()) {
+    const auto [id, d] = heap.Pop();
+    if (d > max_dist) break;
+    const NodeId n = static_cast<NodeId>(id);
+    dist.emplace(n, d);
+    for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
+      if (dist.count(inc.neighbor) != 0) continue;
+      heap.PushOrDecrease(inc.neighbor, d + net.edge(inc.edge).weight);
+    }
+  }
+  return dist;
+}
+
+PathResult ShortestPath(const RoadNetwork& net, NodeId source, NodeId target,
+                        bool use_astar) {
+  PathResult result;
+  if (source == target) {
+    result.reachable = true;
+    result.nodes.push_back(source);
+    return result;
+  }
+  // A* heuristic: Euclidean distance scaled by (min weight/length ratio)
+  // would be needed for admissibility under fluctuating weights; we only
+  // enable the plain Euclidean bound when requested by callers that keep
+  // weight == length (the movement generator).
+  const Point goal = net.NodePosition(target);
+  auto heuristic = [&](NodeId n) {
+    return use_astar ? Distance(net.NodePosition(n), goal) : 0.0;
+  };
+
+  struct Label {
+    double g;
+    NodeId parent;
+    EdgeId via;
+  };
+  std::unordered_map<NodeId, Label> labels;
+  std::unordered_map<NodeId, bool> settled;
+  IndexedMinHeap heap;
+  labels[source] = Label{0.0, kInvalidNode, kInvalidEdge};
+  heap.Push(source, heuristic(source));
+  while (!heap.empty()) {
+    const auto [id, f] = heap.Pop();
+    (void)f;
+    const NodeId n = static_cast<NodeId>(id);
+    settled[n] = true;
+    if (n == target) break;
+    const double g = labels[n].g;
+    for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
+      if (settled.count(inc.neighbor) != 0) continue;
+      const double cand = g + net.edge(inc.edge).weight;
+      auto it = labels.find(inc.neighbor);
+      if (it == labels.end() || cand < it->second.g) {
+        labels[inc.neighbor] = Label{cand, n, inc.edge};
+        heap.PushOrDecrease(inc.neighbor, cand + heuristic(inc.neighbor));
+      }
+    }
+  }
+  auto it = labels.find(target);
+  if (it == labels.end() || settled.count(target) == 0) return result;
+  result.reachable = true;
+  result.distance = it->second.g;
+  NodeId n = target;
+  while (n != kInvalidNode) {
+    result.nodes.push_back(n);
+    const Label& label = labels[n];
+    if (label.via != kInvalidEdge) result.edges.push_back(label.via);
+    n = label.parent;
+  }
+  std::reverse(result.nodes.begin(), result.nodes.end());
+  std::reverse(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+double PointToPointDistance(const RoadNetwork& net, const NetworkPoint& a,
+                            const NetworkPoint& b) {
+  const RoadNetwork::Edge& ea = net.edge(a.edge);
+  const RoadNetwork::Edge& eb = net.edge(b.edge);
+  double best = kInfDist;
+  if (a.edge == b.edge) best = AlongEdgeDistance(net, a, b);
+
+  // Around paths: a -> endpoint of ea -> ... -> endpoint of eb -> b.
+  // One Dijkstra with two virtual sources (the endpoints of a's edge seeded
+  // with a's offsets) is enough.
+  IndexedMinHeap heap;
+  std::unordered_map<NodeId, double> dist;
+  heap.PushOrDecrease(ea.u, WeightOffsetFromU(net, a));
+  heap.PushOrDecrease(ea.v, WeightOffsetFromV(net, a));
+  while (!heap.empty()) {
+    const auto [id, d] = heap.Pop();
+    const NodeId n = static_cast<NodeId>(id);
+    dist.emplace(n, d);
+    if (dist.count(eb.u) != 0 && dist.count(eb.v) != 0) break;
+    for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
+      if (dist.count(inc.neighbor) != 0) continue;
+      heap.PushOrDecrease(inc.neighbor, d + net.edge(inc.edge).weight);
+    }
+  }
+  auto iu = dist.find(eb.u);
+  auto iv = dist.find(eb.v);
+  if (iu != dist.end()) {
+    best = std::min(best, iu->second + WeightOffsetFromU(net, b));
+  }
+  if (iv != dist.end()) {
+    best = std::min(best, iv->second + WeightOffsetFromV(net, b));
+  }
+  return best;
+}
+
+}  // namespace cknn

@@ -1,0 +1,46 @@
+#ifndef CKNN_GRAPH_SHORTEST_PATH_H_
+#define CKNN_GRAPH_SHORTEST_PATH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/network_point.h"
+#include "src/graph/road_network.h"
+#include "src/graph/types.h"
+
+namespace cknn {
+
+/// \brief Plain single-source shortest-path utilities over the dynamic edge
+/// weights. These are substrates: the Brinkhoff-style generator routes
+/// objects with them, and the tests use them as an oracle for the
+/// incremental algorithms.
+
+/// Result of a node-to-node shortest-path query.
+struct PathResult {
+  bool reachable = false;
+  double distance = 0.0;
+  /// Node sequence from source to target, inclusive; empty if unreachable.
+  std::vector<NodeId> nodes;
+  /// Edge sequence (nodes.size() - 1 edges); empty if unreachable.
+  std::vector<EdgeId> edges;
+};
+
+/// Dijkstra distances from `source` to every reachable node, by weight.
+/// `max_dist` (if finite) bounds the expansion.
+std::unordered_map<NodeId, double> DijkstraDistances(
+    const RoadNetwork& net, NodeId source, double max_dist = kInfDist);
+
+/// Shortest path between two nodes using the dynamic weights. Uses A* with
+/// the Euclidean lower bound when `use_astar` is set and weights dominate
+/// geometry (the generator's case where weight == length).
+PathResult ShortestPath(const RoadNetwork& net, NodeId source, NodeId target,
+                        bool use_astar = false);
+
+/// Network distance between two arbitrary points on the network, by the
+/// dynamic weights (oracle for tests; O(E log V)).
+double PointToPointDistance(const RoadNetwork& net, const NetworkPoint& a,
+                            const NetworkPoint& b);
+
+}  // namespace cknn
+
+#endif  // CKNN_GRAPH_SHORTEST_PATH_H_

@@ -1,0 +1,37 @@
+#ifndef CKNN_GRAPH_TYPES_H_
+#define CKNN_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace cknn {
+
+/// Identifier of a network node (intersection or degree-2 shape point).
+using NodeId = std::uint32_t;
+
+/// Identifier of a network edge (road segment).
+using EdgeId = std::uint32_t;
+
+/// Identifier of a sequence (chain of edges between intersections).
+using SequenceId = std::uint32_t;
+
+/// Identifier of a data object (e.g., a pedestrian requesting a taxi).
+using ObjectId = std::uint32_t;
+
+/// Identifier of a continuous k-NN query (e.g., a vacant cab).
+using QueryId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr SequenceId kInvalidSequence =
+    std::numeric_limits<SequenceId>::max();
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+inline constexpr QueryId kInvalidQuery = std::numeric_limits<QueryId>::max();
+
+/// Positive infinity, used as the "fewer than k neighbors known" distance.
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+}  // namespace cknn
+
+#endif  // CKNN_GRAPH_TYPES_H_

@@ -1,0 +1,63 @@
+#include "src/sim/experiment.h"
+
+#include <iomanip>
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+RunMetrics RunExperiment(Algorithm algorithm, const ExperimentSpec& spec) {
+  RoadNetwork net = GenerateRoadNetwork(spec.network);
+  MonitoringServer server(std::move(net), algorithm);
+  Workload workload(&server.network(), &server.spatial_index(),
+                    spec.workload);
+  SimulationOptions options;
+  options.timestamps = spec.timestamps;
+  options.measure_memory = spec.measure_memory;
+  return RunSimulation(&server, &workload, options);
+}
+
+RunMetrics RunBrinkhoffExperiment(Algorithm algorithm,
+                                  const RoadNetwork& base_network,
+                                  const BrinkhoffWorkload::Config& config,
+                                  int timestamps) {
+  MonitoringServer server(CloneNetwork(base_network), algorithm);
+  BrinkhoffWorkload workload(&server.network(), config);
+  SimulationOptions options;
+  options.timestamps = timestamps;
+  return RunSimulation(&server, &workload, options);
+}
+
+SeriesTable::SeriesTable(std::string title, std::string x_label,
+                         std::vector<std::string> series_names,
+                         std::string unit)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      series_names_(std::move(series_names)),
+      unit_(std::move(unit)) {}
+
+void SeriesTable::AddRow(const std::string& x,
+                         const std::vector<double>& values) {
+  CKNN_CHECK(values.size() == series_names_.size());
+  rows_.push_back(Row{x, values});
+}
+
+void SeriesTable::Print(std::ostream& os) const {
+  os << "\n== " << title_ << " (" << unit_ << ") ==\n";
+  os << std::left << std::setw(18) << x_label_;
+  for (const std::string& name : series_names_) {
+    os << std::right << std::setw(14) << name;
+  }
+  os << '\n';
+  for (const Row& row : rows_) {
+    os << std::left << std::setw(18) << row.x;
+    for (double v : row.values) {
+      os << std::right << std::setw(14) << std::fixed
+         << std::setprecision(6) << v;
+    }
+    os << '\n';
+  }
+  os.flush();
+}
+
+}  // namespace cknn

@@ -1,0 +1,61 @@
+#ifndef CKNN_SIM_EXPERIMENT_H_
+#define CKNN_SIM_EXPERIMENT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/gen/network_gen.h"
+#include "src/gen/workload.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulation.h"
+
+namespace cknn {
+
+/// \brief One experiment configuration: a network, a Table-2 workload, and
+/// a horizon. Networks and workloads are regenerated deterministically from
+/// their seeds, so every algorithm sees byte-identical inputs.
+struct ExperimentSpec {
+  NetworkGenConfig network;
+  WorkloadConfig workload;
+  int timestamps = 100;
+  bool measure_memory = false;
+};
+
+/// Runs one algorithm on one spec and returns its run metrics.
+RunMetrics RunExperiment(Algorithm algorithm, const ExperimentSpec& spec);
+
+/// Runs one algorithm on a pre-built network with a Brinkhoff workload
+/// (Figure 19). The network is cloned internally.
+RunMetrics RunBrinkhoffExperiment(Algorithm algorithm,
+                                  const RoadNetwork& base_network,
+                                  const BrinkhoffWorkload::Config& config,
+                                  int timestamps);
+
+/// \brief Paper-style series table: one row per x-value, one column per
+/// series (typically OVH / IMA / GMA), printed as an aligned text table.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label,
+              std::vector<std::string> series_names, std::string unit);
+
+  void AddRow(const std::string& x, const std::vector<double>& values);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_names_;
+  std::string unit_;
+  struct Row {
+    std::string x;
+    std::vector<double> values;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_SIM_EXPERIMENT_H_

@@ -1,0 +1,33 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+
+namespace cknn {
+
+double RunMetrics::TotalSeconds() const {
+  double total = 0.0;
+  for (const TimestepMetrics& m : steps) total += m.seconds;
+  return total;
+}
+
+double RunMetrics::AvgSeconds() const {
+  return steps.empty() ? 0.0
+                       : TotalSeconds() / static_cast<double>(steps.size());
+}
+
+double RunMetrics::MaxSeconds() const {
+  double best = 0.0;
+  for (const TimestepMetrics& m : steps) best = std::max(best, m.seconds);
+  return best;
+}
+
+double RunMetrics::AvgMemoryKb() const {
+  if (steps.empty()) return 0.0;
+  double total = 0.0;
+  for (const TimestepMetrics& m : steps) {
+    total += static_cast<double>(m.memory_bytes);
+  }
+  return total / static_cast<double>(steps.size()) / 1024.0;
+}
+
+}  // namespace cknn

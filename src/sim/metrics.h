@@ -1,0 +1,29 @@
+#ifndef CKNN_SIM_METRICS_H_
+#define CKNN_SIM_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cknn {
+
+/// Measurements of one simulated timestamp.
+struct TimestepMetrics {
+  double seconds = 0.0;            ///< CPU time spent in Tick().
+  std::size_t memory_bytes = 0;    ///< Monitoring-structure bytes after it.
+};
+
+/// Measurements of a whole monitoring run (the per-figure data points).
+struct RunMetrics {
+  std::vector<TimestepMetrics> steps;
+
+  double TotalSeconds() const;
+  /// Mean per-timestamp CPU time — the y-axis of Figures 13-17 and 19.
+  double AvgSeconds() const;
+  double MaxSeconds() const;
+  /// Mean monitoring memory in KBytes — the y-axis of Figure 18.
+  double AvgMemoryKb() const;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_SIM_METRICS_H_

@@ -1,0 +1,33 @@
+#include "src/sim/simulation.h"
+
+#include "src/util/macros.h"
+#include "src/util/stopwatch.h"
+
+namespace cknn {
+
+RunMetrics RunSimulation(MonitoringServer* server, WorkloadSource* workload,
+                         const SimulationOptions& options) {
+  CKNN_CHECK(server != nullptr);
+  CKNN_CHECK(workload != nullptr);
+  {
+    const Status st = server->Tick(workload->Initial());
+    CKNN_CHECK(st.ok());
+  }
+  RunMetrics metrics;
+  metrics.steps.reserve(static_cast<std::size_t>(options.timestamps));
+  for (int ts = 0; ts < options.timestamps; ++ts) {
+    const UpdateBatch batch = workload->Step();  // Generation is untimed.
+    Stopwatch watch;
+    const Status st = server->Tick(batch);
+    TimestepMetrics step;
+    step.seconds = watch.ElapsedSeconds();
+    CKNN_CHECK(st.ok());
+    if (options.measure_memory) {
+      step.memory_bytes = server->MonitorMemoryBytes();
+    }
+    metrics.steps.push_back(step);
+  }
+  return metrics;
+}
+
+}  // namespace cknn

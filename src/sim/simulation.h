@@ -1,0 +1,26 @@
+#ifndef CKNN_SIM_SIMULATION_H_
+#define CKNN_SIM_SIMULATION_H_
+
+#include "src/core/server.h"
+#include "src/gen/workload.h"
+#include "src/sim/metrics.h"
+
+namespace cknn {
+
+struct SimulationOptions {
+  /// Monitoring horizon; the paper runs queries for 100 timestamps.
+  int timestamps = 100;
+  /// Collect Monitor::MemoryBytes() after each timestamp (Figure 18).
+  bool measure_memory = false;
+};
+
+/// \brief Drives one monitoring run: installs the workload's initial
+/// objects/queries (untimed setup), then feeds `timestamps` update batches
+/// to the server, timing each `Tick` — the per-timestamp CPU cost the
+/// paper reports.
+RunMetrics RunSimulation(MonitoringServer* server, WorkloadSource* workload,
+                         const SimulationOptions& options);
+
+}  // namespace cknn
+
+#endif  // CKNN_SIM_SIMULATION_H_

@@ -1,0 +1,222 @@
+#include "src/spatial/pmr_quadtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+PmrQuadtree::PmrQuadtree(const Rect& bounds, int split_threshold,
+                         int max_depth)
+    : bounds_(bounds),
+      split_threshold_(split_threshold),
+      max_depth_(max_depth) {
+  CKNN_CHECK(split_threshold_ >= 1);
+  CKNN_CHECK(max_depth_ >= 1);
+  nodes_.push_back(Node{{kNoChild, kNoChild, kNoChild, kNoChild}, {}});
+}
+
+Rect PmrQuadtree::ChildRect(const Rect& r, int quadrant) {
+  const double mx = 0.5 * (r.min_x + r.max_x);
+  const double my = 0.5 * (r.min_y + r.max_y);
+  switch (quadrant) {
+    case 0:
+      return Rect{r.min_x, r.min_y, mx, my};  // SW
+    case 1:
+      return Rect{mx, r.min_y, r.max_x, my};  // SE
+    case 2:
+      return Rect{r.min_x, my, mx, r.max_y};  // NW
+    default:
+      return Rect{mx, my, r.max_x, r.max_y};  // NE
+  }
+}
+
+Status PmrQuadtree::Insert(std::uint32_t id, const Segment& seg) {
+  if (!bounds_.Contains(seg.a) || !bounds_.Contains(seg.b)) {
+    return Status::InvalidArgument("segment outside quadtree bounds");
+  }
+  segments_.push_back(StoredSegment{id, seg});
+  InsertInto(0, bounds_, 0,
+             static_cast<std::uint32_t>(segments_.size() - 1),
+             /*allow_split=*/true);
+  return Status::OK();
+}
+
+void PmrQuadtree::InsertInto(std::uint32_t node_index, const Rect& quad,
+                             int depth, std::uint32_t seg_index,
+                             bool allow_split) {
+  const Segment& seg = segments_[seg_index].seg;
+  if (!SegmentIntersectsRect(seg, quad)) return;
+  Node& node = nodes_[node_index];
+  if (!IsLeaf(node)) {
+    // Copy child ids: recursion may reallocate nodes_.
+    std::uint32_t children[4];
+    std::copy(std::begin(node.children), std::end(node.children), children);
+    for (int c = 0; c < 4; ++c) {
+      InsertInto(children[c], ChildRect(quad, c), depth + 1, seg_index,
+                 allow_split);
+    }
+    return;
+  }
+  node.items.push_back(seg_index);
+  // PMR rule: split at most once per insertion when over threshold.
+  if (allow_split &&
+      node.items.size() > static_cast<std::size_t>(split_threshold_) &&
+      depth < max_depth_) {
+    Split(node_index, quad, depth);
+  }
+}
+
+void PmrQuadtree::Split(std::uint32_t node_index, const Rect& quad,
+                        int depth) {
+  std::vector<std::uint32_t> items = std::move(nodes_[node_index].items);
+  nodes_[node_index].items.clear();
+  std::uint32_t children[4];
+  for (int c = 0; c < 4; ++c) {
+    children[c] = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{{kNoChild, kNoChild, kNoChild, kNoChild}, {}});
+  }
+  std::copy(std::begin(children), std::end(children),
+            std::begin(nodes_[node_index].children));
+  for (std::uint32_t seg_index : items) {
+    for (int c = 0; c < 4; ++c) {
+      // PMR: children do not split further during a split.
+      InsertInto(children[c], ChildRect(quad, c), depth + 1, seg_index,
+                 /*allow_split=*/false);
+    }
+  }
+}
+
+std::vector<std::uint32_t> PmrQuadtree::Stabbing(const Point& p) const {
+  std::vector<std::uint32_t> out;
+  if (!bounds_.Contains(p)) return out;
+  std::uint32_t index = 0;
+  Rect quad = bounds_;
+  while (!IsLeaf(nodes_[index])) {
+    const double mx = 0.5 * (quad.min_x + quad.max_x);
+    const double my = 0.5 * (quad.min_y + quad.max_y);
+    int c = 0;
+    if (p.x > mx) c |= 1;
+    if (p.y > my) c |= 2;
+    index = nodes_[index].children[c];
+    quad = ChildRect(quad, c);
+  }
+  out.reserve(nodes_[index].items.size());
+  for (std::uint32_t seg_index : nodes_[index].items) {
+    out.push_back(segments_[seg_index].id);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> PmrQuadtree::RangeQuery(const Rect& r) const {
+  std::vector<std::uint32_t> out;
+  std::unordered_set<std::uint32_t> seen;
+  struct Frame {
+    std::uint32_t node;
+    Rect quad;
+  };
+  std::vector<Frame> stack{{0, bounds_}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.quad.min_x > r.max_x || f.quad.max_x < r.min_x ||
+        f.quad.min_y > r.max_y || f.quad.max_y < r.min_y) {
+      continue;
+    }
+    const Node& node = nodes_[f.node];
+    if (IsLeaf(node)) {
+      for (std::uint32_t seg_index : node.items) {
+        if (!SegmentIntersectsRect(segments_[seg_index].seg, r)) continue;
+        if (seen.insert(seg_index).second) {
+          out.push_back(segments_[seg_index].id);
+        }
+      }
+      continue;
+    }
+    for (int c = 0; c < 4; ++c) {
+      stack.push_back(Frame{node.children[c], ChildRect(f.quad, c)});
+    }
+  }
+  return out;
+}
+
+Result<PmrQuadtree::NearestHit> PmrQuadtree::Nearest(const Point& p) const {
+  if (segments_.empty()) return Status::NotFound("empty spatial index");
+  // Best-first search: quads ordered by min distance to p; leaf items refine
+  // the best hit; quads farther than the best hit are pruned.
+  struct QueueEntry {
+    double dist;
+    std::uint32_t node;
+    Rect quad;
+    bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      pq;
+  pq.push(QueueEntry{PointRectDistance(p, bounds_), 0, bounds_});
+  NearestHit best;
+  best.distance = std::numeric_limits<double>::infinity();
+  while (!pq.empty()) {
+    QueueEntry entry = pq.top();
+    pq.pop();
+    if (entry.dist >= best.distance) break;
+    const Node& node = nodes_[entry.node];
+    if (IsLeaf(node)) {
+      for (std::uint32_t seg_index : node.items) {
+        const StoredSegment& stored = segments_[seg_index];
+        const double d = PointSegmentDistance(p, stored.seg);
+        if (d < best.distance) {
+          best.distance = d;
+          best.id = stored.id;
+          best.t = ClosestPointParam(p, stored.seg);
+        }
+      }
+      continue;
+    }
+    for (int c = 0; c < 4; ++c) {
+      const Rect child_rect = ChildRect(entry.quad, c);
+      const double d = PointRectDistance(p, child_rect);
+      if (d < best.distance) {
+        pq.push(QueueEntry{d, node.children[c], child_rect});
+      }
+    }
+  }
+  CKNN_CHECK(best.distance < std::numeric_limits<double>::infinity());
+  return best;
+}
+
+std::size_t PmrQuadtree::NodeCount() const { return nodes_.size(); }
+
+int PmrQuadtree::MaxDepth() const {
+  struct Frame {
+    std::uint32_t node;
+    int depth;
+  };
+  int max_depth = 0;
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, f.depth);
+    const Node& node = nodes_[f.node];
+    if (IsLeaf(node)) continue;
+    for (int c = 0; c < 4; ++c) {
+      stack.push_back(Frame{node.children[c], f.depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+std::size_t PmrQuadtree::MemoryBytes() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(Node) +
+                      segments_.capacity() * sizeof(StoredSegment);
+  for (const Node& n : nodes_) {
+    bytes += n.items.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace cknn

@@ -1,0 +1,107 @@
+#ifndef CKNN_SPATIAL_PMR_QUADTREE_H_
+#define CKNN_SPATIAL_PMR_QUADTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/geom/geometry.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+/// \brief PMR quadtree over line segments — the paper's spatial index *SI*
+/// (Section 3, after Hoel & Samet).
+///
+/// Each leaf quad stores the ids of the segments (network edges) that
+/// intersect it. Insertion follows the PMR splitting rule: when inserting a
+/// segment into a leaf whose population exceeds the splitting threshold, the
+/// leaf is split exactly once (not recursively), which bounds the expected
+/// depth on real line data.
+///
+/// The index answers:
+///  * Nearest(p)     — the segment closest to an arbitrary point (used to
+///                     snap object/query coordinate updates onto the network),
+///  * Stabbing(p)    — candidate segment ids of the leaf covering p,
+///  * RangeQuery(r)  — segment ids intersecting a rectangle.
+class PmrQuadtree {
+ public:
+  /// Result of a nearest-segment query.
+  struct NearestHit {
+    std::uint32_t id = 0;  ///< Segment (edge) id as supplied at Insert.
+    double distance = 0.0; ///< Euclidean distance from the query point.
+    double t = 0.0;        ///< Parameter of the closest point on the segment.
+  };
+
+  /// \param bounds workspace rectangle; all segments must fit inside.
+  /// \param split_threshold leaf population that triggers one PMR split.
+  /// \param max_depth depth cap guarding against degenerate inputs.
+  explicit PmrQuadtree(const Rect& bounds, int split_threshold = 8,
+                       int max_depth = 16);
+
+  PmrQuadtree(const PmrQuadtree&) = delete;
+  PmrQuadtree& operator=(const PmrQuadtree&) = delete;
+  PmrQuadtree(PmrQuadtree&&) = default;
+  PmrQuadtree& operator=(PmrQuadtree&&) = default;
+
+  /// Inserts a segment with the caller's id. Ids need not be unique, but the
+  /// network build uses the edge id. Returns InvalidArgument if the segment
+  /// lies outside the workspace bounds.
+  Status Insert(std::uint32_t id, const Segment& seg);
+
+  /// Segment ids stored in the leaf quad covering `p` (superset of the
+  /// segments passing near p). Empty if p is outside the bounds.
+  std::vector<std::uint32_t> Stabbing(const Point& p) const;
+
+  /// All segment ids whose leaf quads intersect `r`, deduplicated.
+  std::vector<std::uint32_t> RangeQuery(const Rect& r) const;
+
+  /// Closest segment to `p` (best-first search over quads).
+  /// Returns NotFound on an empty index.
+  Result<NearestHit> Nearest(const Point& p) const;
+
+  /// Number of segments inserted.
+  std::size_t size() const { return segments_.size(); }
+
+  /// Number of tree nodes (diagnostics / tests).
+  std::size_t NodeCount() const;
+
+  /// Maximum leaf depth reached (diagnostics / tests).
+  int MaxDepth() const;
+
+  /// Estimated heap footprint in bytes.
+  std::size_t MemoryBytes() const;
+
+  const Rect& bounds() const { return bounds_; }
+
+ private:
+  struct Node {
+    // Leaf iff children[0] == kNoChild.
+    std::uint32_t children[4];
+    std::vector<std::uint32_t> items;  // Indices into segments_.
+  };
+
+  static constexpr std::uint32_t kNoChild = 0xFFFFFFFFu;
+
+  struct StoredSegment {
+    std::uint32_t id;
+    Segment seg;
+  };
+
+  bool IsLeaf(const Node& n) const { return n.children[0] == kNoChild; }
+  static Rect ChildRect(const Rect& r, int quadrant);
+  void InsertInto(std::uint32_t node_index, const Rect& quad, int depth,
+                  std::uint32_t seg_index, bool allow_split);
+  void Split(std::uint32_t node_index, const Rect& quad, int depth);
+
+  Rect bounds_;
+  int split_threshold_;
+  int max_depth_;
+  std::vector<Node> nodes_;
+  std::vector<StoredSegment> segments_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_SPATIAL_PMR_QUADTREE_H_

@@ -1,0 +1,144 @@
+#ifndef CKNN_UTIL_INDEXED_MIN_HEAP_H_
+#define CKNN_UTIL_INDEXED_MIN_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+/// \brief Binary min-heap keyed by double with decrease-key support,
+/// addressable by an integer id. This is the search heap `H` of the paper's
+/// Figure 2: network expansion needs to decrease the tentative distance of a
+/// node that is already en-heaped (lines 20-23).
+///
+/// Ids are arbitrary 64-bit integers (node ids in practice); positions are
+/// tracked in a hash map because an expansion typically touches a small
+/// fraction of the network.
+class IndexedMinHeap {
+ public:
+  struct Entry {
+    std::uint64_t id;
+    double key;
+  };
+
+  IndexedMinHeap() = default;
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// True iff `id` is currently en-heaped.
+  bool Contains(std::uint64_t id) const { return pos_.count(id) != 0; }
+
+  /// Key of an en-heaped id. Checked error if absent.
+  double KeyOf(std::uint64_t id) const {
+    auto it = pos_.find(id);
+    CKNN_CHECK(it != pos_.end());
+    return heap_[it->second].key;
+  }
+
+  /// Smallest entry. Checked error when empty.
+  const Entry& Top() const {
+    CKNN_CHECK(!heap_.empty());
+    return heap_[0];
+  }
+
+  /// Inserts a new id. Checked error if already present.
+  void Push(std::uint64_t id, double key) {
+    CKNN_CHECK(pos_.find(id) == pos_.end());
+    heap_.push_back(Entry{id, key});
+    pos_[id] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Inserts `id`, or lowers its key if already present with a larger key.
+  /// Returns true if the heap changed.
+  bool PushOrDecrease(std::uint64_t id, double key) {
+    auto it = pos_.find(id);
+    if (it == pos_.end()) {
+      Push(id, key);
+      return true;
+    }
+    std::size_t i = it->second;
+    if (key < heap_[i].key) {
+      heap_[i].key = key;
+      SiftUp(i);
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes and returns the smallest entry.
+  Entry Pop() {
+    CKNN_CHECK(!heap_.empty());
+    Entry top = heap_[0];
+    Swap(0, heap_.size() - 1);
+    pos_.erase(top.id);
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    return top;
+  }
+
+  /// Removes an arbitrary id if present; returns true if it was removed.
+  bool Erase(std::uint64_t id) {
+    auto it = pos_.find(id);
+    if (it == pos_.end()) return false;
+    std::size_t i = it->second;
+    Swap(i, heap_.size() - 1);
+    pos_.erase(id);
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      SiftDown(i);
+      SiftUp(i);
+    }
+    return true;
+  }
+
+  void Clear() {
+    heap_.clear();
+    pos_.clear();
+  }
+
+ private:
+  void Swap(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].id] = a;
+    pos_[heap_[b].id] = b;
+  }
+
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (heap_[parent].key <= heap_[i].key) break;
+      Swap(parent, i);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t left = 2 * i + 1;
+      std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < n && heap_[left].key < heap_[smallest].key) smallest = left;
+      if (right < n && heap_[right].key < heap_[smallest].key) {
+        smallest = right;
+      }
+      if (smallest == i) break;
+      Swap(i, smallest);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_map<std::uint64_t, std::size_t> pos_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_UTIL_INDEXED_MIN_HEAP_H_

@@ -1,0 +1,35 @@
+#ifndef CKNN_UTIL_MACROS_H_
+#define CKNN_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \brief Always-on invariant check. Aborts with a source location on
+/// violation. Used for programming errors that must never happen, as opposed
+/// to runtime conditions which are reported through cknn::Status.
+#define CKNN_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CKNN_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// \brief Debug-only invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define CKNN_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define CKNN_DCHECK(cond) CKNN_CHECK(cond)
+#endif
+
+/// \brief Propagates a non-OK Status from an expression, RocksDB-style.
+#define CKNN_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::cknn::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#endif  // CKNN_UTIL_MACROS_H_

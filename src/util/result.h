@@ -1,0 +1,76 @@
+#ifndef CKNN_UTIL_RESULT_H_
+#define CKNN_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/util/macros.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+/// \brief Value-or-Status, in the spirit of arrow::Result / absl::StatusOr.
+///
+/// A Result<T> holds either a T (success) or a non-OK Status (failure).
+/// Accessing the value of a failed Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    CKNN_CHECK(!std::get<Status>(repr_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result; OK() when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    CKNN_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CKNN_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CKNN_CHECK(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its value.
+#define CKNN_ASSIGN_OR_RETURN(lhs, expr)          \
+  do {                                            \
+    auto _res = (expr);                           \
+    if (!_res.ok()) return _res.status();         \
+    lhs = std::move(_res).value();                \
+  } while (0)
+
+}  // namespace cknn
+
+#endif  // CKNN_UTIL_RESULT_H_

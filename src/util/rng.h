@@ -1,0 +1,61 @@
+#ifndef CKNN_UTIL_RNG_H_
+#define CKNN_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cknn {
+
+/// \brief Deterministic pseudo-random generator (splitmix64-seeded
+/// xoshiro256**). All stochastic components of the library (workload
+/// generation, movement, weight fluctuation) draw from an explicitly passed
+/// Rng so that every experiment is reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Checked error if n == 0.
+  std::uint64_t NextIndex(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextIndex(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_UTIL_RNG_H_

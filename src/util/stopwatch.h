@@ -1,0 +1,32 @@
+#ifndef CKNN_UTIL_STOPWATCH_H_
+#define CKNN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cknn {
+
+/// \brief Monotonic wall-clock stopwatch used for the per-timestamp CPU-time
+/// measurements of the experimental section.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_UTIL_STOPWATCH_H_

@@ -1,0 +1,129 @@
+// Differential fuzz of CandidateSet against a naive reference model
+// (unordered_map + full sort on every inspection). The candidate set is
+// the ranking heart of every algorithm here, so its Offer/Set/Remove/
+// PruneBeyond semantics get hammered with random operation tapes.
+
+#include <map>
+#include <optional>
+
+#include "gtest/gtest.h"
+#include "src/core/top_k.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+namespace {
+
+/// Reference model with the same interface semantics.
+class NaiveCandidateSet {
+ public:
+  bool Offer(ObjectId id, double dist) {
+    auto it = map_.find(id);
+    if (it == map_.end()) {
+      map_.emplace(id, dist);
+      return true;
+    }
+    if (dist >= it->second) return false;
+    it->second = dist;
+    return true;
+  }
+  void Set(ObjectId id, double dist) { map_[id] = dist; }
+  std::optional<double> Remove(ObjectId id) {
+    auto it = map_.find(id);
+    if (it == map_.end()) return std::nullopt;
+    const double d = it->second;
+    map_.erase(it);
+    return d;
+  }
+  double KthDist(int k) const {
+    auto sorted = Sorted();
+    if (static_cast<int>(sorted.size()) < k) return kInfDist;
+    return sorted[k - 1].distance;
+  }
+  std::vector<Neighbor> TopK(int k) const {
+    auto sorted = Sorted();
+    if (static_cast<int>(sorted.size()) > k) {
+      sorted.resize(static_cast<std::size_t>(k));
+    }
+    return sorted;
+  }
+  void PruneBeyond(double bound) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      it = it->second > bound ? map_.erase(it) : std::next(it);
+    }
+  }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::vector<Neighbor> Sorted() const {
+    std::vector<Neighbor> v;
+    for (const auto& [id, d] : map_) v.push_back(Neighbor{id, d});
+    std::sort(v.begin(), v.end(), [](const Neighbor& a, const Neighbor& b) {
+      return a.distance != b.distance ? a.distance < b.distance
+                                      : a.id < b.id;
+    });
+    return v;
+  }
+  std::map<ObjectId, double> map_;
+};
+
+class CandidateSetFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CandidateSetFuzzTest, AgreesWithNaiveModel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 99991);
+  CandidateSet real;
+  NaiveCandidateSet naive;
+  for (int op = 0; op < 3000; ++op) {
+    const ObjectId id = static_cast<ObjectId>(rng.NextIndex(60));
+    // Quantized distances produce plenty of exact ties.
+    const double dist = static_cast<double>(rng.NextIndex(40)) * 0.25;
+    switch (rng.NextIndex(5)) {
+      case 0:
+      case 1:
+        EXPECT_EQ(real.Offer(id, dist), naive.Offer(id, dist));
+        break;
+      case 2:
+        real.Set(id, dist);
+        naive.Set(id, dist);
+        break;
+      case 3: {
+        const auto a = real.Remove(id);
+        const auto b = naive.Remove(id);
+        EXPECT_EQ(a.has_value(), b.has_value());
+        if (a && b) EXPECT_DOUBLE_EQ(*a, *b);
+        break;
+      }
+      case 4: {
+        const double bound = static_cast<double>(rng.NextIndex(40)) * 0.25;
+        real.PruneBeyond(bound);
+        naive.PruneBeyond(bound);
+        break;
+      }
+    }
+    ASSERT_EQ(real.size(), naive.size());
+    const int k = 1 + static_cast<int>(rng.NextIndex(8));
+    ASSERT_EQ(real.KthDist(k), naive.KthDist(k));
+    if (op % 50 == 0) {
+      const auto a = real.TopK(k);
+      const auto b = naive.TopK(k);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_DOUBLE_EQ(a[i].distance, b[i].distance);
+      }
+    }
+  }
+  // Final full comparison.
+  const auto a = real.All();
+  const auto b = naive.TopK(static_cast<int>(naive.size()));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].distance, b[i].distance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CandidateSetFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace cknn

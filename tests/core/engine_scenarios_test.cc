@@ -1,0 +1,219 @@
+// White-box scenario tests of the ImaEngine maintenance paths: each test
+// drives one specific Section 4.2-4.4 mechanism on a hand-built network
+// and inspects the expansion tree afterwards (distances, coverage,
+// result), with the brute-force oracle as referee.
+
+#include "gtest/gtest.h"
+#include "src/core/ima.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+// Path 0-1-2-3-4 with a parallel branch 1-5-3 (so there are real
+// alternative routes), unit-ish lengths.
+//
+//        5
+//       / \
+//  0 - 1 - 2 - 3 - 4
+//       \_______/
+//        (via 5)
+class EngineScenarioTest : public ::testing::Test {
+ protected:
+  EngineScenarioTest() {
+    net_.AddNode(Point{0, 0});   // 0
+    net_.AddNode(Point{1, 0});   // 1
+    net_.AddNode(Point{2, 0});   // 2
+    net_.AddNode(Point{3, 0});   // 3
+    net_.AddNode(Point{4, 0});   // 4
+    net_.AddNode(Point{2, 1});   // 5
+    e01_ = *net_.AddEdge(0, 1);
+    e12_ = *net_.AddEdge(1, 2);
+    e23_ = *net_.AddEdge(2, 3);
+    e34_ = *net_.AddEdge(3, 4);
+    e15_ = *net_.AddEdge(1, 5);
+    e53_ = *net_.AddEdge(5, 3);
+    objects_ = std::make_unique<ObjectTable>(net_.NumEdges());
+    engine_ = std::make_unique<ImaEngine>(&net_, objects_.get());
+  }
+
+  void ProcessEdge(EdgeId e, double new_weight) {
+    std::vector<EdgeUpdate> edges{EdgeUpdate{e, new_weight}};
+    engine_->ProcessUpdates({}, edges, {});
+  }
+
+  void ExpectResultMatchesOracle(QueryId q, const NetworkPoint& pos,
+                                 int k) {
+    const auto want = testing::BruteForceKnn(net_, *objects_, pos, k);
+    const auto* got = engine_->ResultOf(q);
+    ASSERT_NE(got, nullptr);
+    testing::ExpectSameDistances(*got, want);
+    ASSERT_TRUE(engine_->CheckInvariants().ok());
+  }
+
+  RoadNetwork net_;
+  EdgeId e01_, e12_, e23_, e34_, e15_, e53_;
+  std::unique_ptr<ObjectTable> objects_;
+  std::unique_ptr<ImaEngine> engine_;
+};
+
+TEST_F(EngineScenarioTest, TreeEdgeDecreaseAdjustsSubtreeDistances) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e34_, 0.5}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.0}), 1).ok());
+  const ExpansionState* state = engine_->StateOf(1);
+  const double d3_before = *state->NodeDistance(3);
+  // Decrease the first tree edge by 0.5: everything downstream shifts.
+  ProcessEdge(e01_, net_.edge(e01_).weight - 0.5);
+  EXPECT_NEAR(*state->NodeDistance(3), d3_before - 0.5, 1e-9);
+  ExpectResultMatchesOracle(1, NetworkPoint{e01_, 0.0}, 1);
+}
+
+TEST_F(EngineScenarioTest, TreeEdgeIncreaseReroutesThroughBranch) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e34_, 0.9}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.0}), 1).ok());
+  // Make the straight middle edge terrible: path must go 1-5-3.
+  ProcessEdge(e12_, 50.0);
+  ExpectResultMatchesOracle(1, NetworkPoint{e01_, 0.0}, 1);
+  const ExpansionState* state = engine_->StateOf(1);
+  const auto* info3 = state->Info(3);
+  ASSERT_NE(info3, nullptr);
+  EXPECT_EQ(info3->via_edge, e53_);  // Re-routed through the branch.
+}
+
+TEST_F(EngineScenarioTest, NonTreeEdgeDecreaseCreatesShortcut) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e34_, 0.9}).ok());
+  // Make the branch initially unattractive so 1-5-3 is non-tree.
+  ASSERT_TRUE(net_.SetWeight(e15_, 5.0).ok());
+  ASSERT_TRUE(net_.SetWeight(e53_, 5.0).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.0}), 1).ok());
+  // Now make the branch a super-shortcut; also degrade the straight path.
+  ProcessEdge(e15_, 0.1);
+  ProcessEdge(e53_, 0.1);
+  ProcessEdge(e12_, 30.0);
+  ExpectResultMatchesOracle(1, NetworkPoint{e01_, 0.0}, 1);
+}
+
+TEST_F(EngineScenarioTest, SourceEdgeWeightChangeRecomputes) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e23_, 0.5}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e12_, 0.5}), 1).ok());
+  const auto recomputes_before = engine_->stats().full_recomputes;
+  ProcessEdge(e12_, net_.edge(e12_).weight * 2.0);
+  EXPECT_EQ(engine_->stats().full_recomputes, recomputes_before + 1);
+  ExpectResultMatchesOracle(1, NetworkPoint{e12_, 0.5}, 1);
+}
+
+TEST_F(EngineScenarioTest, MoveAlongOwnEdgeReRoots) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e34_, 0.5}).ok());
+  ASSERT_TRUE(objects_->Insert(1, NetworkPoint{e01_, 0.1}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e12_, 0.2}), 2).ok());
+  const auto reroots_before = engine_->stats().reroots;
+  std::vector<ImaEngine::MoveRequest> moves{
+      ImaEngine::MoveRequest{1, NetworkPoint{e12_, 0.8}}};
+  engine_->ProcessUpdates({}, {}, moves);
+  EXPECT_EQ(engine_->stats().reroots, reroots_before + 1);
+  ExpectResultMatchesOracle(1, NetworkPoint{e12_, 0.8}, 2);
+}
+
+TEST_F(EngineScenarioTest, MoveOntoTreeEdgeReRoots) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e34_, 0.5}).ok());
+  ASSERT_TRUE(objects_->Insert(1, NetworkPoint{e01_, 0.5}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.9}), 2).ok());
+  const auto reroots_before = engine_->stats().reroots;
+  std::vector<ImaEngine::MoveRequest> moves{
+      ImaEngine::MoveRequest{1, NetworkPoint{e23_, 0.5}}};
+  engine_->ProcessUpdates({}, {}, moves);
+  EXPECT_EQ(engine_->stats().reroots, reroots_before + 1);
+  ExpectResultMatchesOracle(1, NetworkPoint{e23_, 0.5}, 2);
+}
+
+TEST_F(EngineScenarioTest, MoveOutsideTreeRecomputes) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e01_, 0.2}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.1}), 1).ok());
+  // The 1-NN is adjacent: the tree is tiny, edge e34 is far outside it.
+  const auto recomputes_before = engine_->stats().full_recomputes;
+  std::vector<ImaEngine::MoveRequest> moves{
+      ImaEngine::MoveRequest{1, NetworkPoint{e34_, 0.9}}};
+  engine_->ProcessUpdates({}, {}, moves);
+  EXPECT_EQ(engine_->stats().full_recomputes, recomputes_before + 1);
+  ExpectResultMatchesOracle(1, NetworkPoint{e34_, 0.9}, 1);
+}
+
+TEST_F(EngineScenarioTest, OutgoingNeighborTriggersFrontierGrowth) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e01_, 0.5}).ok());
+  ASSERT_TRUE(objects_->Insert(1, NetworkPoint{e34_, 0.5}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.4}), 1).ok());
+  EXPECT_EQ((*engine_->ResultOf(1))[0].id, 0u);
+  // The nearest neighbor departs: the expansion must grow to find obj 1.
+  std::vector<ObjectUpdate> updates{
+      ObjectUpdate{0, NetworkPoint{e01_, 0.5}, std::nullopt}};
+  const auto changed = engine_->ProcessUpdates(updates, {}, {});
+  EXPECT_EQ(changed.size(), 1u);
+  EXPECT_EQ((*engine_->ResultOf(1))[0].id, 1u);
+  ExpectResultMatchesOracle(1, NetworkPoint{e01_, 0.4}, 1);
+}
+
+TEST_F(EngineScenarioTest, IncomingNeighborShrinksBound) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e34_, 0.5}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.5}), 1).ok());
+  const double bound_before = engine_->BoundOf(1);
+  std::vector<ObjectUpdate> updates{
+      ObjectUpdate{1, std::nullopt, NetworkPoint{e01_, 0.6}}};
+  engine_->ProcessUpdates(updates, {}, {});
+  EXPECT_LT(engine_->BoundOf(1), bound_before);
+  EXPECT_EQ((*engine_->ResultOf(1))[0].id, 1u);
+  ExpectResultMatchesOracle(1, NetworkPoint{e01_, 0.5}, 1);
+}
+
+TEST_F(EngineScenarioTest, LazyShrinkReleasesCoverageEventually) {
+  // k=1 with a far object: big tree. Then a near object appears: the bound
+  // collapses and the lazy shrink must eventually drop far influence.
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e34_, 0.9}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.1}), 1).ok());
+  ASSERT_TRUE(engine_->InfluenceOf(e34_).count(1) == 1);
+  std::vector<ObjectUpdate> updates{
+      ObjectUpdate{1, std::nullopt, NetworkPoint{e01_, 0.2}}};
+  engine_->ProcessUpdates(updates, {}, {});
+  // The far edge must no longer influence the query after the shrink.
+  EXPECT_EQ(engine_->InfluenceOf(e34_).count(1), 0u);
+  ASSERT_TRUE(engine_->CheckInvariants().ok());
+}
+
+TEST_F(EngineScenarioTest, IgnoredUpdateDoesNotChangeResult) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e01_, 0.5}).ok());
+  ASSERT_TRUE(objects_->Insert(1, NetworkPoint{e34_, 0.5}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.4}), 1).ok());
+  // Far object wiggles within its own edge, far outside the bound.
+  std::vector<ObjectUpdate> updates{ObjectUpdate{
+      1, NetworkPoint{e34_, 0.5}, NetworkPoint{e34_, 0.6}}};
+  const auto changed = engine_->ProcessUpdates(updates, {}, {});
+  EXPECT_TRUE(changed.empty());
+}
+
+TEST_F(EngineScenarioTest, MultipleQueriesIndependentResults) {
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e01_, 0.5}).ok());
+  ASSERT_TRUE(objects_->Insert(1, NetworkPoint{e34_, 0.5}).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(1, ExpansionSource::AtPoint({e01_, 0.2}), 1).ok());
+  ASSERT_TRUE(
+      engine_->AddQuery(2, ExpansionSource::AtPoint({e34_, 0.8}), 1).ok());
+  EXPECT_EQ((*engine_->ResultOf(1))[0].id, 0u);
+  EXPECT_EQ((*engine_->ResultOf(2))[0].id, 1u);
+  // A weight change on the middle only affects whoever covers it.
+  ProcessEdge(e23_, net_.edge(e23_).weight * 1.1);
+  ExpectResultMatchesOracle(1, NetworkPoint{e01_, 0.2}, 1);
+  ExpectResultMatchesOracle(2, NetworkPoint{e34_, 0.8}, 1);
+}
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,152 @@
+// Conformance suite every Monitor implementation must pass — the contract
+// of the server-facing interface, run against IMA, GMA and OVH.
+
+#include <algorithm>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/core/server.h"
+#include "src/gen/network_gen.h"
+#include "src/gen/workload.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+class MonitorConformanceTest : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  MonitorConformanceTest()
+      : server_(GenerateRoadNetwork(
+                    NetworkGenConfig{.target_edges = 200, .seed = 77}),
+                GetParam()) {}
+
+  MonitoringServer server_;
+};
+
+TEST_P(MonitorConformanceTest, NameMatchesAlgorithm) {
+  EXPECT_EQ(server_.monitor().name(), AlgorithmName(GetParam()));
+}
+
+TEST_P(MonitorConformanceTest, InstallTerminateLifecycle) {
+  ASSERT_TRUE(server_.AddObject(0, NetworkPoint{3, 0.5}).ok());
+  EXPECT_EQ(server_.ResultOf(1), nullptr);
+  ASSERT_TRUE(server_.InstallQuery(1, NetworkPoint{0, 0.5}, 2).ok());
+  ASSERT_NE(server_.ResultOf(1), nullptr);
+  EXPECT_EQ(server_.monitor().NumQueries(), 1u);
+  ASSERT_TRUE(server_.TerminateQuery(1).ok());
+  EXPECT_EQ(server_.ResultOf(1), nullptr);
+  EXPECT_EQ(server_.monitor().NumQueries(), 0u);
+}
+
+TEST_P(MonitorConformanceTest, DuplicateInstallRejected) {
+  ASSERT_TRUE(server_.InstallQuery(1, NetworkPoint{0, 0.5}, 1).ok());
+  EXPECT_TRUE(
+      server_.InstallQuery(1, NetworkPoint{1, 0.5}, 1).IsAlreadyExists());
+}
+
+TEST_P(MonitorConformanceTest, UnknownQueryOperationsRejected) {
+  EXPECT_TRUE(server_.TerminateQuery(42).IsNotFound());
+  EXPECT_TRUE(server_.MoveQuery(42, NetworkPoint{0, 0.5}).IsNotFound());
+}
+
+TEST_P(MonitorConformanceTest, InvalidKRejected) {
+  EXPECT_TRUE(
+      server_.InstallQuery(1, NetworkPoint{0, 0.5}, 0).IsInvalidArgument());
+  EXPECT_TRUE(
+      server_.InstallQuery(1, NetworkPoint{0, 0.5}, -3).IsInvalidArgument());
+}
+
+TEST_P(MonitorConformanceTest, ResultSizeAndOrdering) {
+  Rng rng(5);
+  UpdateBatch setup;
+  for (ObjectId i = 0; i < 30; ++i) {
+    setup.objects.push_back(ObjectUpdate{
+        i, std::nullopt,
+        NetworkPoint{static_cast<EdgeId>(
+                         rng.NextIndex(server_.network().NumEdges())),
+                     rng.NextDouble()}});
+  }
+  setup.queries.push_back(QueryUpdate{0, QueryUpdate::Kind::kInstall,
+                                      NetworkPoint{0, 0.5}, 7});
+  ASSERT_TRUE(server_.Tick(setup).ok());
+  const auto& result = *server_.ResultOf(0);
+  ASSERT_EQ(result.size(), 7u);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+    if (result[i - 1].distance == result[i].distance) {
+      EXPECT_LT(result[i - 1].id, result[i].id);  // Deterministic ties.
+    }
+  }
+  for (const Neighbor& nb : result) {
+    EXPECT_GE(nb.distance, 0.0);
+    EXPECT_TRUE(server_.objects().Contains(nb.id));
+  }
+}
+
+TEST_P(MonitorConformanceTest, FewerObjectsThanK) {
+  ASSERT_TRUE(server_.AddObject(0, NetworkPoint{1, 0.5}).ok());
+  ASSERT_TRUE(server_.AddObject(1, NetworkPoint{7, 0.5}).ok());
+  ASSERT_TRUE(server_.InstallQuery(0, NetworkPoint{0, 0.5}, 10).ok());
+  EXPECT_EQ(server_.ResultOf(0)->size(), 2u);
+  // A third object appears: the result grows.
+  ASSERT_TRUE(server_.AddObject(2, NetworkPoint{2, 0.25}).ok());
+  EXPECT_EQ(server_.ResultOf(0)->size(), 3u);
+}
+
+TEST_P(MonitorConformanceTest, ZeroObjectsEmptyResult) {
+  ASSERT_TRUE(server_.InstallQuery(0, NetworkPoint{0, 0.5}, 3).ok());
+  EXPECT_TRUE(server_.ResultOf(0)->empty());
+}
+
+TEST_P(MonitorConformanceTest, EmptyTickIsFine) {
+  ASSERT_TRUE(server_.Tick(UpdateBatch{}).ok());
+  EXPECT_EQ(server_.timestamp(), 1u);
+}
+
+TEST_P(MonitorConformanceTest, QueryOnSameEdgeAsObject) {
+  ASSERT_TRUE(server_.AddObject(0, NetworkPoint{4, 0.75}).ok());
+  ASSERT_TRUE(server_.InstallQuery(0, NetworkPoint{4, 0.25}, 1).ok());
+  const auto& result = *server_.ResultOf(0);
+  ASSERT_EQ(result.size(), 1u);
+  const double w = server_.network().edge(4).weight;
+  EXPECT_LE(result[0].distance, 0.5 * w + 1e-9);
+}
+
+TEST_P(MonitorConformanceTest, DeterministicAcrossReplays) {
+  WorkloadConfig cfg;
+  cfg.num_objects = 40;
+  cfg.num_queries = 6;
+  cfg.k = 3;
+  cfg.seed = 31;
+  auto run = [&] {
+    MonitoringServer server(
+        GenerateRoadNetwork(NetworkGenConfig{.target_edges = 200, .seed = 77}),
+        GetParam());
+    Workload wl(&server.network(), &server.spatial_index(), cfg);
+    EXPECT_TRUE(server.Tick(wl.Initial()).ok());
+    for (int ts = 0; ts < 4; ++ts) EXPECT_TRUE(server.Tick(wl.Step()).ok());
+    std::vector<std::vector<Neighbor>> results;
+    for (QueryId q = 0; q < cfg.num_queries; ++q) {
+      results.push_back(*server.ResultOf(q));
+    }
+    return results;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(MonitorConformanceTest, MemoryBytesSane) {
+  ASSERT_TRUE(server_.AddObject(0, NetworkPoint{1, 0.5}).ok());
+  ASSERT_TRUE(server_.InstallQuery(0, NetworkPoint{0, 0.5}, 1).ok());
+  EXPECT_GT(server_.MonitorMemoryBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, MonitorConformanceTest,
+                         ::testing::Values(Algorithm::kIma, Algorithm::kGma,
+                                           Algorithm::kOvh),
+                         [](const ::testing::TestParamInfo<Algorithm>& info) {
+                           return AlgorithmName(info.param);
+                         });
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,102 @@
+#include "src/core/path_knn.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+#include "src/core/knn_search.h"
+#include "src/graph/shortest_path.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+QueryPath PathFromResult(const PathResult& r) {
+  return QueryPath{r.nodes, r.edges};
+}
+
+TEST(PathKnnTest, CandidatesContainOnPathObjects) {
+  RoadNetwork net = testing::MakeGrid(4);
+  ObjectTable objects(net.NumEdges());
+  const PathResult route = ShortestPath(net, 0, 15);
+  ASSERT_TRUE(route.reachable);
+  ASSERT_TRUE(objects.Insert(5, NetworkPoint{route.edges[0], 0.5}).ok());
+  ASSERT_TRUE(objects.Insert(6, NetworkPoint{route.edges.back(), 0.5}).ok());
+  const auto candidates =
+      PathKnnCandidates(net, objects, PathFromResult(route), 1);
+  EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(), 5u));
+  EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(), 6u));
+}
+
+TEST(PathKnnTest, PointEvaluationOnStraightPath) {
+  // Path graph 0-1-2-3 with one off-path branch holding an object.
+  RoadNetwork net;
+  for (int i = 0; i < 4; ++i) net.AddNode(Point{static_cast<double>(i), 0});
+  const NodeId side = net.AddNode(Point{1, 1});
+  std::vector<EdgeId> edges;
+  for (int i = 0; i < 3; ++i) edges.push_back(*net.AddEdge(i, i + 1));
+  const EdgeId branch = *net.AddEdge(1, side);
+  ObjectTable objects(net.NumEdges());
+  ASSERT_TRUE(objects.Insert(1, NetworkPoint{branch, 1.0}).ok());  // At side.
+  ASSERT_TRUE(objects.Insert(2, NetworkPoint{edges[2], 0.5}).ok());  // x=2.5
+  QueryPath path{{0, 1, 2, 3}, edges};
+  // Point at x=0.5 (edge 0, t=0.5): object 1 at 0.5+1=1.5; object 2 at 2.0.
+  const auto result = KnnAtPathPoint(net, objects, path, 2, 0, 0.5);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 1u);
+  EXPECT_NEAR(result[0].distance, 1.5, 1e-12);
+  EXPECT_EQ(result[1].id, 2u);
+  EXPECT_NEAR(result[1].distance, 2.0, 1e-12);
+}
+
+/// Property: KnnAtPathPoint equals a fresh SnapshotKnn at the same point,
+/// and candidates contain every true k-NN, across random paths.
+class PathKnnPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathKnnPropertyTest, MatchesDirectSearch) {
+  RoadNetwork net = GenerateRoadNetwork(NetworkGenConfig{
+      .target_edges = 250, .seed = static_cast<std::uint64_t>(GetParam())});
+  Rng rng(GetParam() * 13);
+  ObjectTable objects(net.NumEdges());
+  for (ObjectId i = 0; i < 50; ++i) {
+    ASSERT_TRUE(objects
+                    .Insert(i, NetworkPoint{static_cast<EdgeId>(rng.NextIndex(
+                                                net.NumEdges())),
+                                            rng.NextDouble()})
+                    .ok());
+  }
+  // A random (shortest) path between two random nodes.
+  PathResult route;
+  do {
+    route = ShortestPath(
+        net, static_cast<NodeId>(rng.NextIndex(net.NumNodes())),
+        static_cast<NodeId>(rng.NextIndex(net.NumNodes())));
+  } while (!route.reachable || route.edges.size() < 3);
+  const QueryPath path = PathFromResult(route);
+  const int k = 4;
+  const auto candidates = PathKnnCandidates(net, objects, path, k);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t edge_index = rng.NextIndex(path.edges.size());
+    const double t = rng.NextDouble();
+    const EdgeId e = path.edges[edge_index];
+    const bool forward = net.edge(e).u == path.nodes[edge_index];
+    const NetworkPoint point{e, forward ? t : 1.0 - t};
+    const auto via_path =
+        KnnAtPathPoint(net, objects, path, k, edge_index, t);
+    const auto direct = SnapshotKnn(net, objects, point, k);
+    testing::ExpectSameDistances(via_path, direct);
+    // Containment claim: every true k-NN id is in the candidate set (ties
+    // can substitute ids, so check distances through the direct result).
+    for (const Neighbor& nb : via_path) {
+      EXPECT_TRUE(
+          std::binary_search(candidates.begin(), candidates.end(), nb.id));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathKnnPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,129 @@
+#include "src/core/range_search.h"
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+#include "src/graph/shortest_path.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+TEST(RangeSearchTest, FindsObjectsWithinRadius) {
+  RoadNetwork net = testing::MakeGrid(4);
+  ObjectTable objects(net.NumEdges());
+  ASSERT_TRUE(objects.Insert(1, NetworkPoint{0, 0.6}).ok());   // 0.1 away
+  ASSERT_TRUE(objects.Insert(2, NetworkPoint{0, 0.9}).ok());   // 0.4 away
+  ASSERT_TRUE(objects.Insert(3, NetworkPoint{23, 0.5}).ok());  // Far.
+  const auto result =
+      RangeSearch(net, objects, NetworkPoint{0, 0.5}, 0.45);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 1u);
+  EXPECT_NEAR(result[0].distance, 0.1, 1e-12);
+  EXPECT_EQ(result[1].id, 2u);
+}
+
+TEST(RangeSearchTest, ZeroRadiusOnlyCoincident) {
+  RoadNetwork net = testing::MakeGrid(3);
+  ObjectTable objects(net.NumEdges());
+  ASSERT_TRUE(objects.Insert(1, NetworkPoint{0, 0.5}).ok());
+  ASSERT_TRUE(objects.Insert(2, NetworkPoint{0, 0.6}).ok());
+  const auto result = RangeSearch(net, objects, NetworkPoint{0, 0.5}, 0.0);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 1u);
+}
+
+TEST(RangeSearchTest, BoundaryInclusive) {
+  RoadNetwork net = testing::MakeGrid(3);
+  ObjectTable objects(net.NumEdges());
+  ASSERT_TRUE(objects.Insert(1, NetworkPoint{0, 1.0}).ok());
+  const auto result = RangeSearch(net, objects, NetworkPoint{0, 0.5}, 0.5);
+  EXPECT_EQ(result.size(), 1u);  // Exactly at the boundary: included.
+}
+
+class RangeSearchPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeSearchPropertyTest, MatchesBruteForce) {
+  RoadNetwork net = GenerateRoadNetwork(NetworkGenConfig{
+      .target_edges = 250, .seed = static_cast<std::uint64_t>(GetParam())});
+  Rng rng(GetParam() * 3);
+  ObjectTable objects(net.NumEdges());
+  for (ObjectId i = 0; i < 50; ++i) {
+    ASSERT_TRUE(objects
+                    .Insert(i, NetworkPoint{static_cast<EdgeId>(rng.NextIndex(
+                                                net.NumEdges())),
+                                            rng.NextDouble()})
+                    .ok());
+  }
+  for (int trial = 0; trial < 6; ++trial) {
+    const NetworkPoint center{
+        static_cast<EdgeId>(rng.NextIndex(net.NumEdges())),
+        rng.NextDouble()};
+    const double radius = rng.Uniform(10.0, 300.0);
+    const auto got = RangeSearch(net, objects, center, radius);
+    // Oracle: full point-to-point distances.
+    std::vector<Neighbor> want;
+    for (ObjectId i = 0; i < 50; ++i) {
+      const double d = PointToPointDistance(
+          net, center, objects.Position(i).value());
+      if (d <= radius) want.push_back(Neighbor{i, d});
+    }
+    std::sort(want.begin(), want.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance != b.distance ? a.distance < b.distance
+                                                : a.id < b.id;
+              });
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+      EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeSearchPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(RangeMonitorTest, Lifecycle) {
+  RoadNetwork net = testing::MakeGrid(4);
+  ObjectTable objects(net.NumEdges());
+  RangeMonitor monitor(&net, &objects);
+  ASSERT_TRUE(objects.Insert(1, NetworkPoint{0, 0.7}).ok());
+  ASSERT_TRUE(monitor.InstallQuery(5, NetworkPoint{0, 0.5}, 1.0).ok());
+  EXPECT_TRUE(
+      monitor.InstallQuery(5, NetworkPoint{0, 0.5}, 1.0).IsAlreadyExists());
+  EXPECT_TRUE(monitor.InstallQuery(6, NetworkPoint{0, 0.5}, -1.0)
+                  .IsInvalidArgument());
+  ASSERT_NE(monitor.ResultOf(5), nullptr);
+  EXPECT_EQ(monitor.ResultOf(5)->size(), 1u);
+  ASSERT_TRUE(monitor.MoveQuery(5, NetworkPoint{23, 0.5}).ok());
+  EXPECT_TRUE(monitor.ResultOf(5)->empty());
+  ASSERT_TRUE(monitor.TerminateQuery(5).ok());
+  EXPECT_TRUE(monitor.TerminateQuery(5).IsNotFound());
+}
+
+TEST(RangeMonitorTest, TracksUpdates) {
+  RoadNetwork net = testing::MakeGrid(4);
+  ObjectTable objects(net.NumEdges());
+  RangeMonitor monitor(&net, &objects);
+  ASSERT_TRUE(monitor.InstallQuery(0, NetworkPoint{0, 0.5}, 1.5).ok());
+  EXPECT_TRUE(monitor.ResultOf(0)->empty());
+  // An object walks into range.
+  UpdateBatch batch;
+  batch.objects.push_back(ObjectUpdate{1, std::nullopt, NetworkPoint{0, 0.9}});
+  ASSERT_TRUE(monitor.ProcessTimestamp(batch).ok());
+  EXPECT_EQ(monitor.ResultOf(0)->size(), 1u);
+  // Congestion pushes it out of the travel-cost radius.
+  UpdateBatch congest;
+  congest.edges.push_back(EdgeUpdate{0, 10.0});
+  ASSERT_TRUE(monitor.ProcessTimestamp(congest).ok());
+  EXPECT_TRUE(monitor.ResultOf(0)->empty());
+  // Query updates in a batch are rejected.
+  UpdateBatch bad;
+  bad.queries.push_back(QueryUpdate{9, QueryUpdate::Kind::kInstall,
+                                    NetworkPoint{0, 0.5}, 1});
+  EXPECT_TRUE(monitor.ProcessTimestamp(bad).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cknn

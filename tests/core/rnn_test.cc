@@ -1,0 +1,143 @@
+#include "src/core/rnn.h"
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+#include "src/graph/shortest_path.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+TEST(RnnTest, SingleQueryOwnsEverything) {
+  RoadNetwork net = testing::MakeGrid(3);
+  ObjectTable objects(net.NumEdges());
+  ASSERT_TRUE(objects.Insert(1, NetworkPoint{0, 0.5}).ok());
+  ASSERT_TRUE(objects.Insert(2, NetworkPoint{5, 0.5}).ok());
+  std::unordered_map<QueryId, NetworkPoint> queries{{7, NetworkPoint{0, 0.1}}};
+  const auto result = ComputeReverseNearest(net, objects, queries);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at(7).size(), 2u);
+}
+
+TEST(RnnTest, ObjectsSplitBetweenTwoQueries) {
+  // Path 0 - 1 - 2 - 3 (unit edges); queries near both ends; objects along.
+  RoadNetwork net;
+  for (int i = 0; i < 4; ++i) net.AddNode(Point{static_cast<double>(i), 0});
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(net.AddEdge(i, i + 1).ok());
+  ObjectTable objects(net.NumEdges());
+  ASSERT_TRUE(objects.Insert(1, NetworkPoint{0, 0.2}).ok());  // x=0.2
+  ASSERT_TRUE(objects.Insert(2, NetworkPoint{2, 0.9}).ok());  // x=2.9
+  ASSERT_TRUE(objects.Insert(3, NetworkPoint{1, 0.4}).ok());  // x=1.4
+  std::unordered_map<QueryId, NetworkPoint> queries{
+      {10, NetworkPoint{0, 0.0}},   // x=0
+      {20, NetworkPoint{2, 1.0}}};  // x=3
+  const auto result = ComputeReverseNearest(net, objects, queries);
+  ASSERT_EQ(result.at(10).size(), 2u);  // Objects 1 (0.2) and 3 (1.4).
+  EXPECT_EQ(result.at(10)[0].id, 1u);
+  EXPECT_NEAR(result.at(10)[0].distance, 0.2, 1e-12);
+  EXPECT_EQ(result.at(10)[1].id, 3u);
+  EXPECT_NEAR(result.at(10)[1].distance, 1.4, 1e-12);
+  ASSERT_EQ(result.at(20).size(), 1u);  // Object 2 at distance 0.1.
+  EXPECT_EQ(result.at(20)[0].id, 2u);
+  EXPECT_NEAR(result.at(20)[0].distance, 0.1, 1e-12);
+}
+
+TEST(RnnTest, QueryWithNoReverseNeighborsGetsEmptyList) {
+  RoadNetwork net = testing::MakeGrid(3);
+  ObjectTable objects(net.NumEdges());
+  ASSERT_TRUE(objects.Insert(1, NetworkPoint{0, 0.1}).ok());
+  std::unordered_map<QueryId, NetworkPoint> queries{
+      {1, NetworkPoint{0, 0.0}},
+      {2, NetworkPoint{11, 0.9}}};  // Far corner, no object near it.
+  const auto result = ComputeReverseNearest(net, objects, queries);
+  EXPECT_EQ(result.at(1).size(), 1u);
+  EXPECT_TRUE(result.at(2).empty());
+}
+
+TEST(RnnTest, UnreachableObjectsUnassigned) {
+  RoadNetwork net;
+  const NodeId a = net.AddNode(Point{0, 0});
+  const NodeId b = net.AddNode(Point{1, 0});
+  const NodeId c = net.AddNode(Point{5, 0});
+  const NodeId d = net.AddNode(Point{6, 0});
+  ASSERT_TRUE(net.AddEdge(a, b).ok());  // Component 1.
+  ASSERT_TRUE(net.AddEdge(c, d).ok());  // Component 2.
+  ObjectTable objects(net.NumEdges());
+  ASSERT_TRUE(objects.Insert(1, NetworkPoint{1, 0.5}).ok());
+  std::unordered_map<QueryId, NetworkPoint> queries{{9, NetworkPoint{0, 0.5}}};
+  const auto assignments = ComputeObjectAssignments(net, objects, queries);
+  EXPECT_TRUE(assignments.empty());
+  EXPECT_TRUE(ComputeReverseNearest(net, objects, queries).at(9).empty());
+}
+
+/// Property: assignments agree with brute-force nearest-query search.
+class RnnPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RnnPropertyTest, MatchesBruteForce) {
+  RoadNetwork net = GenerateRoadNetwork(NetworkGenConfig{
+      .target_edges = 250, .seed = static_cast<std::uint64_t>(GetParam())});
+  Rng rng(GetParam() * 7);
+  ObjectTable objects(net.NumEdges());
+  for (ObjectId i = 0; i < 40; ++i) {
+    ASSERT_TRUE(objects
+                    .Insert(i, NetworkPoint{static_cast<EdgeId>(rng.NextIndex(
+                                                net.NumEdges())),
+                                            rng.NextDouble()})
+                    .ok());
+  }
+  std::unordered_map<QueryId, NetworkPoint> queries;
+  for (QueryId q = 0; q < 6; ++q) {
+    queries.emplace(q,
+                    NetworkPoint{static_cast<EdgeId>(rng.NextIndex(
+                                     net.NumEdges())),
+                                 rng.NextDouble()});
+  }
+  const auto assignments = ComputeObjectAssignments(net, objects, queries);
+  for (ObjectId i = 0; i < 40; ++i) {
+    const NetworkPoint pos = objects.Position(i).value();
+    double best = kInfDist;
+    for (const auto& [q, qpos] : queries) {
+      (void)q;
+      best = std::min(best, PointToPointDistance(net, qpos, pos));
+    }
+    auto it = assignments.find(i);
+    ASSERT_NE(it, assignments.end());
+    EXPECT_NEAR(it->second.distance, best, 1e-9 * (1.0 + best));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RnnPropertyTest, ::testing::Values(1, 2, 3));
+
+TEST(RnnMonitorTest, ContinuousRecomputation) {
+  RoadNetwork net = testing::MakeGrid(4);
+  ObjectTable objects(net.NumEdges());
+  RnnMonitor monitor(&net, &objects);
+  UpdateBatch setup;
+  setup.objects.push_back(ObjectUpdate{1, std::nullopt, NetworkPoint{0, 0.5}});
+  setup.objects.push_back(ObjectUpdate{2, std::nullopt, NetworkPoint{9, 0.5}});
+  setup.queries.push_back(QueryUpdate{10, QueryUpdate::Kind::kInstall,
+                                      NetworkPoint{0, 0.0}, 1});
+  setup.queries.push_back(QueryUpdate{20, QueryUpdate::Kind::kInstall,
+                                      NetworkPoint{9, 1.0}, 1});
+  ASSERT_TRUE(monitor.ProcessTimestamp(setup).ok());
+  ASSERT_NE(monitor.ResultOf(10), nullptr);
+  EXPECT_EQ(monitor.ResultOf(10)->size(), 1u);
+  EXPECT_EQ((*monitor.ResultOf(10))[0].id, 1u);
+  EXPECT_EQ((*monitor.ResultOf(20))[0].id, 2u);
+  // Object 1 migrates next to query 20: both lists flip.
+  UpdateBatch move;
+  move.objects.push_back(
+      ObjectUpdate{1, NetworkPoint{0, 0.5}, NetworkPoint{9, 0.6}});
+  ASSERT_TRUE(monitor.ProcessTimestamp(move).ok());
+  EXPECT_TRUE(monitor.ResultOf(10)->empty());
+  EXPECT_EQ(monitor.ResultOf(20)->size(), 2u);
+  // Query lifecycle errors.
+  UpdateBatch bad;
+  bad.queries.push_back(
+      QueryUpdate{99, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  EXPECT_TRUE(monitor.ProcessTimestamp(bad).IsNotFound());
+}
+
+}  // namespace
+}  // namespace cknn

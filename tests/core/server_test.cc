@@ -1,0 +1,135 @@
+#include "src/core/server.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+TEST(ServerTest, ConvenienceLifecycle) {
+  MonitoringServer server(testing::MakeGrid(4), Algorithm::kIma);
+  ASSERT_TRUE(server.AddObject(1, NetworkPoint{0, 0.5}).ok());
+  ASSERT_TRUE(server.AddObject(2, NetworkPoint{5, 0.5}).ok());
+  ASSERT_TRUE(server.InstallQuery(0, NetworkPoint{0, 0.1}, 1).ok());
+  ASSERT_NE(server.ResultOf(0), nullptr);
+  EXPECT_EQ(server.ResultOf(0)->size(), 1u);
+  EXPECT_EQ((*server.ResultOf(0))[0].id, 1u);
+  ASSERT_TRUE(server.MoveObject(1, NetworkPoint{11, 0.5}).ok());
+  ASSERT_TRUE(server.RemoveObject(2).ok());
+  ASSERT_TRUE(server.MoveQuery(0, NetworkPoint{3, 0.5}).ok());
+  ASSERT_TRUE(server.UpdateEdgeWeight(0, 5.0).ok());
+  EXPECT_DOUBLE_EQ(server.network().edge(0).weight, 5.0);
+  ASSERT_TRUE(server.TerminateQuery(0).ok());
+  EXPECT_EQ(server.ResultOf(0), nullptr);
+  EXPECT_EQ(server.timestamp(), 8u);
+}
+
+TEST(ServerTest, ValidationRejectsBadUpdates) {
+  MonitoringServer server(testing::MakeGrid(3), Algorithm::kOvh);
+  ASSERT_TRUE(server.AddObject(1, NetworkPoint{0, 0.5}).ok());
+  // Move with mismatched old position.
+  UpdateBatch bad;
+  bad.objects.push_back(
+      ObjectUpdate{1, NetworkPoint{0, 0.9}, NetworkPoint{1, 0.5}});
+  EXPECT_TRUE(server.Tick(bad).IsInvalidArgument());
+  // Move of unknown object.
+  UpdateBatch unknown;
+  unknown.objects.push_back(
+      ObjectUpdate{9, NetworkPoint{0, 0.5}, NetworkPoint{1, 0.5}});
+  EXPECT_TRUE(server.Tick(unknown).IsNotFound());
+  // Duplicate appearance.
+  UpdateBatch dup;
+  dup.objects.push_back(ObjectUpdate{1, std::nullopt, NetworkPoint{1, 0.5}});
+  EXPECT_TRUE(server.Tick(dup).IsAlreadyExists());
+  // Unknown edge in a weight update.
+  UpdateBatch edge;
+  edge.edges.push_back(EdgeUpdate{999, 1.0});
+  EXPECT_TRUE(server.Tick(edge).IsNotFound());
+  // Negative weight.
+  UpdateBatch neg;
+  neg.edges.push_back(EdgeUpdate{0, -2.0});
+  EXPECT_TRUE(server.Tick(neg).IsInvalidArgument());
+}
+
+TEST(ServerTest, AggregateMergesObjectUpdates) {
+  UpdateBatch batch;
+  batch.objects.push_back(
+      ObjectUpdate{1, NetworkPoint{0, 0.1}, NetworkPoint{0, 0.2}});
+  batch.objects.push_back(
+      ObjectUpdate{1, NetworkPoint{0, 0.2}, NetworkPoint{0, 0.3}});
+  const UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  ASSERT_EQ(out.objects.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.objects[0].old_pos->t, 0.1);
+  EXPECT_DOUBLE_EQ(out.objects[0].new_pos->t, 0.3);
+}
+
+TEST(ServerTest, AggregateCancelsAppearDisappear) {
+  UpdateBatch batch;
+  batch.objects.push_back(ObjectUpdate{1, std::nullopt, NetworkPoint{0, 0.2}});
+  batch.objects.push_back(ObjectUpdate{1, NetworkPoint{0, 0.2}, std::nullopt});
+  EXPECT_TRUE(MonitoringServer::AggregateBatch(batch).objects.empty());
+}
+
+TEST(ServerTest, AggregateQueryChains) {
+  UpdateBatch batch;
+  batch.queries.push_back(QueryUpdate{1, QueryUpdate::Kind::kInstall,
+                                      NetworkPoint{0, 0.1}, 3});
+  batch.queries.push_back(
+      QueryUpdate{1, QueryUpdate::Kind::kMove, NetworkPoint{0, 0.9}, 0});
+  UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  ASSERT_EQ(out.queries.size(), 1u);
+  EXPECT_EQ(out.queries[0].kind, QueryUpdate::Kind::kInstall);
+  EXPECT_DOUBLE_EQ(out.queries[0].pos.t, 0.9);
+  EXPECT_EQ(out.queries[0].k, 3);
+  // Install then terminate: dropped.
+  batch.queries.push_back(
+      QueryUpdate{1, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  out = MonitoringServer::AggregateBatch(batch);
+  EXPECT_TRUE(out.queries.empty());
+  // Move then terminate on an existing query: terminate survives.
+  UpdateBatch batch2;
+  batch2.queries.push_back(
+      QueryUpdate{2, QueryUpdate::Kind::kMove, NetworkPoint{0, 0.5}, 0});
+  batch2.queries.push_back(
+      QueryUpdate{2, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  out = MonitoringServer::AggregateBatch(batch2);
+  ASSERT_EQ(out.queries.size(), 1u);
+  EXPECT_EQ(out.queries[0].kind, QueryUpdate::Kind::kTerminate);
+}
+
+TEST(ServerTest, AggregateEdgeLastWins) {
+  UpdateBatch batch;
+  batch.edges.push_back(EdgeUpdate{4, 2.0});
+  batch.edges.push_back(EdgeUpdate{4, 3.0});
+  const UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  ASSERT_EQ(out.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.edges[0].new_weight, 3.0);
+}
+
+TEST(ServerTest, SnapUsesSpatialIndex) {
+  MonitoringServer server(testing::MakeGrid(3), Algorithm::kOvh);
+  // Point near the middle of edge 0 (from (0,0) to (1,0)).
+  auto snapped = server.Snap(Point{0.5, 0.05});
+  ASSERT_TRUE(snapped.ok());
+  EXPECT_EQ(snapped->edge, 0u);
+  EXPECT_NEAR(snapped->t, 0.5, 1e-9);
+}
+
+TEST(ServerTest, AlgorithmNames) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kIma), "IMA");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kGma), "GMA");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kOvh), "OVH");
+  MonitoringServer server(testing::MakeGrid(2), Algorithm::kGma);
+  EXPECT_EQ(server.monitor().name(), "GMA");
+  EXPECT_EQ(server.algorithm(), Algorithm::kGma);
+}
+
+TEST(ServerTest, MonitorMemoryBytesNonZeroWithQueries) {
+  MonitoringServer server(testing::MakeGrid(4), Algorithm::kIma);
+  ASSERT_TRUE(server.AddObject(1, NetworkPoint{2, 0.5}).ok());
+  ASSERT_TRUE(server.InstallQuery(0, NetworkPoint{0, 0.5}, 1).ok());
+  EXPECT_GT(server.MonitorMemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cknn

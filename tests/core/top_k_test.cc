@@ -1,0 +1,110 @@
+#include "src/core/top_k.h"
+
+#include "gtest/gtest.h"
+
+namespace cknn {
+namespace {
+
+TEST(CandidateSetTest, OfferKeepsMinimum) {
+  CandidateSet set;
+  EXPECT_TRUE(set.Offer(1, 5.0));
+  EXPECT_FALSE(set.Offer(1, 6.0));
+  EXPECT_TRUE(set.Offer(1, 3.0));
+  EXPECT_DOUBLE_EQ(*set.DistanceOf(1), 3.0);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CandidateSetTest, SetReplacesEitherDirection) {
+  CandidateSet set;
+  set.Set(1, 5.0);
+  set.Set(1, 9.0);  // Upward, unlike Offer.
+  EXPECT_DOUBLE_EQ(*set.DistanceOf(1), 9.0);
+  set.Set(1, 2.0);
+  EXPECT_DOUBLE_EQ(*set.DistanceOf(1), 2.0);
+}
+
+TEST(CandidateSetTest, RemoveReturnsOldDistance) {
+  CandidateSet set;
+  set.Set(4, 1.5);
+  auto removed = set.Remove(4);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_DOUBLE_EQ(*removed, 1.5);
+  EXPECT_FALSE(set.Remove(4).has_value());
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(CandidateSetTest, KthDistInfiniteWhileUnderK) {
+  CandidateSet set;
+  EXPECT_EQ(set.KthDist(1), kInfDist);
+  set.Offer(1, 2.0);
+  set.Offer(2, 1.0);
+  EXPECT_EQ(set.KthDist(3), kInfDist);
+  EXPECT_DOUBLE_EQ(set.KthDist(1), 1.0);
+  EXPECT_DOUBLE_EQ(set.KthDist(2), 2.0);
+}
+
+TEST(CandidateSetTest, TopKOrderedByDistanceThenId) {
+  CandidateSet set;
+  set.Offer(9, 2.0);
+  set.Offer(3, 2.0);  // Tie with 9 — smaller id first.
+  set.Offer(5, 1.0);
+  const auto top = set.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 5u);
+  EXPECT_EQ(top[1].id, 3u);
+  EXPECT_EQ(top[2].id, 9u);
+  const auto top2 = set.TopK(2);
+  EXPECT_EQ(top2.size(), 2u);
+  const auto top9 = set.TopK(9);
+  EXPECT_EQ(top9.size(), 3u);  // Fewer than requested.
+}
+
+TEST(CandidateSetTest, AllSorted) {
+  CandidateSet set;
+  set.Offer(1, 3.0);
+  set.Offer(2, 1.0);
+  const auto all = set.All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].id, 2u);
+}
+
+TEST(CandidateSetTest, PruneBeyondKeepsTiesAtBound) {
+  CandidateSet set;
+  set.Offer(1, 1.0);
+  set.Offer(2, 2.0);
+  set.Offer(3, 2.0);
+  set.Offer(4, 2.5);
+  set.PruneBeyond(2.0);
+  EXPECT_EQ(set.size(), 3u);  // Ties at the bound retained.
+  EXPECT_FALSE(set.Contains(4));
+}
+
+TEST(CandidateSetTest, OfferAfterRemoveWorks) {
+  CandidateSet set;
+  set.Offer(1, 1.0);
+  set.Remove(1);
+  EXPECT_TRUE(set.Offer(1, 4.0));
+  EXPECT_DOUBLE_EQ(*set.DistanceOf(1), 4.0);
+}
+
+TEST(CandidateSetTest, ClearResets) {
+  CandidateSet set;
+  set.Offer(1, 1.0);
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.KthDist(1), kInfDist);
+}
+
+TEST(CandidateSetTest, EntriesIterationMatchesSize) {
+  CandidateSet set;
+  for (ObjectId i = 0; i < 20; ++i) set.Offer(i, 20.0 - i);
+  std::size_t count = 0;
+  for (const auto& [id, dist] : set.entries()) {
+    EXPECT_DOUBLE_EQ(dist, 20.0 - id);
+    ++count;
+  }
+  EXPECT_EQ(count, 20u);
+}
+
+}  // namespace
+}  // namespace cknn

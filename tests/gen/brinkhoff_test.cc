@@ -1,0 +1,115 @@
+#include "src/gen/brinkhoff.h"
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+
+namespace cknn {
+namespace {
+
+class BrinkhoffTest : public ::testing::Test {
+ protected:
+  BrinkhoffTest()
+      : net_(GenerateRoadNetwork(
+            NetworkGenConfig{.target_edges = 300, .seed = 2})) {}
+  RoadNetwork net_;
+};
+
+TEST_F(BrinkhoffTest, InitialSpawnsAllEntities) {
+  BrinkhoffGenerator gen(&net_, {.num_entities = 50, .seed = 1}, 100);
+  const auto initial = gen.Initial();
+  EXPECT_EQ(initial.size(), 50u);
+  for (const auto& t : initial) {
+    EXPECT_FALSE(t.old_pos.has_value());
+    ASSERT_TRUE(t.new_pos.has_value());
+    EXPECT_LT(t.new_pos->edge, net_.NumEdges());
+    EXPECT_GE(t.id, 100u);  // first_id offset respected.
+  }
+  EXPECT_EQ(gen.positions().size(), 50u);
+}
+
+TEST_F(BrinkhoffTest, StepKeepsCardinalityConstant) {
+  BrinkhoffGenerator gen(&net_, {.num_entities = 40, .churn = 0.1, .seed = 2},
+                         0);
+  gen.Initial();
+  for (int ts = 0; ts < 10; ++ts) {
+    gen.Step();
+    EXPECT_EQ(gen.positions().size(), 40u);
+  }
+}
+
+TEST_F(BrinkhoffTest, ChurnEmitsAppearAndDisappear) {
+  BrinkhoffGenerator gen(&net_, {.num_entities = 40, .churn = 0.2, .seed = 3},
+                         0);
+  gen.Initial();
+  const auto step = gen.Step();
+  int appear = 0;
+  int disappear = 0;
+  for (const auto& t : step) {
+    if (!t.old_pos.has_value()) ++appear;
+    if (!t.new_pos.has_value()) ++disappear;
+  }
+  EXPECT_EQ(appear, 8);
+  EXPECT_EQ(disappear, 8);
+}
+
+TEST_F(BrinkhoffTest, ZeroChurnOnlyMoves) {
+  BrinkhoffGenerator gen(&net_, {.num_entities = 30, .churn = 0.0, .seed = 4},
+                         0);
+  gen.Initial();
+  for (const auto& t : gen.Step()) {
+    EXPECT_TRUE(t.old_pos.has_value());
+    EXPECT_TRUE(t.new_pos.has_value());
+  }
+}
+
+TEST_F(BrinkhoffTest, TransitionsChainConsistently) {
+  BrinkhoffGenerator gen(&net_, {.num_entities = 25, .churn = 0.1, .seed = 5},
+                         0);
+  std::unordered_map<std::uint32_t, NetworkPoint> shadow;
+  for (const auto& t : gen.Initial()) shadow[t.id] = *t.new_pos;
+  for (int ts = 0; ts < 12; ++ts) {
+    for (const auto& t : gen.Step()) {
+      if (t.old_pos.has_value()) {
+        auto it = shadow.find(t.id);
+        ASSERT_NE(it, shadow.end());
+        EXPECT_EQ(it->second, *t.old_pos) << "id " << t.id;
+      } else {
+        EXPECT_EQ(shadow.count(t.id), 0u);
+      }
+      if (t.new_pos.has_value()) {
+        shadow[t.id] = *t.new_pos;
+      } else {
+        shadow.erase(t.id);
+      }
+    }
+    // Shadow table must mirror the generator exactly.
+    ASSERT_EQ(shadow.size(), gen.positions().size());
+    for (const auto& [id, pos] : gen.positions()) {
+      ASSERT_EQ(shadow.at(id), pos);
+    }
+  }
+}
+
+TEST_F(BrinkhoffTest, SpeedClassesProduceDifferentDisplacement) {
+  // With six classes over many entities, per-step displacement must vary.
+  BrinkhoffGenerator gen(
+      &net_,
+      {.num_entities = 60, .num_classes = 6, .base_speed = 2.0, .churn = 0.0,
+       .seed = 6},
+      0);
+  gen.Initial();
+  const auto step = gen.Step();
+  ASSERT_GT(step.size(), 10u);
+  double min_d = 1e100;
+  double max_d = 0.0;
+  for (const auto& t : step) {
+    const double d = Distance(ToEuclidean(net_, *t.old_pos),
+                              ToEuclidean(net_, *t.new_pos));
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_GT(max_d, min_d * 1.5);
+}
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,97 @@
+#include "src/gen/network_gen.h"
+
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/graph/shortest_path.h"
+
+namespace cknn {
+namespace {
+
+class NetworkGenTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NetworkGenTest, HitsTargetSizeApproximately) {
+  NetworkGenConfig config;
+  config.target_edges = GetParam();
+  config.seed = 9;
+  RoadNetwork net = GenerateRoadNetwork(config);
+  const double ratio = static_cast<double>(net.NumEdges()) /
+                       static_cast<double>(config.target_edges);
+  EXPECT_GT(ratio, 0.7) << net.NumEdges();
+  EXPECT_LT(ratio, 1.35) << net.NumEdges();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NetworkGenTest,
+                         ::testing::Values(100, 1000, 10000));
+
+TEST(NetworkGenPropertiesTest, IsConnected) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 800, .seed = 4});
+  const auto dist = DijkstraDistances(net, 0);
+  EXPECT_EQ(dist.size(), net.NumNodes());
+}
+
+TEST(NetworkGenPropertiesTest, RoadLikeDegreeProfile) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 2000, .seed = 5});
+  std::size_t degree2 = 0;
+  std::size_t max_degree = 0;
+  for (NodeId n = 0; n < net.NumNodes(); ++n) {
+    const std::size_t d = net.Degree(n);
+    EXPECT_GE(d, 1u);
+    max_degree = std::max(max_degree, d);
+    if (d == 2) ++degree2;
+  }
+  EXPECT_LE(max_degree, 4u);  // Grid-based: no mega-intersections.
+  // Subdivision must produce a sizable share of degree-2 chain nodes, the
+  // fuel for GMA's sequences.
+  EXPECT_GT(static_cast<double>(degree2) /
+                static_cast<double>(net.NumNodes()),
+            0.25);
+}
+
+TEST(NetworkGenPropertiesTest, WeightsInitializedToLengths) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 300, .seed = 6});
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    EXPECT_DOUBLE_EQ(net.edge(e).weight, net.edge(e).length);
+    EXPECT_GT(net.edge(e).length, 0.0);
+  }
+}
+
+TEST(NetworkGenPropertiesTest, DeterministicFromSeed) {
+  const NetworkGenConfig config{.target_edges = 400, .seed = 77};
+  RoadNetwork a = GenerateRoadNetwork(config);
+  RoadNetwork b = GenerateRoadNetwork(config);
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(NetworkGenPropertiesTest, DifferentSeedsDiffer) {
+  RoadNetwork a = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 400, .seed = 1});
+  RoadNetwork b = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 400, .seed = 2});
+  bool differs = a.NumEdges() != b.NumEdges();
+  if (!differs) {
+    for (EdgeId e = 0; e < a.NumEdges() && !differs; ++e) {
+      differs = a.edge(e).u != b.edge(e).u || a.edge(e).v != b.edge(e).v;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(NetworkGenPropertiesTest, OldenburgPresetSize) {
+  RoadNetwork net = GenerateOldenburgLike(3);
+  // Paper: 6105 nodes and 7035 edges; we match the scale, not the map.
+  EXPECT_GT(net.NumEdges(), 5000u);
+  EXPECT_LT(net.NumEdges(), 9500u);
+}
+
+}  // namespace
+}  // namespace cknn

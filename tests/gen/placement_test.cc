@@ -1,0 +1,94 @@
+#include "src/gen/placement.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+#include "src/geom/geometry.h"
+#include "src/util/macros.h"
+
+namespace cknn {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest()
+      : net_(GenerateRoadNetwork(
+            NetworkGenConfig{.target_edges = 500, .seed = 12})),
+        box_(net_.BoundingBox()),
+        tree_(Rect{box_.min_x - 1, box_.min_y - 1, box_.max_x + 1,
+                   box_.max_y + 1}) {
+    for (EdgeId e = 0; e < net_.NumEdges(); ++e) {
+      CKNN_CHECK(tree_.Insert(e, net_.EdgeSegment(e)).ok());
+    }
+  }
+  RoadNetwork net_;
+  Rect box_;
+  PmrQuadtree tree_;
+};
+
+TEST_F(PlacementTest, UniformPositionsAreValid) {
+  Rng rng(1);
+  const auto points =
+      PlaceEntities(net_, tree_, Distribution::kUniform, 500, 0.1, &rng);
+  ASSERT_EQ(points.size(), 500u);
+  for (const NetworkPoint& p : points) {
+    EXPECT_LT(p.edge, net_.NumEdges());
+    EXPECT_GE(p.t, 0.0);
+    EXPECT_LE(p.t, 1.0);
+  }
+}
+
+TEST_F(PlacementTest, UniformCoversManyEdges) {
+  Rng rng(2);
+  const auto points =
+      PlaceEntities(net_, tree_, Distribution::kUniform, 2000, 0.1, &rng);
+  std::unordered_set<EdgeId> edges;
+  for (const NetworkPoint& p : points) edges.insert(p.edge);
+  EXPECT_GT(edges.size(), net_.NumEdges() / 4);
+}
+
+TEST_F(PlacementTest, GaussianClustersAroundCenter) {
+  Rng rng(3);
+  const auto points =
+      PlaceEntities(net_, tree_, Distribution::kGaussian, 400, 0.1, &rng);
+  const Point center{0.5 * (box_.min_x + box_.max_x),
+                     0.5 * (box_.min_y + box_.max_y)};
+  const double half_diag =
+      0.5 * std::hypot(box_.Width(), box_.Height());
+  double mean_dist = 0.0;
+  for (const NetworkPoint& p : points) {
+    mean_dist += Distance(ToEuclidean(net_, p), center);
+  }
+  mean_dist /= static_cast<double>(points.size());
+  // Gaussian with stddev 10% of half-diagonal: mean radial distance must be
+  // far below what a uniform placement would give (~0.5 half-diag).
+  EXPECT_LT(mean_dist, 0.3 * half_diag);
+}
+
+TEST_F(PlacementTest, GaussianTighterStddevClustersMore) {
+  Rng rng_a(4);
+  Rng rng_b(4);
+  const auto tight =
+      PlaceEntities(net_, tree_, Distribution::kGaussian, 300, 0.05, &rng_a);
+  const auto wide =
+      PlaceEntities(net_, tree_, Distribution::kGaussian, 300, 0.5, &rng_b);
+  const Point center{0.5 * (box_.min_x + box_.max_x),
+                     0.5 * (box_.min_y + box_.max_y)};
+  auto mean_dist = [&](const std::vector<NetworkPoint>& pts) {
+    double sum = 0.0;
+    for (const NetworkPoint& p : pts) {
+      sum += Distance(ToEuclidean(net_, p), center);
+    }
+    return sum / static_cast<double>(pts.size());
+  };
+  EXPECT_LT(mean_dist(tight), mean_dist(wide));
+}
+
+TEST(PlacementNameTest, DistributionNames) {
+  EXPECT_STREQ(DistributionName(Distribution::kUniform), "Uniform");
+  EXPECT_STREQ(DistributionName(Distribution::kGaussian), "Gaussian");
+}
+
+}  // namespace
+}  // namespace cknn

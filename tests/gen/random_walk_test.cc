@@ -1,0 +1,90 @@
+#include "src/gen/random_walk.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+#include "src/graph/shortest_path.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+TEST(RandomWalkTest, ZeroDistanceStaysPut) {
+  RoadNetwork net = testing::MakeGrid(3);
+  Rng rng(1);
+  const NetworkPoint p{0, 0.5};
+  EXPECT_EQ(RandomWalkStep(net, p, 0.0, &rng), p);
+}
+
+TEST(RandomWalkTest, ShortStepStaysOnEdge) {
+  RoadNetwork net = testing::MakeGrid(3);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const NetworkPoint next =
+        RandomWalkStep(net, NetworkPoint{0, 0.5}, 0.2, &rng);
+    EXPECT_EQ(next.edge, 0u);
+    EXPECT_TRUE(next.t == 0.3 || next.t == 0.7) << next.t;
+  }
+}
+
+TEST(RandomWalkTest, PositionsStayValid) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 300, .seed = 7});
+  Rng rng(3);
+  NetworkPoint p{0, 0.5};
+  for (int i = 0; i < 500; ++i) {
+    p = RandomWalkStep(net, p, net.AverageEdgeLength() * 1.5, &rng);
+    ASSERT_LT(p.edge, net.NumEdges());
+    ASSERT_GE(p.t, 0.0);
+    ASSERT_LE(p.t, 1.0);
+  }
+}
+
+TEST(RandomWalkTest, MovedNetworkDistanceBoundedByWalkLength) {
+  // Network distance (with weight == length) can't exceed the walked
+  // distance; it can be smaller when the walk backtracks.
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 300, .seed = 8});
+  Rng rng(4);
+  const double step = net.AverageEdgeLength() * 2.0;
+  NetworkPoint p{0, 0.5};
+  for (int i = 0; i < 40; ++i) {
+    const NetworkPoint next = RandomWalkStep(net, p, step, &rng);
+    const double d = PointToPointDistance(net, p, next);
+    EXPECT_LE(d, step * (1.0 + 1e-9));
+    p = next;
+  }
+}
+
+TEST(RandomWalkTest, DeadEndTurnsAround) {
+  // Path graph 0 - 1: walking past node 1 must bounce back.
+  RoadNetwork net;
+  net.AddNode(Point{0, 0});
+  net.AddNode(Point{1, 0});
+  ASSERT_TRUE(net.AddEdge(0, 1).ok());
+  Rng rng(5);
+  // Walk 1.5 units from the middle: ends at distance 0.5 + 1.0 bounced:
+  // whichever direction, the result is on the single edge with valid t.
+  const NetworkPoint next =
+      RandomWalkStep(net, NetworkPoint{0, 0.5}, 1.5, &rng);
+  EXPECT_EQ(next.edge, 0u);
+  EXPECT_GE(next.t, 0.0);
+  EXPECT_LE(next.t, 1.0);
+}
+
+TEST(RandomWalkTest, LongWalkVisitsManyEdges) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 200, .seed = 10});
+  Rng rng(6);
+  std::unordered_set<EdgeId> visited;
+  NetworkPoint p{0, 0.5};
+  for (int i = 0; i < 200; ++i) {
+    p = RandomWalkStep(net, p, net.AverageEdgeLength() * 3.0, &rng);
+    visited.insert(p.edge);
+  }
+  EXPECT_GT(visited.size(), 20u);
+}
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,71 @@
+#include "src/gen/weight_gen.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+
+namespace cknn {
+namespace {
+
+TEST(WeightGenTest, RespectsAgilityFraction) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 1000, .seed = 3});
+  Rng rng(1);
+  const auto updates = GenerateWeightUpdates(net, 0.04, 0.1, &rng);
+  EXPECT_EQ(updates.size(),
+            static_cast<std::size_t>(0.04 * net.NumEdges()));
+}
+
+TEST(WeightGenTest, EdgesAreDistinct) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 500, .seed = 4});
+  Rng rng(2);
+  const auto updates = GenerateWeightUpdates(net, 0.2, 0.1, &rng);
+  std::unordered_set<EdgeId> seen;
+  for (const EdgeUpdate& u : updates) {
+    EXPECT_TRUE(seen.insert(u.edge).second);
+  }
+}
+
+TEST(WeightGenTest, MagnitudeIsPlusMinusTenPercent) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 500, .seed = 5});
+  Rng rng(3);
+  const auto updates = GenerateWeightUpdates(net, 0.5, 0.1, &rng);
+  bool saw_up = false;
+  bool saw_down = false;
+  for (const EdgeUpdate& u : updates) {
+    const double old_w = net.edge(u.edge).weight;
+    const double ratio = u.new_weight / old_w;
+    EXPECT_TRUE(std::abs(ratio - 1.1) < 1e-9 ||
+                std::abs(ratio - 0.9) < 1e-9)
+        << ratio;
+    saw_up |= ratio > 1.0;
+    saw_down |= ratio < 1.0;
+  }
+  EXPECT_TRUE(saw_up);
+  EXPECT_TRUE(saw_down);
+}
+
+TEST(WeightGenTest, ZeroAgilityYieldsNoUpdates) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 200, .seed = 6});
+  Rng rng(4);
+  EXPECT_TRUE(GenerateWeightUpdates(net, 0.0, 0.1, &rng).empty());
+}
+
+TEST(WeightGenTest, WeightsStayPositiveOverManyTimestamps) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 200, .seed = 7});
+  Rng rng(5);
+  for (int ts = 0; ts < 100; ++ts) {
+    for (const EdgeUpdate& u : GenerateWeightUpdates(net, 0.3, 0.1, &rng)) {
+      ASSERT_GT(u.new_weight, 0.0);
+      ASSERT_TRUE(net.SetWeight(u.edge, u.new_weight).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cknn

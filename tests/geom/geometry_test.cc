@@ -1,0 +1,89 @@
+#include "src/geom/geometry.h"
+
+#include "gtest/gtest.h"
+
+namespace cknn {
+namespace {
+
+TEST(GeometryTest, PointDistance) {
+  EXPECT_DOUBLE_EQ(Distance(Point{0, 0}, Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(Point{1, 1}, Point{4, 5}), 25.0);
+}
+
+TEST(GeometryTest, Lerp) {
+  const Point mid = Lerp(Point{0, 0}, Point{2, 4}, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 1.0);
+  EXPECT_DOUBLE_EQ(mid.y, 2.0);
+  const Point start = Lerp(Point{1, 1}, Point{9, 9}, 0.0);
+  EXPECT_EQ(start, (Point{1, 1}));
+}
+
+TEST(GeometryTest, ClosestPointParamClampsToEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(ClosestPointParam(Point{-5, 3}, s), 0.0);
+  EXPECT_DOUBLE_EQ(ClosestPointParam(Point{15, 3}, s), 1.0);
+  EXPECT_DOUBLE_EQ(ClosestPointParam(Point{4, 7}, s), 0.4);
+}
+
+TEST(GeometryTest, ClosestPointParamDegenerateSegment) {
+  const Segment s{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(ClosestPointParam(Point{9, 9}, s), 0.0);
+}
+
+TEST(GeometryTest, PointSegmentDistance) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{5, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{-3, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{7, 0}, s), 0.0);
+}
+
+TEST(GeometryTest, SegmentLength) {
+  EXPECT_DOUBLE_EQ((Segment{{0, 0}, {3, 4}}).Length(), 5.0);
+}
+
+TEST(GeometryTest, RectContainsAndExpand) {
+  Rect r{0, 0, 2, 2};
+  EXPECT_TRUE(r.Contains(Point{1, 1}));
+  EXPECT_TRUE(r.Contains(Point{0, 0}));  // Boundary inclusive.
+  EXPECT_FALSE(r.Contains(Point{3, 1}));
+  r.Expand(Point{5, -1});
+  EXPECT_TRUE(r.Contains(Point{4, 0}));
+  EXPECT_DOUBLE_EQ(r.Width(), 5.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 3.0);
+}
+
+TEST(GeometryTest, PointRectDistance) {
+  const Rect r{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(PointRectDistance(Point{1, 1}, r), 0.0);
+  EXPECT_DOUBLE_EQ(PointRectDistance(Point{5, 1}, r), 3.0);
+  EXPECT_DOUBLE_EQ(PointRectDistance(Point{5, 6}, r), 5.0);
+}
+
+TEST(GeometryTest, SegmentIntersectsRectInsideCase) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(SegmentIntersectsRect(Segment{{1, 1}, {2, 2}}, r));
+}
+
+TEST(GeometryTest, SegmentIntersectsRectCrossingCase) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(SegmentIntersectsRect(Segment{{-5, 5}, {15, 5}}, r));
+  EXPECT_TRUE(SegmentIntersectsRect(Segment{{5, -5}, {5, 15}}, r));
+  // Diagonal clipping a corner region.
+  EXPECT_TRUE(SegmentIntersectsRect(Segment{{-1, 5}, {5, 11}}, r));
+}
+
+TEST(GeometryTest, SegmentIntersectsRectMissCases) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_FALSE(SegmentIntersectsRect(Segment{{-5, -5}, {-1, -1}}, r));
+  EXPECT_FALSE(SegmentIntersectsRect(Segment{{11, 0}, {11, 10}}, r));
+  // Diagonal passing close to but outside a corner.
+  EXPECT_FALSE(SegmentIntersectsRect(Segment{{11, 10}, {10, 11}}, r));
+}
+
+TEST(GeometryTest, SegmentTouchingBoundaryIntersects) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(SegmentIntersectsRect(Segment{{10, 5}, {15, 5}}, r));
+}
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,79 @@
+#include "src/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+std::string TempPrefix(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripPreservesTopologyAndLengths) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 150, .seed = 3});
+  const std::string prefix = TempPrefix("roundtrip");
+  ASSERT_TRUE(SaveNetwork(net, prefix).ok());
+  auto loaded = LoadNetwork(prefix);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->NumNodes(), net.NumNodes());
+  ASSERT_EQ(loaded->NumEdges(), net.NumEdges());
+  for (NodeId n = 0; n < net.NumNodes(); ++n) {
+    EXPECT_NEAR(loaded->NodePosition(n).x, net.NodePosition(n).x, 1e-6);
+    EXPECT_NEAR(loaded->NodePosition(n).y, net.NodePosition(n).y, 1e-6);
+  }
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    EXPECT_EQ(loaded->edge(e).u, net.edge(e).u);
+    EXPECT_EQ(loaded->edge(e).v, net.edge(e).v);
+    EXPECT_NEAR(loaded->edge(e).length, net.edge(e).length, 1e-6);
+    // Weights load as lengths (initial condition).
+    EXPECT_NEAR(loaded->edge(e).weight, loaded->edge(e).length, 1e-12);
+  }
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  EXPECT_TRUE(LoadNetwork("/nonexistent/prefix").status().IsIoError());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string prefix = TempPrefix("comments");
+  {
+    std::ofstream nodes(prefix + ".cnode");
+    nodes << "# header\n\n0 0.0 0.0\n1 1.0 0.0\n";
+    std::ofstream edges(prefix + ".cedge");
+    edges << "# header\n0 0 1 1.5\n";
+  }
+  auto net = LoadNetwork(prefix);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->NumNodes(), 2u);
+  EXPECT_EQ(net->NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(net->edge(0).length, 1.5);
+}
+
+TEST(GraphIoTest, NonDenseIdsRejected) {
+  const std::string prefix = TempPrefix("sparse");
+  {
+    std::ofstream nodes(prefix + ".cnode");
+    nodes << "5 0.0 0.0\n";
+    std::ofstream edges(prefix + ".cedge");
+  }
+  EXPECT_TRUE(LoadNetwork(prefix).status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, MalformedLineRejected) {
+  const std::string prefix = TempPrefix("malformed");
+  {
+    std::ofstream nodes(prefix + ".cnode");
+    nodes << "0 0.0 0.0\n1 oops 0.0\n";
+    std::ofstream edges(prefix + ".cedge");
+  }
+  EXPECT_TRUE(LoadNetwork(prefix).status().IsIoError());
+}
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,56 @@
+#include "src/graph/network_point.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+class NetworkPointTest : public ::testing::Test {
+ protected:
+  NetworkPointTest() : net_(testing::MakeGrid(2)) {
+    // Make the weight differ from the length to catch unit mix-ups.
+    EXPECT_TRUE(net_.SetWeight(0, 4.0).ok());
+  }
+  RoadNetwork net_;
+};
+
+TEST_F(NetworkPointTest, WeightOffsets) {
+  const NetworkPoint p{0, 0.25};
+  EXPECT_DOUBLE_EQ(WeightOffsetFromU(net_, p), 1.0);
+  EXPECT_DOUBLE_EQ(WeightOffsetFromV(net_, p), 3.0);
+}
+
+TEST_F(NetworkPointTest, LengthOffsetUsesGeometry) {
+  const NetworkPoint p{0, 0.25};
+  EXPECT_DOUBLE_EQ(LengthOffsetFromU(net_, p), 0.25);
+}
+
+TEST_F(NetworkPointTest, AlongEdgeDistanceUsesWeight) {
+  EXPECT_DOUBLE_EQ(
+      AlongEdgeDistance(net_, NetworkPoint{0, 0.25}, NetworkPoint{0, 0.75}),
+      2.0);
+}
+
+TEST_F(NetworkPointTest, ToEuclidean) {
+  // Edge 0 of MakeGrid(2) connects node 0 (0,0) and node 1 (1,0).
+  const Point p = ToEuclidean(net_, NetworkPoint{0, 0.5});
+  EXPECT_DOUBLE_EQ(p.x, 0.5);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST_F(NetworkPointTest, AtNodeAndIsAtNode) {
+  const NetworkPoint p = AtNode(net_, 0);
+  EXPECT_TRUE(IsAtNode(net_, p, 0));
+  EXPECT_FALSE(IsAtNode(net_, p, 1));
+  const NetworkPoint q = AtNode(net_, 3);
+  EXPECT_TRUE(IsAtNode(net_, q, 3));
+}
+
+TEST_F(NetworkPointTest, Equality) {
+  EXPECT_EQ((NetworkPoint{1, 0.5}), (NetworkPoint{1, 0.5}));
+  EXPECT_FALSE((NetworkPoint{1, 0.5}) == (NetworkPoint{2, 0.5}));
+}
+
+}  // namespace
+}  // namespace cknn

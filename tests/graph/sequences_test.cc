@@ -1,0 +1,147 @@
+#include "src/graph/sequences.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+TEST(SequencesTest, Figure11Decomposition) {
+  // The paper states the Figure-11 network has exactly seven sequences:
+  // {n1n8}, {n1n9}, {n1n7,n7n6,n6n5}, {n1n2}, {n2n3}, {n2n5}, {n5n4}.
+  RoadNetwork net = testing::MakeFigure11();
+  SequenceTable st = SequenceTable::Build(net);
+  EXPECT_EQ(st.NumSequences(), 7u);
+  // The chain n1-n7-n6-n5 (edges 2,3,4) is one sequence.
+  const SequenceId chain = st.SequenceOf(2);
+  EXPECT_EQ(st.SequenceOf(3), chain);
+  EXPECT_EQ(st.SequenceOf(4), chain);
+  const auto& seq = st.sequence(chain);
+  EXPECT_EQ(seq.edges.size(), 3u);
+  EXPECT_FALSE(seq.is_cycle);
+  // Endpoints are the intersections n1 (node 0) and n5 (node 4).
+  std::set<NodeId> ends{seq.EndpointA(), seq.EndpointB()};
+  EXPECT_EQ(ends, (std::set<NodeId>{0, 4}));
+  // Singleton sequences.
+  EXPECT_NE(st.SequenceOf(0), st.SequenceOf(1));
+  EXPECT_EQ(st.sequence(st.SequenceOf(0)).edges.size(), 1u);
+}
+
+TEST(SequencesTest, PositionsAndOrientation) {
+  RoadNetwork net = testing::MakeFigure11();
+  SequenceTable st = SequenceTable::Build(net);
+  const SequenceId chain = st.SequenceOf(3);
+  const auto& seq = st.sequence(chain);
+  // Edge order must follow the path; positions must be consistent.
+  for (std::uint32_t i = 0; i < seq.edges.size(); ++i) {
+    const EdgeId e = seq.edges[i];
+    EXPECT_EQ(st.PositionOf(e), i);
+    const RoadNetwork::Edge& ed = net.edge(e);
+    if (st.ForwardOriented(e)) {
+      EXPECT_EQ(ed.u, seq.nodes[i]);
+      EXPECT_EQ(ed.v, seq.nodes[i + 1]);
+    } else {
+      EXPECT_EQ(ed.v, seq.nodes[i]);
+      EXPECT_EQ(ed.u, seq.nodes[i + 1]);
+    }
+  }
+}
+
+TEST(SequencesTest, PureCycleComponent) {
+  RoadNetwork net;
+  // A triangle where all nodes have degree 2: one cyclic sequence.
+  const NodeId a = net.AddNode(Point{0, 0});
+  const NodeId b = net.AddNode(Point{1, 0});
+  const NodeId c = net.AddNode(Point{0, 1});
+  ASSERT_TRUE(net.AddEdge(a, b).ok());
+  ASSERT_TRUE(net.AddEdge(b, c).ok());
+  ASSERT_TRUE(net.AddEdge(c, a).ok());
+  SequenceTable st = SequenceTable::Build(net);
+  EXPECT_EQ(st.NumSequences(), 1u);
+  const auto& seq = st.sequence(0);
+  EXPECT_TRUE(seq.is_cycle);
+  EXPECT_EQ(seq.edges.size(), 3u);
+  EXPECT_EQ(seq.nodes.front(), seq.nodes.back());
+}
+
+TEST(SequencesTest, AnchoredLoop) {
+  // A loop hanging off an intersection: n0 has degree 4 (two loop edges,
+  // two spokes), loop nodes have degree 2.
+  RoadNetwork net;
+  const NodeId hub = net.AddNode(Point{0, 0});
+  const NodeId l1 = net.AddNode(Point{1, 0});
+  const NodeId l2 = net.AddNode(Point{1, 1});
+  const NodeId s1 = net.AddNode(Point{-1, 0});
+  const NodeId s2 = net.AddNode(Point{0, -1});
+  ASSERT_TRUE(net.AddEdge(hub, l1).ok());
+  ASSERT_TRUE(net.AddEdge(l1, l2).ok());
+  ASSERT_TRUE(net.AddEdge(l2, hub).ok());
+  ASSERT_TRUE(net.AddEdge(hub, s1).ok());
+  ASSERT_TRUE(net.AddEdge(hub, s2).ok());
+  SequenceTable st = SequenceTable::Build(net);
+  EXPECT_EQ(st.NumSequences(), 3u);  // Loop + two spokes.
+  const auto& loop = st.sequence(st.SequenceOf(1));
+  EXPECT_EQ(loop.EndpointA(), hub);
+  EXPECT_EQ(loop.EndpointB(), hub);
+  EXPECT_TRUE(loop.is_cycle);
+}
+
+TEST(SequencesTest, GridHasOnlySingletonSequences) {
+  // Every interior grid node has degree >= 3 except corners (degree 2)...
+  // use a 2x2 grid: all four nodes have degree 2 -> it is one pure cycle.
+  RoadNetwork net = testing::MakeGrid(2);
+  SequenceTable st = SequenceTable::Build(net);
+  EXPECT_EQ(st.NumSequences(), 1u);
+  EXPECT_TRUE(st.sequence(0).is_cycle);
+  // A 4x4 grid has interior structure: corners fold into chains.
+  RoadNetwork net4 = testing::MakeGrid(4);
+  SequenceTable st4 = SequenceTable::Build(net4);
+  EXPECT_GT(st4.NumSequences(), 1u);
+}
+
+/// Partition property on generated road networks: every edge belongs to
+/// exactly one sequence, positions are consistent, intermediate nodes have
+/// degree 2, and endpoints don't.
+class SequencesPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SequencesPropertyTest, DecompositionIsAPartition) {
+  RoadNetwork net = GenerateRoadNetwork(NetworkGenConfig{
+      .target_edges = 600, .seed = static_cast<std::uint64_t>(GetParam())});
+  SequenceTable st = SequenceTable::Build(net);
+  std::vector<int> edge_seen(net.NumEdges(), 0);
+  for (SequenceId s = 0; s < st.NumSequences(); ++s) {
+    const auto& seq = st.sequence(s);
+    ASSERT_EQ(seq.nodes.size(), seq.edges.size() + 1);
+    for (std::uint32_t i = 0; i < seq.edges.size(); ++i) {
+      const EdgeId e = seq.edges[i];
+      ++edge_seen[e];
+      EXPECT_EQ(st.SequenceOf(e), s);
+      EXPECT_EQ(st.PositionOf(e), i);
+      // Edge endpoints match consecutive path nodes.
+      const RoadNetwork::Edge& ed = net.edge(e);
+      const std::set<NodeId> got{ed.u, ed.v};
+      const std::set<NodeId> want{seq.nodes[i], seq.nodes[i + 1]};
+      EXPECT_EQ(got, want);
+    }
+    // Interior nodes have degree exactly 2.
+    for (std::size_t i = 1; i + 1 < seq.nodes.size(); ++i) {
+      EXPECT_EQ(net.Degree(seq.nodes[i]), 2u);
+    }
+    if (!seq.is_cycle) {
+      EXPECT_NE(net.Degree(seq.EndpointA()), 2u);
+      EXPECT_NE(net.Degree(seq.EndpointB()), 2u);
+    }
+  }
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    EXPECT_EQ(edge_seen[e], 1) << "edge " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequencesPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace cknn

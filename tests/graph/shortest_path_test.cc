@@ -1,0 +1,120 @@
+#include "src/graph/shortest_path.h"
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+TEST(ShortestPathTest, DijkstraDistancesOnGrid) {
+  RoadNetwork net = testing::MakeGrid(3);
+  const auto dist = DijkstraDistances(net, 0);
+  EXPECT_DOUBLE_EQ(dist.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(dist.at(4), 2.0);
+  EXPECT_DOUBLE_EQ(dist.at(8), 4.0);
+  EXPECT_EQ(dist.size(), 9u);
+}
+
+TEST(ShortestPathTest, DijkstraRespectsMaxDist) {
+  RoadNetwork net = testing::MakeGrid(3);
+  const auto dist = DijkstraDistances(net, 0, 1.5);
+  EXPECT_EQ(dist.count(8), 0u);
+  EXPECT_EQ(dist.count(1), 1u);
+}
+
+TEST(ShortestPathTest, DijkstraUsesWeightsNotLengths) {
+  RoadNetwork net = testing::MakeGrid(2);
+  // Edges of MakeGrid(2): e0 = 0-1, e1 = 0-2, e2 = 1-3, e3 = 2-3.
+  ASSERT_TRUE(net.SetWeight(0, 10.0).ok());
+  const auto dist = DijkstraDistances(net, 0);
+  EXPECT_DOUBLE_EQ(dist.at(1), 3.0);  // Around: 0-2-3-1 = 3 vs direct 10.
+}
+
+TEST(ShortestPathTest, PathReconstruction) {
+  RoadNetwork net = testing::MakeGrid(3);
+  const PathResult path = ShortestPath(net, 0, 8);
+  ASSERT_TRUE(path.reachable);
+  EXPECT_DOUBLE_EQ(path.distance, 4.0);
+  EXPECT_EQ(path.nodes.size(), 5u);
+  EXPECT_EQ(path.edges.size(), 4u);
+  EXPECT_EQ(path.nodes.front(), 0u);
+  EXPECT_EQ(path.nodes.back(), 8u);
+  // Every consecutive node pair must be joined by the listed edge.
+  for (std::size_t i = 0; i < path.edges.size(); ++i) {
+    EXPECT_TRUE(net.IsEndpoint(path.edges[i], path.nodes[i]));
+    EXPECT_TRUE(net.IsEndpoint(path.edges[i], path.nodes[i + 1]));
+  }
+}
+
+TEST(ShortestPathTest, TrivialAndUnreachable) {
+  RoadNetwork net;
+  const NodeId a = net.AddNode(Point{0, 0});
+  const NodeId b = net.AddNode(Point{1, 0});
+  const NodeId c = net.AddNode(Point{5, 0});
+  const NodeId d = net.AddNode(Point{6, 0});
+  ASSERT_TRUE(net.AddEdge(a, b).ok());
+  ASSERT_TRUE(net.AddEdge(c, d).ok());
+  EXPECT_TRUE(ShortestPath(net, a, a).reachable);
+  EXPECT_DOUBLE_EQ(ShortestPath(net, a, a).distance, 0.0);
+  EXPECT_FALSE(ShortestPath(net, a, c).reachable);
+}
+
+TEST(ShortestPathTest, AStarMatchesDijkstraWhenWeightsAreLengths) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 400, .seed = 99});
+  Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.NextIndex(net.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.NextIndex(net.NumNodes()));
+    const PathResult plain = ShortestPath(net, s, t, /*use_astar=*/false);
+    const PathResult astar = ShortestPath(net, s, t, /*use_astar=*/true);
+    ASSERT_EQ(plain.reachable, astar.reachable);
+    if (plain.reachable) {
+      EXPECT_NEAR(plain.distance, astar.distance, 1e-9);
+    }
+  }
+}
+
+TEST(ShortestPathTest, PointToPointSameEdge) {
+  RoadNetwork net = testing::MakeGrid(3);
+  EXPECT_DOUBLE_EQ(PointToPointDistance(net, NetworkPoint{0, 0.2},
+                                        NetworkPoint{0, 0.7}),
+                   0.5);
+}
+
+TEST(ShortestPathTest, PointToPointAcrossEdges) {
+  RoadNetwork net = testing::MakeGrid(3);
+  // Both points midway on two parallel horizontal edges one row apart.
+  // MakeGrid(3) edge 0 is 0-1 (y=0); find the edge 3-4 by scanning.
+  EdgeId top = kInvalidEdge;
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    if ((net.edge(e).u == 3 && net.edge(e).v == 4) ||
+        (net.edge(e).u == 4 && net.edge(e).v == 3)) {
+      top = e;
+    }
+  }
+  ASSERT_NE(top, kInvalidEdge);
+  const double d = PointToPointDistance(net, NetworkPoint{0, 0.5},
+                                        NetworkPoint{top, 0.5});
+  EXPECT_DOUBLE_EQ(d, 2.0);  // 0.5 to a node, 1 up, 0.5 across.
+}
+
+TEST(ShortestPathTest, PointToPointIsSymmetric) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 300, .seed = 21});
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NetworkPoint a{static_cast<EdgeId>(rng.NextIndex(net.NumEdges())),
+                         rng.NextDouble()};
+    const NetworkPoint b{static_cast<EdgeId>(rng.NextIndex(net.NumEdges())),
+                         rng.NextDouble()};
+    EXPECT_NEAR(PointToPointDistance(net, a, b),
+                PointToPointDistance(net, b, a), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cknn

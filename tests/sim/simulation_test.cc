@@ -1,0 +1,77 @@
+#include "src/sim/simulation.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "src/sim/experiment.h"
+
+namespace cknn {
+namespace {
+
+ExperimentSpec SmallSpec() {
+  ExperimentSpec spec;
+  spec.network.target_edges = 300;
+  spec.network.seed = 13;
+  spec.workload.num_objects = 100;
+  spec.workload.num_queries = 10;
+  spec.workload.k = 3;
+  spec.workload.seed = 5;
+  spec.timestamps = 5;
+  return spec;
+}
+
+TEST(SimulationTest, RunsAndCollectsMetrics) {
+  ExperimentSpec spec = SmallSpec();
+  spec.measure_memory = true;
+  const RunMetrics metrics = RunExperiment(Algorithm::kIma, spec);
+  ASSERT_EQ(metrics.steps.size(), 5u);
+  EXPECT_GT(metrics.TotalSeconds(), 0.0);
+  EXPECT_GT(metrics.AvgSeconds(), 0.0);
+  EXPECT_GE(metrics.MaxSeconds(), metrics.AvgSeconds());
+  EXPECT_GT(metrics.AvgMemoryKb(), 0.0);
+}
+
+TEST(SimulationTest, AllAlgorithmsRunTheSpec) {
+  const ExperimentSpec spec = SmallSpec();
+  for (Algorithm algo :
+       {Algorithm::kOvh, Algorithm::kIma, Algorithm::kGma}) {
+    const RunMetrics metrics = RunExperiment(algo, spec);
+    EXPECT_EQ(metrics.steps.size(), 5u) << AlgorithmName(algo);
+  }
+}
+
+TEST(SimulationTest, BrinkhoffExperimentRuns) {
+  RoadNetwork net = GenerateRoadNetwork(
+      NetworkGenConfig{.target_edges = 300, .seed = 3});
+  BrinkhoffWorkload::Config cfg;
+  cfg.num_objects = 50;
+  cfg.num_queries = 5;
+  cfg.k = 2;
+  const RunMetrics metrics =
+      RunBrinkhoffExperiment(Algorithm::kGma, net, cfg, 4);
+  EXPECT_EQ(metrics.steps.size(), 4u);
+}
+
+TEST(SimulationTest, EmptyMetricsAreZero) {
+  RunMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.TotalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.AvgSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.AvgMemoryKb(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.MaxSeconds(), 0.0);
+}
+
+TEST(SeriesTableTest, PrintsAlignedTable) {
+  SeriesTable table("Fig X", "k", {"OVH", "IMA", "GMA"}, "seconds");
+  table.AddRow("1", {0.1, 0.2, 0.3});
+  table.AddRow("25", {0.4, 0.5, 0.6});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("OVH"), std::string::npos);
+  EXPECT_NE(out.find("0.500000"), std::string::npos);
+  EXPECT_NE(out.find("seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cknn

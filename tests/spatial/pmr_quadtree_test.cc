@@ -1,0 +1,108 @@
+#include "src/spatial/pmr_quadtree.h"
+
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+namespace {
+
+TEST(PmrQuadtreeTest, RejectsSegmentOutsideBounds) {
+  PmrQuadtree tree(Rect{0, 0, 10, 10});
+  EXPECT_TRUE(
+      tree.Insert(0, Segment{{5, 5}, {15, 5}}).IsInvalidArgument());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(PmrQuadtreeTest, NearestOnEmptyIndexIsNotFound) {
+  PmrQuadtree tree(Rect{0, 0, 10, 10});
+  EXPECT_TRUE(tree.Nearest(Point{1, 1}).status().IsNotFound());
+}
+
+TEST(PmrQuadtreeTest, NearestFindsSingleSegment) {
+  PmrQuadtree tree(Rect{0, 0, 10, 10});
+  ASSERT_TRUE(tree.Insert(42, Segment{{0, 5}, {10, 5}}).ok());
+  auto hit = tree.Nearest(Point{4, 7});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->id, 42u);
+  EXPECT_DOUBLE_EQ(hit->distance, 2.0);
+  EXPECT_DOUBLE_EQ(hit->t, 0.4);
+}
+
+TEST(PmrQuadtreeTest, StabbingReturnsLeafCandidates) {
+  PmrQuadtree tree(Rect{0, 0, 10, 10});
+  ASSERT_TRUE(tree.Insert(1, Segment{{0, 1}, {10, 1}}).ok());
+  ASSERT_TRUE(tree.Insert(2, Segment{{0, 9}, {10, 9}}).ok());
+  const auto hits = tree.Stabbing(Point{5, 1});
+  EXPECT_NE(std::find(hits.begin(), hits.end(), 1u), hits.end());
+  EXPECT_TRUE(tree.Stabbing(Point{20, 20}).empty());
+}
+
+TEST(PmrQuadtreeTest, SplitsWhenOverThreshold) {
+  PmrQuadtree tree(Rect{0, 0, 16, 16}, /*split_threshold=*/2);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const double y = 1.0 + i;
+    ASSERT_TRUE(tree.Insert(i, Segment{{1, y}, {2, y}}).ok());
+  }
+  EXPECT_GT(tree.NodeCount(), 1u);
+  EXPECT_GE(tree.MaxDepth(), 1);
+}
+
+TEST(PmrQuadtreeTest, RangeQueryFindsIntersectingSegments) {
+  PmrQuadtree tree(Rect{0, 0, 100, 100}, 4);
+  ASSERT_TRUE(tree.Insert(1, Segment{{10, 10}, {20, 10}}).ok());
+  ASSERT_TRUE(tree.Insert(2, Segment{{80, 80}, {90, 80}}).ok());
+  ASSERT_TRUE(tree.Insert(3, Segment{{0, 50}, {100, 50}}).ok());
+  auto hits = tree.RangeQuery(Rect{5, 5, 25, 25});
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{1}));
+  hits = tree.RangeQuery(Rect{0, 45, 10, 55});
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{3}));
+  hits = tree.RangeQuery(Rect{0, 0, 100, 100});
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(PmrQuadtreeTest, MemoryBytesGrowsWithContent) {
+  PmrQuadtree tree(Rect{0, 0, 10, 10});
+  const std::size_t before = tree.MemoryBytes();
+  ASSERT_TRUE(tree.Insert(0, Segment{{1, 1}, {2, 2}}).ok());
+  EXPECT_GT(tree.MemoryBytes(), before);
+}
+
+/// Property: Nearest() agrees with brute force over random segment soups.
+class PmrQuadtreeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PmrQuadtreeRandomTest, NearestMatchesBruteForce) {
+  Rng rng(GetParam());
+  const Rect bounds{0, 0, 1000, 1000};
+  PmrQuadtree tree(bounds, 6);
+  std::vector<Segment> segments;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const Point a{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    const Point b{a.x + rng.Uniform(-40, 40), a.y + rng.Uniform(-40, 40)};
+    const Point b_clamped{std::clamp(b.x, 0.0, 1000.0),
+                          std::clamp(b.y, 0.0, 1000.0)};
+    segments.push_back(Segment{a, b_clamped});
+    ASSERT_TRUE(tree.Insert(static_cast<std::uint32_t>(i), segments.back())
+                    .ok());
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point p{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    double best = std::numeric_limits<double>::infinity();
+    for (const Segment& s : segments) {
+      best = std::min(best, PointSegmentDistance(p, s));
+    }
+    auto hit = tree.Nearest(p);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_NEAR(hit->distance, best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmrQuadtreeRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cknn

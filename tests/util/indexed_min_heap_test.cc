@@ -1,0 +1,105 @@
+#include "src/util/indexed_min_heap.h"
+
+#include <queue>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+namespace {
+
+TEST(IndexedMinHeapTest, EmptyBasics) {
+  IndexedMinHeap heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_FALSE(heap.Contains(3));
+}
+
+TEST(IndexedMinHeapTest, PopsInKeyOrder) {
+  IndexedMinHeap heap;
+  heap.Push(10, 3.0);
+  heap.Push(20, 1.0);
+  heap.Push(30, 2.0);
+  EXPECT_EQ(heap.Pop().id, 20u);
+  EXPECT_EQ(heap.Pop().id, 30u);
+  EXPECT_EQ(heap.Pop().id, 10u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMinHeapTest, DecreaseKeyReordersEntries) {
+  IndexedMinHeap heap;
+  heap.Push(1, 5.0);
+  heap.Push(2, 4.0);
+  EXPECT_TRUE(heap.PushOrDecrease(1, 1.0));
+  EXPECT_DOUBLE_EQ(heap.KeyOf(1), 1.0);
+  EXPECT_EQ(heap.Pop().id, 1u);
+}
+
+TEST(IndexedMinHeapTest, PushOrDecreaseIgnoresLargerKey) {
+  IndexedMinHeap heap;
+  heap.Push(1, 2.0);
+  EXPECT_FALSE(heap.PushOrDecrease(1, 3.0));
+  EXPECT_DOUBLE_EQ(heap.KeyOf(1), 2.0);
+}
+
+TEST(IndexedMinHeapTest, EraseRemovesMiddleEntry) {
+  IndexedMinHeap heap;
+  for (int i = 0; i < 10; ++i) {
+    heap.Push(static_cast<std::uint64_t>(i), static_cast<double>(i));
+  }
+  EXPECT_TRUE(heap.Erase(5));
+  EXPECT_FALSE(heap.Erase(5));
+  EXPECT_EQ(heap.size(), 9u);
+  std::vector<std::uint64_t> order;
+  while (!heap.empty()) order.push_back(heap.Pop().id);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 6, 7, 8, 9}));
+}
+
+TEST(IndexedMinHeapTest, ClearEmpties) {
+  IndexedMinHeap heap;
+  heap.Push(1, 1.0);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  heap.Push(1, 2.0);  // Reusable after clear.
+  EXPECT_DOUBLE_EQ(heap.Top().key, 2.0);
+}
+
+TEST(IndexedMinHeapTest, TopMatchesPop) {
+  IndexedMinHeap heap;
+  heap.Push(7, 0.5);
+  heap.Push(8, 0.25);
+  EXPECT_EQ(heap.Top().id, 8u);
+  EXPECT_EQ(heap.Pop().id, 8u);
+}
+
+/// Randomized differential test against std::priority_queue with lazy
+/// deletion; exercises sift-up/down paths thoroughly.
+TEST(IndexedMinHeapTest, RandomizedAgainstStdPriorityQueue) {
+  Rng rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    IndexedMinHeap heap;
+    std::vector<double> best(200, -1.0);
+    for (int op = 0; op < 500; ++op) {
+      const std::uint64_t id = rng.NextIndex(200);
+      const double key = rng.NextDouble();
+      if (best[id] < 0.0) {
+        heap.Push(id, key);
+        best[id] = key;
+      } else if (key < best[id]) {
+        EXPECT_TRUE(heap.PushOrDecrease(id, key));
+        best[id] = key;
+      }
+    }
+    double last = -1.0;
+    while (!heap.empty()) {
+      const auto [id, key] = heap.Pop();
+      EXPECT_GE(key, last);
+      EXPECT_DOUBLE_EQ(key, best[id]);
+      last = key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,173 @@
+// cknn_sim — command-line monitoring simulator.
+//
+// Runs a Table-2 style workload on a generated road network with a chosen
+// algorithm and prints per-timestamp maintenance cost plus a summary, e.g.:
+//
+//   cknn_sim --algo=gma --edges=10000 --objects=100000 --queries=5000 \
+//            --k=50 --timestamps=100 --edge-agility=0.04 --seed=7
+//
+// Use --compare to run OVH, IMA and GMA on the identical workload and
+// print a comparison table.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/sim/experiment.h"
+
+namespace cknn {
+namespace {
+
+struct Options {
+  Algorithm algo = Algorithm::kGma;
+  bool compare = false;
+  bool memory = false;
+  ExperimentSpec spec;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: cknn_sim [options]\n"
+      "  --algo=ima|gma|ovh    algorithm (default gma)\n"
+      "  --compare             run all three algorithms and compare\n"
+      "  --edges=N             network size (default 10000)\n"
+      "  --objects=N           object cardinality (default 100000)\n"
+      "  --queries=N           query cardinality (default 5000)\n"
+      "  --k=N                 neighbors per query (default 50)\n"
+      "  --timestamps=N        monitoring horizon (default 100)\n"
+      "  --edge-agility=F      fraction of edges updated per ts (0.04)\n"
+      "  --object-agility=F    fraction of objects moving per ts (0.10)\n"
+      "  --query-agility=F     fraction of queries moving per ts (0.10)\n"
+      "  --object-speed=F      avg edge lengths per ts (1.0)\n"
+      "  --query-speed=F       avg edge lengths per ts (1.0)\n"
+      "  --uniform-queries     place queries uniformly (default Gaussian)\n"
+      "  --gaussian-objects    place objects Gaussian (default uniform)\n"
+      "  --memory              report monitoring memory\n"
+      "  --seed=N              master seed (default 42)\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseOptions(int argc, char** argv, Options* opt) {
+  opt->spec.network.target_edges = 10000;
+  opt->spec.network.seed = 1;
+  opt->spec.workload.num_objects = 100000;
+  opt->spec.workload.num_queries = 5000;
+  opt->spec.workload.k = 50;
+  opt->spec.timestamps = 100;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--algo", &v) && v != nullptr) {
+      if (std::strcmp(v, "ima") == 0) {
+        opt->algo = Algorithm::kIma;
+      } else if (std::strcmp(v, "gma") == 0) {
+        opt->algo = Algorithm::kGma;
+      } else if (std::strcmp(v, "ovh") == 0) {
+        opt->algo = Algorithm::kOvh;
+      } else {
+        std::fprintf(stderr, "unknown algorithm: %s\n", v);
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--compare", &v)) {
+      opt->compare = true;
+    } else if (ParseFlag(argv[i], "--memory", &v)) {
+      opt->memory = true;
+    } else if (ParseFlag(argv[i], "--edges", &v) && v) {
+      opt->spec.network.target_edges = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--objects", &v) && v) {
+      opt->spec.workload.num_objects = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--queries", &v) && v) {
+      opt->spec.workload.num_queries = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--k", &v) && v) {
+      opt->spec.workload.k = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--timestamps", &v) && v) {
+      opt->spec.timestamps = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--edge-agility", &v) && v) {
+      opt->spec.workload.edge_agility = std::atof(v);
+    } else if (ParseFlag(argv[i], "--object-agility", &v) && v) {
+      opt->spec.workload.object_agility = std::atof(v);
+    } else if (ParseFlag(argv[i], "--query-agility", &v) && v) {
+      opt->spec.workload.query_agility = std::atof(v);
+    } else if (ParseFlag(argv[i], "--object-speed", &v) && v) {
+      opt->spec.workload.object_speed = std::atof(v);
+    } else if (ParseFlag(argv[i], "--query-speed", &v) && v) {
+      opt->spec.workload.query_speed = std::atof(v);
+    } else if (ParseFlag(argv[i], "--uniform-queries", &v)) {
+      opt->spec.workload.query_distribution = Distribution::kUniform;
+    } else if (ParseFlag(argv[i], "--gaussian-objects", &v)) {
+      opt->spec.workload.object_distribution = Distribution::kGaussian;
+    } else if (ParseFlag(argv[i], "--seed", &v) && v) {
+      opt->spec.workload.seed = std::strtoull(v, nullptr, 10);
+      opt->spec.network.seed = opt->spec.workload.seed ^ 0x9E37;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n\n", argv[i]);
+      PrintUsage();
+      return false;
+    }
+  }
+  opt->spec.measure_memory = opt->memory;
+  return true;
+}
+
+int Run(const Options& opt) {
+  if (opt.compare) {
+    SeriesTable table("Algorithm comparison", "metric",
+                      {"OVH", "IMA", "GMA"},
+                      "per-timestamp");
+    std::vector<double> avg;
+    std::vector<double> peak;
+    std::vector<double> mem;
+    for (Algorithm algo :
+         {Algorithm::kOvh, Algorithm::kIma, Algorithm::kGma}) {
+      std::fprintf(stderr, "running %s...\n", AlgorithmName(algo));
+      const RunMetrics metrics = RunExperiment(algo, opt.spec);
+      avg.push_back(metrics.AvgSeconds());
+      peak.push_back(metrics.MaxSeconds());
+      mem.push_back(metrics.AvgMemoryKb());
+    }
+    table.AddRow("avg CPU (s)", avg);
+    table.AddRow("max CPU (s)", peak);
+    if (opt.memory) table.AddRow("memory (KB)", mem);
+    table.Print(std::cout);
+    return 0;
+  }
+  std::fprintf(stderr, "running %s on %zu edges, N=%zu, Q=%zu, k=%d...\n",
+               AlgorithmName(opt.algo), opt.spec.network.target_edges,
+               opt.spec.workload.num_objects, opt.spec.workload.num_queries,
+               opt.spec.workload.k);
+  const RunMetrics metrics = RunExperiment(opt.algo, opt.spec);
+  for (std::size_t ts = 0; ts < metrics.steps.size(); ++ts) {
+    std::printf("ts %4zu  cpu %.6fs", ts, metrics.steps[ts].seconds);
+    if (opt.memory) {
+      std::printf("  mem %zu KB", metrics.steps[ts].memory_bytes / 1024);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%s: avg %.6f s/ts, max %.6f s/ts over %zu timestamps\n",
+              AlgorithmName(opt.algo), metrics.AvgSeconds(),
+              metrics.MaxSeconds(), metrics.steps.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace cknn
+
+int main(int argc, char** argv) {
+  cknn::Options options;
+  if (!cknn::ParseOptions(argc, argv, &options)) return 2;
+  return cknn::Run(options);
+}
