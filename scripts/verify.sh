@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the full CTest
+# suite. This is the exact command sequence ROADMAP.md gates on; run it
+# from anywhere, it always operates on the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${CKNN_BUILD_DIR:-${repo_root}/build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "${jobs}"
+(cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")

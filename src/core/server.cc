@@ -1,5 +1,6 @@
 #include "src/core/server.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "src/core/gma.h"
@@ -76,9 +77,13 @@ UpdateBatch MonitoringServer::AggregateBatch(const UpdateBatch& batch) {
         out.objects[it->second].new_pos = u.new_pos;
       }
     }
-    std::erase_if(out.objects, [](const ObjectUpdate& u) {
-      return !u.old_pos.has_value() && !u.new_pos.has_value();
-    });
+    out.objects.erase(
+        std::remove_if(out.objects.begin(), out.objects.end(),
+                       [](const ObjectUpdate& u) {
+                         return !u.old_pos.has_value() &&
+                                !u.new_pos.has_value();
+                       }),
+        out.objects.end());
   }
   // Queries: collapse install/move/terminate chains.
   {

@@ -9,6 +9,7 @@
 #include "gtest/gtest.h"
 #include "src/core/top_k.h"
 #include "src/util/rng.h"
+#include "tests/fuzz_util.h"
 
 namespace cknn {
 namespace {
@@ -69,10 +70,12 @@ class NaiveCandidateSet {
 class CandidateSetFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(CandidateSetFuzzTest, AgreesWithNaiveModel) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 99991);
+  Rng rng(testing::FuzzSeed(static_cast<std::uint64_t>(GetParam())) * 99991);
   CandidateSet real;
   NaiveCandidateSet naive;
-  for (int op = 0; op < 3000; ++op) {
+  const int num_ops = testing::FuzzIterations(/*default_iters=*/3000,
+                                              /*hard_cap=*/200000);
+  for (int op = 0; op < num_ops; ++op) {
     const ObjectId id = static_cast<ObjectId>(rng.NextIndex(60));
     // Quantized distances produce plenty of exact ties.
     const double dist = static_cast<double>(rng.NextIndex(40)) * 0.25;
@@ -89,7 +92,9 @@ TEST_P(CandidateSetFuzzTest, AgreesWithNaiveModel) {
         const auto a = real.Remove(id);
         const auto b = naive.Remove(id);
         EXPECT_EQ(a.has_value(), b.has_value());
-        if (a && b) EXPECT_DOUBLE_EQ(*a, *b);
+        if (a && b) {
+          EXPECT_DOUBLE_EQ(*a, *b);
+        }
         break;
       }
       case 4: {

@@ -24,7 +24,10 @@ struct InvariantCase {
   std::uint64_t seed;
 };
 
-void PrintTo(const InvariantCase& c, std::ostream* os) { *os << c.name; }
+// Used by real gtest via ADL; the vendored shim prints params differently.
+[[maybe_unused]] void PrintTo(const InvariantCase& c, std::ostream* os) {
+  *os << c.name;
+}
 
 class EngineInvariantsTest : public ::testing::TestWithParam<InvariantCase> {
 };

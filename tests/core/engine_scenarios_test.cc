@@ -14,7 +14,7 @@ namespace {
 // alternative routes), unit-ish lengths.
 //
 //        5
-//       / \
+//       / \   (edges 1-5 and 5-2)
 //  0 - 1 - 2 - 3 - 4
 //       \_______/
 //        (via 5)

@@ -33,7 +33,10 @@ struct EquivalenceCase {
   std::uint64_t seed = 1;
 };
 
-void PrintTo(const EquivalenceCase& c, std::ostream* os) { *os << c.name; }
+// Used by real gtest via ADL; the vendored shim prints params differently.
+[[maybe_unused]] void PrintTo(const EquivalenceCase& c, std::ostream* os) {
+  *os << c.name;
+}
 
 class EquivalenceTest : public ::testing::TestWithParam<EquivalenceCase> {};
 

@@ -10,6 +10,7 @@
 #include "src/core/knn_search.h"
 #include "src/gen/network_gen.h"
 #include "src/util/rng.h"
+#include "tests/fuzz_util.h"
 #include "tests/test_util.h"
 
 namespace cknn {
@@ -33,7 +34,7 @@ void CheckTree(const RoadNetwork& net, const ExpansionState& state) {
 class ExpansionFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExpansionFuzzTest, RandomMaintenanceKeepsTreeSound) {
-  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto seed = testing::FuzzSeed(static_cast<std::uint64_t>(GetParam()));
   RoadNetwork net = GenerateRoadNetwork(
       NetworkGenConfig{.target_edges = 200, .seed = seed});
   Rng rng(seed * 31337);
@@ -53,7 +54,9 @@ TEST_P(ExpansionFuzzTest, RandomMaintenanceKeepsTreeSound) {
   ExpandToK(net, objects, 8, &state, &frontier, &cand);
   CheckTree(net, state);
 
-  for (int op = 0; op < 120; ++op) {
+  const int num_ops = testing::FuzzIterations(/*default_iters=*/120,
+                                              /*hard_cap=*/5000);
+  for (int op = 0; op < num_ops; ++op) {
     if (state.NumSettled() == 0) {
       ExpandToK(net, objects, 8, &state, &frontier, &cand);
       CheckTree(net, state);

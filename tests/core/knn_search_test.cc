@@ -67,7 +67,10 @@ TEST(KnnSearchTest, StatsAreCounted) {
   ObjectTable objects(net.NumEdges());
   for (ObjectId i = 0; i < 10; ++i) {
     ASSERT_TRUE(
-        objects.Insert(i, NetworkPoint{i % net.NumEdges(), 0.3}).ok());
+        objects
+            .Insert(i, NetworkPoint{
+                           static_cast<EdgeId>(i % net.NumEdges()), 0.3})
+            .ok());
   }
   ExpandStats stats;
   SnapshotKnn(net, objects, NetworkPoint{0, 0.5}, 3, &stats);

@@ -13,6 +13,7 @@
 #include "src/core/server.h"
 #include "src/gen/network_gen.h"
 #include "src/util/rng.h"
+#include "tests/fuzz_util.h"
 #include "tests/test_util.h"
 
 namespace cknn {
@@ -21,7 +22,8 @@ namespace {
 class TortureTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(TortureTest, FortyTimestampsOfEverything) {
-  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const std::uint64_t seed =
+      testing::FuzzSeed(static_cast<std::uint64_t>(GetParam()));
   RoadNetwork base = GenerateRoadNetwork(
       NetworkGenConfig{.target_edges = 400, .seed = seed});
   MonitoringServer ovh(CloneNetwork(base), Algorithm::kOvh);
@@ -57,7 +59,9 @@ TEST_P(TortureTest, FortyTimestampsOfEverything) {
   }
   for (auto* s : servers) ASSERT_TRUE(s->Tick(setup).ok());
 
-  for (int ts = 0; ts < 40; ++ts) {
+  const int horizon = testing::FuzzIterations(/*default_iters=*/40,
+                                              /*hard_cap=*/1000);
+  for (int ts = 0; ts < horizon; ++ts) {
     UpdateBatch batch;
     // Objects: move 25%, remove 5%, add as many back.
     std::vector<ObjectId> objs;

@@ -25,6 +25,7 @@ TEST(RoadNetworkTest, AddEdgeRejectsBadInput) {
   const NodeId b = net.AddNode(Point{1, 0});
   EXPECT_TRUE(net.AddEdge(a, a).status().IsInvalidArgument());  // Self-loop.
   EXPECT_TRUE(net.AddEdge(a, 99).status().IsInvalidArgument());
+  EXPECT_TRUE(net.AddEdge(99, b).status().IsInvalidArgument());
   // Zero-length edge (coincident nodes, no override).
   const NodeId c = net.AddNode(Point{0, 0});
   EXPECT_TRUE(net.AddEdge(a, c).status().IsInvalidArgument());

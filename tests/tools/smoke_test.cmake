@@ -1,0 +1,26 @@
+# End-to-end smoke test: run cknn_sim on a tiny generated network and
+# assert exit code 0 plus non-empty output. Invoked by CTest as
+#   cmake -DCKNN_SIM=<path> -P smoke_test.cmake
+if(NOT DEFINED CKNN_SIM)
+  message(FATAL_ERROR "smoke_test.cmake requires -DCKNN_SIM=<path to cknn_sim>")
+endif()
+
+execute_process(
+  COMMAND ${CKNN_SIM}
+    --algo=gma --edges=200 --objects=300 --queries=20
+    --k=4 --timestamps=5 --seed=7
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR
+    "cknn_sim exited with ${code}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+string(STRIP "${out}" stripped)
+if(stripped STREQUAL "")
+  message(FATAL_ERROR "cknn_sim produced no output on stdout")
+endif()
+
+message(STATUS "cknn_sim smoke test OK (${code})")

@@ -1,0 +1,64 @@
+#include "src/util/stopwatch.h"
+
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace cknn {
+namespace {
+
+TEST(StopwatchTest, StartsNearZero) {
+  Stopwatch sw;
+  // A freshly constructed stopwatch should read essentially zero; allow a
+  // generous bound for slow CI machines.
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch sw;
+  double prev = sw.ElapsedSeconds();
+  for (int i = 0; i < 100; ++i) {
+    const double now = sw.ElapsedSeconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(StopwatchTest, MeasuresSleep) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // steady_clock sleeps can only over-shoot, never under-shoot.
+  EXPECT_GE(sw.ElapsedSeconds(), 0.009);
+}
+
+TEST(StopwatchTest, MicrosMatchesSeconds) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double seconds = sw.ElapsedSeconds();
+  const double micros = sw.ElapsedMicros();
+  // Two reads straddle a tiny interval; they must agree to well under the
+  // slept millisecond when converted to the same unit.
+  EXPECT_NEAR(micros / 1e6, seconds, 0.1);
+  EXPECT_GT(micros, 0.0);
+}
+
+TEST(StopwatchTest, ResetRestartsWindow) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double before = sw.ElapsedSeconds();
+  EXPECT_GE(before, 0.049);
+  // A single Reset-then-read can race with preemption on a loaded CI
+  // machine, so retry: one sub-`before` reading proves the window
+  // restarted.
+  bool restarted = false;
+  for (int i = 0; i < 100 && !restarted; ++i) {
+    sw.Reset();
+    restarted = sw.ElapsedSeconds() < before;
+  }
+  EXPECT_TRUE(restarted);
+}
+
+}  // namespace
+}  // namespace cknn

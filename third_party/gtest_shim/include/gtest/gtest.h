@@ -1,0 +1,517 @@
+#ifndef CKNN_THIRD_PARTY_GTEST_SHIM_GTEST_H_
+#define CKNN_THIRD_PARTY_GTEST_SHIM_GTEST_H_
+
+// Minimal GoogleTest-compatible shim, used only when a real GoogleTest
+// cannot be found at configure time (offline builds). It implements the
+// subset the cknn suites use:
+//
+//   TEST / TEST_F / TEST_P + INSTANTIATE_TEST_SUITE_P (Values, Combine,
+//   custom name generators), EXPECT_* / ASSERT_* (boolean, comparison,
+//   NEAR, DOUBLE_EQ, STREQ), SCOPED_TRACE, ::testing::TempDir, and a
+//   gtest_main-style runner with --gtest_filter support.
+//
+// Output format follows gtest ([ RUN ] / [ OK ] / [ FAILED ]) so CTest
+// logs look the same either way. Not thread-safe within one test binary
+// (the suites are single-threaded).
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Message {
+ public:
+  Message() = default;
+  Message(const Message& other) { ss_ << other.GetString(); }
+  template <typename T>
+  Message& operator<<(const T& value) {
+    ss_ << value;
+    return *this;
+  }
+  std::string GetString() const { return ss_.str(); }
+
+ private:
+  std::ostringstream ss_;
+};
+
+class AssertionResult {
+ public:
+  AssertionResult(bool ok, std::string message)
+      : ok_(ok), message_(std::move(message)) {}
+  explicit operator bool() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_;
+  std::string message_;
+};
+
+inline AssertionResult AssertionSuccess() { return AssertionResult(true, ""); }
+inline AssertionResult AssertionFailure() { return AssertionResult(false, ""); }
+
+/// Directory for scratch files; the shim just uses /tmp.
+std::string TempDir();
+
+namespace internal {
+
+// ------------------------------------------------------------- reporting --
+
+constexpr bool kFatal = true;
+constexpr bool kNonFatal = false;
+
+/// Records a failure against the currently running test.
+void ReportFailure(bool fatal, const char* file, int line,
+                   const std::string& summary);
+
+/// True once the current test has recorded a fatal failure (used to skip
+/// TestBody after a fatal failure in SetUp).
+bool CurrentTestHasFatalFailure();
+
+void PushTrace(const std::string& trace);
+void PopTrace();
+
+/// Commits a failure when assigned a Message (the `helper = Message() << ...`
+/// trick lets assertion macros accept trailing `<< "context"` streams).
+class AssertHelper {
+ public:
+  AssertHelper(bool fatal, const char* file, int line, std::string summary)
+      : fatal_(fatal), file_(file), line_(line), summary_(std::move(summary)) {}
+  void operator=(const Message& message) const {
+    std::string text = summary_;
+    const std::string user = message.GetString();
+    if (!user.empty()) text += "\n" + user;
+    ReportFailure(fatal_, file_, line_, text);
+  }
+
+ private:
+  bool fatal_;
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+// -------------------------------------------------------- value printing --
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string PrintValue(const T& value) {
+  if constexpr (std::is_enum_v<T>) {
+    std::ostringstream ss;
+    ss << static_cast<std::underlying_type_t<T>>(value);
+    return ss.str();
+  } else if constexpr (IsStreamable<T>::value) {
+    std::ostringstream ss;
+    ss << value;
+    return ss.str();
+  } else {
+    return "<unprintable value>";
+  }
+}
+
+// ------------------------------------------------------------ comparisons --
+
+template <typename A, typename B>
+AssertionResult CmpFailure(const char* op, const char* lhs_text,
+                           const char* rhs_text, const A& lhs, const B& rhs) {
+  std::ostringstream ss;
+  ss << "Expected: (" << lhs_text << ") " << op << " (" << rhs_text
+     << "), actual: " << PrintValue(lhs) << " vs " << PrintValue(rhs);
+  return AssertionResult(false, ss.str());
+}
+
+#define CKNN_GTEST_DEFINE_CMP_(name, op)                             \
+  template <typename A, typename B>                                  \
+  AssertionResult name(const char* lhs_text, const char* rhs_text,   \
+                       const A& lhs, const B& rhs) {                 \
+    if (lhs op rhs) return AssertionSuccess();                       \
+    return CmpFailure(#op, lhs_text, rhs_text, lhs, rhs);            \
+  }
+
+CKNN_GTEST_DEFINE_CMP_(CmpHelperEQ, ==)
+CKNN_GTEST_DEFINE_CMP_(CmpHelperNE, !=)
+CKNN_GTEST_DEFINE_CMP_(CmpHelperLT, <)
+CKNN_GTEST_DEFINE_CMP_(CmpHelperLE, <=)
+CKNN_GTEST_DEFINE_CMP_(CmpHelperGT, >)
+CKNN_GTEST_DEFINE_CMP_(CmpHelperGE, >=)
+#undef CKNN_GTEST_DEFINE_CMP_
+
+AssertionResult CmpHelperSTREQ(const char* lhs_text, const char* rhs_text,
+                               const char* lhs, const char* rhs);
+inline AssertionResult CmpHelperSTREQ(const char* lhs_text,
+                                      const char* rhs_text,
+                                      const std::string& lhs,
+                                      const std::string& rhs) {
+  return CmpHelperSTREQ(lhs_text, rhs_text, lhs.c_str(), rhs.c_str());
+}
+
+AssertionResult CmpHelperNear(const char* lhs_text, const char* rhs_text,
+                              const char* tol_text, double lhs, double rhs,
+                              double tolerance);
+
+/// 4-ULP double comparison, matching gtest's EXPECT_DOUBLE_EQ.
+AssertionResult CmpHelperDoubleEQ(const char* lhs_text, const char* rhs_text,
+                                  double lhs, double rhs);
+
+// ------------------------------------------------------------ registration --
+
+using TestFactory = std::function<void()>;
+
+/// Registers a concrete test; `run` constructs and runs the fixture.
+bool RegisterTest(const std::string& suite, const std::string& name,
+                  TestFactory run);
+
+/// Deferred registrations (parameterized suites expand at RUN_ALL_TESTS
+/// time so TEST_P / INSTANTIATE_TEST_SUITE_P static-init order is
+/// irrelevant).
+bool RegisterExpander(std::function<void()> expander);
+
+int RunAllTestsImpl();
+void InitImpl(int* argc, char** argv);
+
+}  // namespace internal
+
+// ----------------------------------------------------------------- fixture --
+
+class Test {
+ public:
+  virtual ~Test() = default;
+
+ protected:
+  Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+
+ public:
+  virtual void TestBody() = 0;
+  /// SetUp -> TestBody -> TearDown; a fatal failure in SetUp skips the body.
+  void Run() {
+    SetUp();
+    if (!internal::CurrentTestHasFatalFailure()) TestBody();
+    TearDown();
+  }
+};
+
+template <typename T>
+struct TestParamInfo {
+  TestParamInfo(const T& p, std::size_t i) : param(p), index(i) {}
+  T param;
+  std::size_t index;
+};
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  static const ParamType& GetParam() { return *param_; }
+  static void SetParam(const ParamType* param) { param_ = param; }
+
+ private:
+  static inline const ParamType* param_ = nullptr;
+};
+
+// -------------------------------------------------------------- generators --
+
+template <typename... Ts>
+class ValueArray {
+ public:
+  explicit ValueArray(Ts... values) : values_(std::move(values)...) {}
+  template <typename T>
+  operator std::vector<T>() const {  // NOLINT(runtime/explicit)
+    return std::apply(
+        [](const auto&... v) { return std::vector<T>{static_cast<T>(v)...}; },
+        values_);
+  }
+
+ private:
+  std::tuple<Ts...> values_;
+};
+
+template <typename... Ts>
+ValueArray<Ts...> Values(Ts... values) {
+  return ValueArray<Ts...>(std::move(values)...);
+}
+
+template <typename T>
+class ValuesInGen {
+ public:
+  explicit ValuesInGen(std::vector<T> values) : values_(std::move(values)) {}
+  template <typename U>
+  operator std::vector<U>() const {  // NOLINT(runtime/explicit)
+    return std::vector<U>(values_.begin(), values_.end());
+  }
+
+ private:
+  std::vector<T> values_;
+};
+
+template <typename C>
+auto ValuesIn(const C& container) {
+  using T = typename C::value_type;
+  return ValuesInGen<T>(std::vector<T>(container.begin(), container.end()));
+}
+
+inline ValuesInGen<bool> Bool() { return ValuesInGen<bool>({false, true}); }
+
+template <typename... Gens>
+class CombineGen {
+ public:
+  explicit CombineGen(Gens... gens) : gens_(std::move(gens)...) {}
+
+  /// T must be a std::tuple<...> with one element per generator.
+  template <typename T>
+  operator std::vector<T>() const {  // NOLINT(runtime/explicit)
+    std::vector<T> out;
+    Expand<T>(out, std::make_index_sequence<sizeof...(Gens)>());
+    return out;
+  }
+
+ private:
+  template <typename T, std::size_t... Is>
+  void Expand(std::vector<T>& out, std::index_sequence<Is...>) const {
+    auto vectors = std::make_tuple(
+        static_cast<std::vector<std::tuple_element_t<Is, T>>>(
+            std::get<Is>(gens_))...);
+    std::vector<T> acc{T{}};
+    // Cartesian product, one axis at a time.
+    (ExpandAxis<Is>(acc, std::get<Is>(vectors)), ...);
+    out = std::move(acc);
+  }
+
+  template <std::size_t I, typename T, typename V>
+  static void ExpandAxis(std::vector<T>& acc, const std::vector<V>& axis) {
+    std::vector<T> next;
+    next.reserve(acc.size() * axis.size());
+    for (const T& partial : acc) {
+      for (const V& v : axis) {
+        T item = partial;
+        std::get<I>(item) = v;
+        next.push_back(std::move(item));
+      }
+    }
+    acc = std::move(next);
+  }
+
+  std::tuple<Gens...> gens_;
+};
+
+template <typename... Gens>
+CombineGen<Gens...> Combine(Gens... gens) {
+  return CombineGen<Gens...>(std::move(gens)...);
+}
+
+namespace internal {
+
+template <typename SuiteClass>
+class ParamRegistry {
+ public:
+  using ParamType = typename SuiteClass::ParamType;
+  using Factory = Test* (*)();
+  using Namer = std::function<std::string(const TestParamInfo<ParamType>&)>;
+
+  struct Pattern {
+    const char* suite;
+    const char* name;
+    Factory factory;
+  };
+
+  static bool AddPattern(const char* suite, const char* name,
+                         Factory factory) {
+    Patterns().push_back(Pattern{suite, name, factory});
+    return true;
+  }
+
+  template <typename Generator>
+  static bool AddInstantiation(const char* prefix, Generator gen,
+                               Namer namer = nullptr) {
+    auto params = std::make_shared<std::vector<ParamType>>(
+        static_cast<std::vector<ParamType>>(gen));
+    RegisterExpander([prefix, params, namer] {
+      for (const Pattern& pattern : Patterns()) {
+        for (std::size_t i = 0; i < params->size(); ++i) {
+          std::string label =
+              namer ? namer(TestParamInfo<ParamType>((*params)[i], i))
+                    : std::to_string(i);
+          Factory factory = pattern.factory;
+          // The runner shares ownership of the param vector: expanders are
+          // destroyed before the tests run, so a raw pointer would dangle.
+          RegisterTest(std::string(prefix) + "/" + pattern.suite,
+                       std::string(pattern.name) + "/" + label,
+                       [factory, params, i] {
+                         SuiteClass::SetParam(&(*params)[i]);
+                         std::unique_ptr<Test> test(factory());
+                         test->Run();
+                       });
+        }
+      }
+    });
+    return true;
+  }
+
+ private:
+  static std::vector<Pattern>& Patterns() {
+    static std::vector<Pattern> patterns;
+    return patterns;
+  }
+};
+
+}  // namespace internal
+
+class ScopedTrace {
+ public:
+  ScopedTrace(const char* file, int line, const std::string& message) {
+    std::ostringstream ss;
+    ss << file << ":" << line << ": " << message;
+    internal::PushTrace(ss.str());
+  }
+  ~ScopedTrace() { internal::PopTrace(); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
+
+void InitGoogleTest(int* argc, char** argv);
+void InitGoogleTest();
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() { return ::testing::internal::RunAllTestsImpl(); }
+
+// ------------------------------------------------------------------ macros --
+
+#define GTEST_TEST_CLASS_NAME_(suite, name) suite##_##name##_Test
+
+#define CKNN_GTEST_AMBIGUOUS_ELSE_BLOCKER_ \
+  switch (0)                               \
+  case 0:                                  \
+  default:
+
+#define CKNN_GTEST_NONFATAL_(summary)                                   \
+  ::testing::internal::AssertHelper(::testing::internal::kNonFatal,     \
+                                    __FILE__, __LINE__, summary) =      \
+      ::testing::Message()
+
+#define CKNN_GTEST_FATAL_(summary)                                    \
+  return ::testing::internal::AssertHelper(::testing::internal::kFatal, \
+                                           __FILE__, __LINE__, summary) = \
+      ::testing::Message()
+
+#define CKNN_GTEST_BOOLEAN_(expr, text, expected, fail)      \
+  CKNN_GTEST_AMBIGUOUS_ELSE_BLOCKER_                         \
+  if (static_cast<bool>(expr) == (expected))                 \
+    ;                                                        \
+  else                                                       \
+    fail("Value of: " text "\n  Actual: " #expected          \
+         " was expected, got the opposite")
+
+#define EXPECT_TRUE(expr) \
+  CKNN_GTEST_BOOLEAN_(expr, #expr, true, CKNN_GTEST_NONFATAL_)
+#define EXPECT_FALSE(expr) \
+  CKNN_GTEST_BOOLEAN_(expr, #expr, false, CKNN_GTEST_NONFATAL_)
+#define ASSERT_TRUE(expr) \
+  CKNN_GTEST_BOOLEAN_(expr, #expr, true, CKNN_GTEST_FATAL_)
+#define ASSERT_FALSE(expr) \
+  CKNN_GTEST_BOOLEAN_(expr, #expr, false, CKNN_GTEST_FATAL_)
+
+#define CKNN_GTEST_CMP_(helper, lhs, rhs, fail)                              \
+  CKNN_GTEST_AMBIGUOUS_ELSE_BLOCKER_                                         \
+  if (const ::testing::AssertionResult cknn_gtest_ar =                       \
+          ::testing::internal::helper(#lhs, #rhs, lhs, rhs))                 \
+    ;                                                                        \
+  else                                                                       \
+    fail(cknn_gtest_ar.message())
+
+#define EXPECT_EQ(a, b) CKNN_GTEST_CMP_(CmpHelperEQ, a, b, CKNN_GTEST_NONFATAL_)
+#define EXPECT_NE(a, b) CKNN_GTEST_CMP_(CmpHelperNE, a, b, CKNN_GTEST_NONFATAL_)
+#define EXPECT_LT(a, b) CKNN_GTEST_CMP_(CmpHelperLT, a, b, CKNN_GTEST_NONFATAL_)
+#define EXPECT_LE(a, b) CKNN_GTEST_CMP_(CmpHelperLE, a, b, CKNN_GTEST_NONFATAL_)
+#define EXPECT_GT(a, b) CKNN_GTEST_CMP_(CmpHelperGT, a, b, CKNN_GTEST_NONFATAL_)
+#define EXPECT_GE(a, b) CKNN_GTEST_CMP_(CmpHelperGE, a, b, CKNN_GTEST_NONFATAL_)
+#define EXPECT_STREQ(a, b) \
+  CKNN_GTEST_CMP_(CmpHelperSTREQ, a, b, CKNN_GTEST_NONFATAL_)
+#define EXPECT_DOUBLE_EQ(a, b) \
+  CKNN_GTEST_CMP_(CmpHelperDoubleEQ, a, b, CKNN_GTEST_NONFATAL_)
+
+#define ASSERT_EQ(a, b) CKNN_GTEST_CMP_(CmpHelperEQ, a, b, CKNN_GTEST_FATAL_)
+#define ASSERT_NE(a, b) CKNN_GTEST_CMP_(CmpHelperNE, a, b, CKNN_GTEST_FATAL_)
+#define ASSERT_LT(a, b) CKNN_GTEST_CMP_(CmpHelperLT, a, b, CKNN_GTEST_FATAL_)
+#define ASSERT_LE(a, b) CKNN_GTEST_CMP_(CmpHelperLE, a, b, CKNN_GTEST_FATAL_)
+#define ASSERT_GT(a, b) CKNN_GTEST_CMP_(CmpHelperGT, a, b, CKNN_GTEST_FATAL_)
+#define ASSERT_GE(a, b) CKNN_GTEST_CMP_(CmpHelperGE, a, b, CKNN_GTEST_FATAL_)
+#define ASSERT_STREQ(a, b) \
+  CKNN_GTEST_CMP_(CmpHelperSTREQ, a, b, CKNN_GTEST_FATAL_)
+#define ASSERT_DOUBLE_EQ(a, b) \
+  CKNN_GTEST_CMP_(CmpHelperDoubleEQ, a, b, CKNN_GTEST_FATAL_)
+
+#define CKNN_GTEST_NEAR_(a, b, tol, fail)                                 \
+  CKNN_GTEST_AMBIGUOUS_ELSE_BLOCKER_                                      \
+  if (const ::testing::AssertionResult cknn_gtest_ar =                    \
+          ::testing::internal::CmpHelperNear(#a, #b, #tol, a, b, tol))    \
+    ;                                                                     \
+  else                                                                    \
+    fail(cknn_gtest_ar.message())
+
+#define EXPECT_NEAR(a, b, tol) CKNN_GTEST_NEAR_(a, b, tol, CKNN_GTEST_NONFATAL_)
+#define ASSERT_NEAR(a, b, tol) CKNN_GTEST_NEAR_(a, b, tol, CKNN_GTEST_FATAL_)
+
+#define ADD_FAILURE() CKNN_GTEST_NONFATAL_("Failed")
+#define FAIL() CKNN_GTEST_FATAL_("Failed")
+#define SUCCEED() \
+  CKNN_GTEST_AMBIGUOUS_ELSE_BLOCKER_ if (true);
+
+#define SCOPED_TRACE(message)                                        \
+  ::testing::ScopedTrace CKNN_GTEST_CONCAT_(cknn_gtest_trace_,       \
+                                            __LINE__)(               \
+      __FILE__, __LINE__, (::testing::Message() << (message)).GetString())
+#define CKNN_GTEST_CONCAT_(a, b) CKNN_GTEST_CONCAT_IMPL_(a, b)
+#define CKNN_GTEST_CONCAT_IMPL_(a, b) a##b
+
+#define CKNN_GTEST_DEFINE_TEST_(suite, name, parent)                       \
+  class GTEST_TEST_CLASS_NAME_(suite, name) : public parent {              \
+   public:                                                                 \
+    void TestBody() override;                                              \
+    static const bool cknn_gtest_registered_;                              \
+  };                                                                       \
+  const bool GTEST_TEST_CLASS_NAME_(suite, name)::cknn_gtest_registered_ = \
+      ::testing::internal::RegisterTest(#suite, #name, [] {                \
+        GTEST_TEST_CLASS_NAME_(suite, name) test;                          \
+        test.Run();                                                        \
+      });                                                                  \
+  void GTEST_TEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST(suite, name) CKNN_GTEST_DEFINE_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) CKNN_GTEST_DEFINE_TEST_(fixture, name, fixture)
+
+#define TEST_P(suite, name)                                                \
+  class GTEST_TEST_CLASS_NAME_(suite, name) : public suite {               \
+   public:                                                                 \
+    void TestBody() override;                                              \
+    static const bool cknn_gtest_registered_;                              \
+  };                                                                       \
+  const bool GTEST_TEST_CLASS_NAME_(suite, name)::cknn_gtest_registered_ = \
+      ::testing::internal::ParamRegistry<suite>::AddPattern(               \
+          #suite, #name, +[]() -> ::testing::Test* {                       \
+            return new GTEST_TEST_CLASS_NAME_(suite, name);                \
+          });                                                              \
+  void GTEST_TEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, suite, ...)                     \
+  static const bool CKNN_GTEST_CONCAT_(cknn_gtest_inst_, __LINE__) =     \
+      ::testing::internal::ParamRegistry<suite>::AddInstantiation(       \
+          #prefix, __VA_ARGS__)
+#define INSTANTIATE_TEST_CASE_P INSTANTIATE_TEST_SUITE_P
+
+#endif  // CKNN_THIRD_PARTY_GTEST_SHIM_GTEST_H_

@@ -1,0 +1,248 @@
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace testing {
+
+std::string TempDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  return (tmp != nullptr && tmp[0] != '\0') ? std::string(tmp) : "/tmp";
+}
+
+namespace internal {
+namespace {
+
+struct TestEntry {
+  std::string suite;
+  std::string name;
+  TestFactory run;
+  std::string full_name() const { return suite + "." + name; }
+};
+
+struct ShimState {
+  std::vector<TestEntry> tests;
+  std::vector<std::function<void()>> expanders;
+  std::vector<std::string> traces;
+  std::string filter = "*";
+  // Per-test flags, reset before each run.
+  bool current_failed = false;
+  bool current_fatal = false;
+};
+
+ShimState& State() {
+  static ShimState state;
+  return state;
+}
+
+/// gtest-style wildcard match: '*' any run, '?' any char.
+bool WildcardMatch(const char* pattern, const char* str) {
+  if (*pattern == '\0') return *str == '\0';
+  if (*pattern == '*') {
+    return WildcardMatch(pattern + 1, str) ||
+           (*str != '\0' && WildcardMatch(pattern, str + 1));
+  }
+  if (*str == '\0') return false;
+  if (*pattern != '?' && *pattern != *str) return false;
+  return WildcardMatch(pattern + 1, str + 1);
+}
+
+bool MatchesAnyPattern(const std::string& patterns, const std::string& name) {
+  std::size_t start = 0;
+  while (start <= patterns.size()) {
+    std::size_t end = patterns.find(':', start);
+    if (end == std::string::npos) end = patterns.size();
+    const std::string pattern = patterns.substr(start, end - start);
+    if (!pattern.empty() && WildcardMatch(pattern.c_str(), name.c_str())) {
+      return true;
+    }
+    start = end + 1;
+  }
+  return false;
+}
+
+/// Filter string is `positive_patterns[-negative_patterns]`, both
+/// colon-separated lists.
+bool MatchesFilter(const std::string& filter, const std::string& name) {
+  const std::size_t dash = filter.find('-');
+  const std::string positive =
+      dash == std::string::npos ? filter : filter.substr(0, dash);
+  const std::string negative =
+      dash == std::string::npos ? std::string() : filter.substr(dash + 1);
+  if (!positive.empty() && positive != "*" &&
+      !MatchesAnyPattern(positive, name)) {
+    return false;
+  }
+  if (!negative.empty() && MatchesAnyPattern(negative, name)) return false;
+  return true;
+}
+
+}  // namespace
+
+bool RegisterTest(const std::string& suite, const std::string& name,
+                  TestFactory run) {
+  State().tests.push_back(TestEntry{suite, name, std::move(run)});
+  return true;
+}
+
+bool RegisterExpander(std::function<void()> expander) {
+  State().expanders.push_back(std::move(expander));
+  return true;
+}
+
+bool CurrentTestHasFatalFailure() { return State().current_fatal; }
+
+void PushTrace(const std::string& trace) { State().traces.push_back(trace); }
+void PopTrace() {
+  if (!State().traces.empty()) State().traces.pop_back();
+}
+
+void ReportFailure(bool fatal, const char* file, int line,
+                   const std::string& summary) {
+  ShimState& state = State();
+  state.current_failed = true;
+  if (fatal) state.current_fatal = true;
+  std::fprintf(stderr, "%s:%d: Failure\n%s\n", file, line, summary.c_str());
+  if (!state.traces.empty()) {
+    std::fprintf(stderr, "Google Test trace:\n");
+    for (auto it = state.traces.rbegin(); it != state.traces.rend(); ++it) {
+      std::fprintf(stderr, "%s\n", it->c_str());
+    }
+  }
+}
+
+AssertionResult CmpHelperSTREQ(const char* lhs_text, const char* rhs_text,
+                               const char* lhs, const char* rhs) {
+  const bool equal = (lhs == nullptr || rhs == nullptr)
+                         ? lhs == rhs
+                         : std::strcmp(lhs, rhs) == 0;
+  if (equal) return AssertionSuccess();
+  std::ostringstream ss;
+  ss << "Expected equality of these C strings:\n  " << lhs_text << "\n    \""
+     << (lhs ? lhs : "(null)") << "\"\n  " << rhs_text << "\n    \""
+     << (rhs ? rhs : "(null)") << "\"";
+  return AssertionResult(false, ss.str());
+}
+
+AssertionResult CmpHelperNear(const char* lhs_text, const char* rhs_text,
+                              const char* tol_text, double lhs, double rhs,
+                              double tolerance) {
+  const double diff = std::fabs(lhs - rhs);
+  if (diff <= tolerance) return AssertionSuccess();
+  std::ostringstream ss;
+  ss << "The difference between " << lhs_text << " and " << rhs_text << " is "
+     << diff << ", which exceeds " << tol_text << ", where\n  " << lhs_text
+     << " evaluates to " << lhs << ",\n  " << rhs_text << " evaluates to "
+     << rhs << ", and\n  " << tol_text << " evaluates to " << tolerance << ".";
+  return AssertionResult(false, ss.str());
+}
+
+namespace {
+
+/// Sign-and-magnitude bits to a biased ordering where ULP distance is the
+/// integer difference (the standard gtest FloatingPoint trick).
+std::uint64_t BiasedBits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  constexpr std::uint64_t kSignBit = 0x8000000000000000ull;
+  return (bits & kSignBit) ? ~bits + 1 : kSignBit | bits;
+}
+
+bool AlmostEqualDoubles(double lhs, double rhs) {
+  if (std::isnan(lhs) || std::isnan(rhs)) return false;
+  const std::uint64_t a = BiasedBits(lhs);
+  const std::uint64_t b = BiasedBits(rhs);
+  const std::uint64_t distance = a >= b ? a - b : b - a;
+  return distance <= 4;  // gtest's kMaxUlps
+}
+
+}  // namespace
+
+AssertionResult CmpHelperDoubleEQ(const char* lhs_text, const char* rhs_text,
+                                  double lhs, double rhs) {
+  if (AlmostEqualDoubles(lhs, rhs)) return AssertionSuccess();
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << "Expected equality (4 ULPs) of:\n  " << lhs_text << "\n    which is "
+     << lhs << "\n  " << rhs_text << "\n    which is " << rhs;
+  return AssertionResult(false, ss.str());
+}
+
+void InitImpl(int* argc, char** argv) {
+  if (argc == nullptr) return;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--gtest_filter=", 15) == 0) {
+      State().filter = arg + 15;
+    } else if (std::strcmp(arg, "--gtest_list_tests") == 0) {
+      // Expand and list, then exit.
+      for (auto& expander : State().expanders) expander();
+      State().expanders.clear();
+      std::string last_suite;
+      for (const TestEntry& t : State().tests) {
+        if (t.suite != last_suite) {
+          std::printf("%s.\n", t.suite.c_str());
+          last_suite = t.suite;
+        }
+        std::printf("  %s\n", t.name.c_str());
+      }
+      std::exit(0);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+int RunAllTestsImpl() {
+  ShimState& state = State();
+  for (auto& expander : state.expanders) expander();
+  state.expanders.clear();
+
+  std::vector<const TestEntry*> selected;
+  for (const TestEntry& t : state.tests) {
+    if (MatchesFilter(state.filter, t.full_name())) selected.push_back(&t);
+  }
+
+  std::printf("[==========] Running %zu tests (cknn gtest shim).\n",
+              selected.size());
+  std::vector<std::string> failed;
+  for (const TestEntry* t : selected) {
+    const std::string full = t->full_name();
+    std::printf("[ RUN      ] %s\n", full.c_str());
+    std::fflush(stdout);
+    state.current_failed = false;
+    state.current_fatal = false;
+    state.traces.clear();
+    t->run();
+    if (state.current_failed) {
+      failed.push_back(full);
+      std::printf("[  FAILED  ] %s\n", full.c_str());
+    } else {
+      std::printf("[       OK ] %s\n", full.c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf("[==========] %zu tests ran.\n", selected.size());
+  std::printf("[  PASSED  ] %zu tests.\n", selected.size() - failed.size());
+  if (!failed.empty()) {
+    std::printf("[  FAILED  ] %zu tests, listed below:\n", failed.size());
+    for (const std::string& name : failed) {
+      std::printf("[  FAILED  ] %s\n", name.c_str());
+    }
+  }
+  std::fflush(stdout);
+  return failed.empty() ? 0 : 1;
+}
+
+}  // namespace internal
+
+void InitGoogleTest(int* argc, char** argv) {
+  internal::InitImpl(argc, argv);
+}
+void InitGoogleTest() {}
+
+}  // namespace testing

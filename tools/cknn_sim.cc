@@ -3,7 +3,7 @@
 // Runs a Table-2 style workload on a generated road network with a chosen
 // algorithm and prints per-timestamp maintenance cost plus a summary, e.g.:
 //
-//   cknn_sim --algo=gma --edges=10000 --objects=100000 --queries=5000 \
+//   cknn_sim --algo=gma --edges=10000 --objects=100000 --queries=5000
 //            --k=50 --timestamps=100 --edge-agility=0.04 --seed=7
 //
 // Use --compare to run OVH, IMA and GMA on the identical workload and
