@@ -25,6 +25,7 @@ void AblationInfluence(benchmark::State& state) {
     const RunMetrics metrics = RunSimulation(&server, &workload, options);
     state.SetIterationTime(metrics.AvgSeconds());
     state.counters["sec_per_ts"] = metrics.AvgSeconds();
+    state.counters["max_sec"] = metrics.MaxSeconds();
     const auto& stats = dynamic_cast<Ima&>(server.monitor()).engine().stats();
     state.counters["updates_ignored"] =
         static_cast<double>(stats.updates_ignored);

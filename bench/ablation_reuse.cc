@@ -25,6 +25,7 @@ void AblationReuse(benchmark::State& state) {
     const RunMetrics metrics = RunSimulation(&server, &workload, options);
     state.SetIterationTime(metrics.AvgSeconds());
     state.counters["sec_per_ts"] = metrics.AvgSeconds();
+    state.counters["max_sec"] = metrics.MaxSeconds();
     const auto& stats = dynamic_cast<Ima&>(server.monitor()).engine().stats();
     state.counters["full_recomputes"] =
         static_cast<double>(stats.full_recomputes);

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -12,48 +13,98 @@
 
 namespace cknn::bench {
 
-/// Scale of the benchmark suite.
+/// Scale of the benchmark suite, from CKNN_BENCH_SCALE:
 ///
-/// The paper's defaults (Table 2: 10K edges, N=100K, Q=5K, k=50, 100
-/// timestamps) take hours across 14 figures on a laptop, so the default
-/// `quick` scale divides the query cardinality by 5 and the horizon by 10
-/// while preserving the *object density* (objects per edge) — the quantity
-/// the expansion radii, and therefore all relative costs, depend on. Set
-/// CKNN_BENCH_SCALE=paper to run the original parameters.
-inline bool PaperScale() {
+///   paper  -- the paper's Table-2 defaults (10K edges, N=100K, Q=5K, k=50,
+///             100 timestamps). Hours across 14 figures on a laptop.
+///   quick  -- the default: query cardinality / 5, horizon / 10, while
+///             preserving the *object density* (objects per edge) — the
+///             quantity the expansion radii, and therefore all relative
+///             costs, depend on. Minutes for the full suite.
+///   smoke  -- tiny end-to-end runs for the `bench-smoke` CTest label and
+///             CI artifact capture; no claim of paper fidelity. Seconds.
+///
+/// Any other value fails loudly: a typo must not silently record quick-scale
+/// numbers as paper-scale ones.
+enum class BenchScale { kSmoke, kQuick, kPaper };
+
+inline BenchScale ScaleOf() {
   const char* env = std::getenv("CKNN_BENCH_SCALE");
-  return env != nullptr && std::strcmp(env, "paper") == 0;
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "quick") == 0) {
+    return BenchScale::kQuick;
+  }
+  if (std::strcmp(env, "paper") == 0) return BenchScale::kPaper;
+  if (std::strcmp(env, "smoke") == 0) return BenchScale::kSmoke;
+  std::fprintf(stderr,
+               "bench_common: unknown CKNN_BENCH_SCALE '%s' "
+               "(expected smoke|quick|paper)\n",
+               env);
+  std::exit(EXIT_FAILURE);
 }
 
+inline bool PaperScale() { return ScaleOf() == BenchScale::kPaper; }
+
 /// Cardinality divisor of the current scale.
-inline std::size_t Div() { return PaperScale() ? 1 : 5; }
+inline std::size_t Div() {
+  switch (ScaleOf()) {
+    case BenchScale::kPaper:
+      return 1;
+    case BenchScale::kQuick:
+      return 5;
+    case BenchScale::kSmoke:
+      return 100;
+  }
+  return 1;
+}
 
 /// Monitoring horizon of the current scale.
-inline int Timestamps() { return PaperScale() ? 100 : 10; }
+inline int Timestamps() {
+  switch (ScaleOf()) {
+    case BenchScale::kPaper:
+      return 100;
+    case BenchScale::kQuick:
+      return 10;
+    case BenchScale::kSmoke:
+      return 2;
+  }
+  return 100;
+}
 
-/// Table-2 default experiment (both scales share the 10K-edge network and
-/// the full N=100K object population so expansion radii match the paper).
+/// Table-2 default experiment. Paper and quick scale share the 10K-edge
+/// network and the full N=100K object population so expansion radii match
+/// the paper; smoke scale shrinks everything.
 inline ExperimentSpec DefaultSpec() {
   ExperimentSpec spec;
-  spec.network.target_edges = 10000;
+  const BenchScale scale = ScaleOf();
+  spec.network.target_edges = scale == BenchScale::kSmoke ? 500 : 10000;
   spec.network.seed = 1;
-  spec.workload.num_objects = 100000;
+  spec.workload.num_objects = scale == BenchScale::kSmoke ? 5000 : 100000;
   spec.workload.num_queries = 5000 / Div();
-  spec.workload.k = PaperScale() ? 50 : 25;
+  spec.workload.k = scale == BenchScale::kPaper  ? 50
+                    : scale == BenchScale::kQuick ? 25
+                                                  : 4;
   spec.workload.seed = 42;
   spec.timestamps = Timestamps();
   return spec;
 }
 
+/// Decodes the benchmark's algo arg. Out-of-range indices abort instead of
+/// defaulting: a mis-registered figure must not silently record one
+/// algorithm's numbers under another's name.
 inline Algorithm AlgoOf(std::int64_t index) {
   switch (index) {
     case 0:
       return Algorithm::kOvh;
     case 1:
       return Algorithm::kIma;
-    default:
+    case 2:
       return Algorithm::kGma;
   }
+  std::fprintf(stderr,
+               "bench_common: benchmark arg 'algo' out of range: %lld "
+               "(expected 0=OVH, 1=IMA, 2=GMA)\n",
+               static_cast<long long>(index));
+  std::abort();
 }
 
 /// Runs one experiment inside a benchmark iteration: manual time is the

@@ -1,0 +1,46 @@
+# End-to-end smoke of one benchmark family: run a single filtered instance
+# at CKNN_BENCH_SCALE=smoke with JSON output and assert that a successful
+# entry carrying the sec_per_ts counter was produced. Invoked by CTest as
+#   cmake -DCKNN_BENCH_BIN=<path> -DCKNN_BENCH_FILTER=<regex> -P bench_smoke.cmake
+# Works identically against system Google Benchmark and the vendored shim.
+if(NOT DEFINED CKNN_BENCH_BIN OR NOT DEFINED CKNN_BENCH_FILTER)
+  message(FATAL_ERROR
+    "bench_smoke.cmake requires -DCKNN_BENCH_BIN=<path> -DCKNN_BENCH_FILTER=<regex>")
+endif()
+
+set(ENV{CKNN_BENCH_SCALE} smoke)
+
+execute_process(
+  COMMAND ${CKNN_BENCH_BIN}
+    --benchmark_filter=${CKNN_BENCH_FILTER}
+    --benchmark_format=json
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR
+    "${CKNN_BENCH_BIN} exited with ${code}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+string(FIND "${out}" "\"benchmarks\"" has_benchmarks)
+if(has_benchmarks EQUAL -1)
+  message(FATAL_ERROR
+    "no \"benchmarks\" array in JSON output:\n${out}\nstderr:\n${err}")
+endif()
+
+# The filter must have matched at least one instance...
+string(FIND "${out}" "\"run_type\"" has_entry)
+if(has_entry EQUAL -1)
+  message(FATAL_ERROR
+    "filter '${CKNN_BENCH_FILTER}' matched no benchmark:\n${out}")
+endif()
+
+# ...and it must have completed with the counter the merge step requires.
+string(FIND "${out}" "\"sec_per_ts\"" has_counter)
+if(has_counter EQUAL -1)
+  message(FATAL_ERROR
+    "benchmark entry lacks the sec_per_ts counter (errored run?):\n${out}")
+endif()
+
+message(STATUS "bench smoke OK: ${CKNN_BENCH_FILTER}")

@@ -32,6 +32,7 @@ void ReportBrinkhoff(benchmark::State& state, Algorithm algorithm,
         algorithm, OldenburgNetwork(), cfg, Timestamps());
     state.SetIterationTime(metrics.AvgSeconds());
     state.counters["sec_per_ts"] = metrics.AvgSeconds();
+    state.counters["max_sec"] = metrics.MaxSeconds();
   }
   state.SetLabel(AlgorithmName(algorithm));
 }

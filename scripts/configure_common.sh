@@ -1,0 +1,65 @@
+# Shared CMake-configure helper, sourced by verify.sh and bench.sh.
+#
+# Passes the dependency-flavor knobs through to CMake and defends against
+# configure drift: a stale build/ whose cache was configured for the other
+# GoogleTest/Benchmark lane would otherwise be silently reused (CMake keeps
+# cached option values unless told otherwise), so a "system" run could gate
+# on the shim or vice versa. When a requested knob disagrees with the cached
+# value, the cache is dropped and the build directory re-configured.
+
+CKNN_FLAVOR_KNOBS=(
+  CKNN_REQUIRE_SYSTEM_GTEST
+  CKNN_FORCE_GTEST_SHIM
+  CKNN_REQUIRE_SYSTEM_BENCHMARK
+  CKNN_FORCE_BENCHMARK_SHIM
+)
+
+# Normalizes a CMake-style boolean to ON/OFF (empty/unset counts as OFF).
+cknn_bool() {
+  case "$(printf '%s' "${1:-}" | tr '[:lower:]' '[:upper:]')" in
+    1|ON|TRUE|YES|Y) echo ON ;;
+    *) echo OFF ;;
+  esac
+}
+
+# cknn_configure <build_dir> <source_dir> [extra cmake args...]
+cknn_configure() {
+  local build_dir="$1" source_dir="$2"
+  shift 2
+
+  local -a args=()
+  local knob value
+  for knob in "${CKNN_FLAVOR_KNOBS[@]}"; do
+    value="${!knob:-}"
+    [[ -n "${value}" ]] && args+=("-D${knob}=$(cknn_bool "${value}")")
+  done
+
+  local cache="${build_dir}/CMakeCache.txt"
+  if [[ -f "${cache}" ]]; then
+    for knob in "${CKNN_FLAVOR_KNOBS[@]}"; do
+      value="${!knob:-}"
+      if [[ -z "${value}" ]]; then
+        case "${knob}" in
+          # An unset FORCE knob means OFF: a cache left forced to the shim
+          # lane must not silently satisfy a default (system-lane) run.
+          CKNN_FORCE_*) value=OFF ;;
+          # An unset REQUIRE knob means "no opinion": a standing guard in
+          # the cache never flips the lane, it only makes configure
+          # stricter, so leave it alone.
+          *) continue ;;
+        esac
+      fi
+      local cached
+      cached="$(sed -n "s/^${knob}:[A-Z]*=//p" "${cache}" | head -n1)"
+      if [[ "$(cknn_bool "${value}")" != "$(cknn_bool "${cached}")" ]]; then
+        echo "cknn: ${knob}=$(cknn_bool "${value}") disagrees with cached" \
+             "'$(cknn_bool "${cached}")' in ${cache}; re-configuring" >&2
+        rm -rf "${cache}" "${build_dir}/CMakeFiles"
+        break
+      fi
+    done
+  fi
+
+  cmake -B "${build_dir}" -S "${source_dir}" \
+    ${args[@]+"${args[@]}"} "$@"
+}

@@ -2,12 +2,20 @@
 # Tier-1 verification: configure, build everything, run the full CTest
 # suite. This is the exact command sequence ROADMAP.md gates on; run it
 # from anywhere, it always operates on the repo root.
+#
+# The GoogleTest/Benchmark flavor knobs are honored from the environment
+# (e.g. CKNN_REQUIRE_SYSTEM_GTEST=ON scripts/verify.sh) and a stale build
+# cache configured for a different flavor is re-configured, not reused —
+# see scripts/configure_common.sh.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${CKNN_BUILD_DIR:-${repo_root}/build}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -B "${build_dir}" -S "${repo_root}"
+# shellcheck source=scripts/configure_common.sh
+source "${repo_root}/scripts/configure_common.sh"
+
+cknn_configure "${build_dir}" "${repo_root}"
 cmake --build "${build_dir}" -j "${jobs}"
 (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")

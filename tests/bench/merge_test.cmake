@@ -1,0 +1,134 @@
+# Tests for the JSON merge step of scripts/bench.sh (bench_merge.py):
+# happy path, malformed per-figure output, missing counters, and duplicate
+# figure names. Invoked by CTest as
+#   cmake -DPYTHON3=<python3> -DMERGE_SCRIPT=<bench_merge.py>
+#         -DWORK_DIR=<scratch dir> -P merge_test.cmake
+if(NOT DEFINED PYTHON3 OR NOT DEFINED MERGE_SCRIPT OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "merge_test.cmake requires -DPYTHON3=, -DMERGE_SCRIPT= and -DWORK_DIR=")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# run_merge(<case> <expect_success> <input files...>) -> sets out/err/code.
+function(run_merge case expect_success)
+  execute_process(
+    COMMAND ${PYTHON3} ${MERGE_SCRIPT}
+      --out ${WORK_DIR}/${case}_merged.json --scale quick --seed 42 ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(expect_success AND NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "${case}: merge failed unexpectedly (${code})\n${out}\n${err}")
+  endif()
+  if(NOT expect_success AND code EQUAL 0)
+    message(FATAL_ERROR
+      "${case}: merge succeeded but should have failed\n${out}\n${err}")
+  endif()
+  set(out "${out}" PARENT_SCOPE)
+  set(err "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_contains case text where)
+  string(FIND "${where}" "${text}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${case}: expected '${text}' in:\n${where}")
+  endif()
+endfunction()
+
+# --------------------------------------------------------------- fixtures --
+# Shapes mirror --benchmark_format=json output (both flavors): counters are
+# top-level keys, errored entries carry error_occurred/error_message.
+
+file(WRITE "${WORK_DIR}/fig_good_a.json" [=[
+{
+  "context": {"executable": "bench_fig_good_a"},
+  "benchmarks": [
+    {
+      "name": "FigA/algo:0/N_thousands:10/iterations:1/manual_time",
+      "run_type": "iteration", "iterations": 1,
+      "real_time": 1.0, "cpu_time": 2.0, "time_unit": "ms",
+      "sec_per_ts": 0.001, "max_sec": 0.002, "label": "OVH"
+    },
+    {
+      "name": "FigA/algo:2/N_thousands:10/iterations:1/manual_time",
+      "run_type": "iteration", "iterations": 1,
+      "real_time": 0.5, "cpu_time": 1.0, "time_unit": "ms",
+      "sec_per_ts": 0.0005, "max_sec": 0.001, "label": "GMA"
+    },
+    {
+      "name": "FigALarge/algo:0/iterations:1/manual_time",
+      "run_type": "iteration", "iterations": 0,
+      "error_occurred": true, "error_message": "paper scale only",
+      "real_time": 0.0, "cpu_time": 0.0, "time_unit": "ms"
+    }
+  ]
+}
+]=])
+
+file(WRITE "${WORK_DIR}/fig_good_b.json" [=[
+{
+  "context": {"executable": "bench_fig_good_b"},
+  "benchmarks": [
+    {
+      "name": "FigB/algo:1/Q_thousands:1/iterations:1/manual_time",
+      "run_type": "iteration", "iterations": 1,
+      "real_time": 1.0, "cpu_time": 2.0, "time_unit": "ms",
+      "sec_per_ts": 0.003, "mem_kb": 1234.5, "label": "IMA"
+    }
+  ]
+}
+]=])
+
+file(WRITE "${WORK_DIR}/fig_malformed.json" "{ \"benchmarks\": [ truncated")
+
+file(WRITE "${WORK_DIR}/fig_not_bench.json" "{ \"results\": [] }")
+
+file(WRITE "${WORK_DIR}/fig_missing_counter.json" [=[
+{
+  "benchmarks": [
+    {
+      "name": "FigC/algo:1/iterations:1/manual_time",
+      "run_type": "iteration", "iterations": 1,
+      "real_time": 1.0, "cpu_time": 2.0, "time_unit": "ms", "label": "IMA"
+    }
+  ]
+}
+]=])
+
+file(MAKE_DIRECTORY "${WORK_DIR}/dup")
+file(COPY "${WORK_DIR}/fig_good_b.json" DESTINATION "${WORK_DIR}/dup")
+
+# ------------------------------------------------------------- happy path --
+run_merge(happy TRUE
+  "${WORK_DIR}/fig_good_a.json" "${WORK_DIR}/fig_good_b.json")
+file(READ "${WORK_DIR}/happy_merged.json" merged)
+expect_contains(happy "\"figure\": \"fig_good_a\"" "${merged}")
+expect_contains(happy "\"figure\": \"fig_good_b\"" "${merged}")
+expect_contains(happy "\"algo\": \"GMA\"" "${merged}")
+expect_contains(happy "\"mem_kb\": 1234.5" "${merged}")
+expect_contains(happy "\"scale\": \"quick\"" "${merged}")
+expect_contains(happy "\"seed\": 42" "${merged}")
+# The errored paper-scale-only entry is skipped, not recorded.
+expect_contains(happy "\"skipped_entries\": 1" "${merged}")
+expect_contains(happy "\"N_thousands\": 10" "${merged}")
+
+# -------------------------------------------------- malformed figure JSON --
+run_merge(malformed FALSE "${WORK_DIR}/fig_malformed.json")
+expect_contains(malformed "malformed benchmark JSON" "${err}")
+
+run_merge(not_bench FALSE "${WORK_DIR}/fig_not_bench.json")
+expect_contains(not_bench "no 'benchmarks' array" "${err}")
+
+# --------------------------------------------------------- missing counter --
+run_merge(missing_counter FALSE "${WORK_DIR}/fig_missing_counter.json")
+expect_contains(missing_counter "missing the sec_per_ts counter" "${err}")
+
+# --------------------------------------------------- duplicate figure name --
+run_merge(duplicate FALSE
+  "${WORK_DIR}/fig_good_b.json" "${WORK_DIR}/dup/fig_good_b.json")
+expect_contains(duplicate "duplicate figure name" "${err}")
+
+message(STATUS "bench_merge tests OK")

@@ -1,5 +1,8 @@
 # End-to-end smoke test: run cknn_sim on a tiny generated network and
-# assert exit code 0 plus non-empty output. Invoked by CTest as
+# assert exit code 0 plus non-empty output; then assert that bad flag
+# usage (bare value-flags, unknown flags, valued boolean flags) exits
+# nonzero with usage text instead of silently misparsing. Invoked by
+# CTest as
 #   cmake -DCKNN_SIM=<path> -P smoke_test.cmake
 if(NOT DEFINED CKNN_SIM)
   message(FATAL_ERROR "smoke_test.cmake requires -DCKNN_SIM=<path to cknn_sim>")
@@ -24,3 +27,37 @@ if(stripped STREQUAL "")
 endif()
 
 message(STATUS "cknn_sim smoke test OK (${code})")
+
+# expect_usage_error(<case> <args...>): the invocation must exit nonzero
+# and print the usage text.
+function(expect_usage_error case)
+  execute_process(
+    COMMAND ${CKNN_SIM} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(code EQUAL 0)
+    message(FATAL_ERROR
+      "${case}: cknn_sim ${ARGN} exited 0 but should have failed\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  string(FIND "${out}${err}" "usage: cknn_sim" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "${case}: no usage text after bad invocation 'cknn_sim ${ARGN}'\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  message(STATUS "cknn_sim ${case} OK (${code})")
+endfunction()
+
+expect_usage_error(bare_value_flag --algo)
+expect_usage_error(bare_value_flag_edges --edges)
+expect_usage_error(empty_value --algo=)
+expect_usage_error(unknown_flag --bogus-flag)
+expect_usage_error(unknown_algorithm --algo=dijkstra)
+expect_usage_error(valued_bool_flag --compare=yes)
+expect_usage_error(non_numeric_value --k=fifty)
+expect_usage_error(negative_count --edges=-5)
+expect_usage_error(trailing_garbage --queries=10x)
+expect_usage_error(zero_k --k=0)
+expect_usage_error(negative_timestamps --timestamps=-5)

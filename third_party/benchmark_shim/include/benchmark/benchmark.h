@@ -1,0 +1,221 @@
+#ifndef CKNN_THIRD_PARTY_BENCHMARK_SHIM_BENCHMARK_H_
+#define CKNN_THIRD_PARTY_BENCHMARK_SHIM_BENCHMARK_H_
+
+// Minimal Google-Benchmark-compatible shim, used only when a real Google
+// Benchmark cannot be found at configure time (offline builds). It
+// implements the subset the bench/ figures use:
+//
+//   BENCHMARK(fn) with ArgNames / ArgsProduct / Args / Arg / Iterations /
+//   UseManualTime / Unit, State (range-for iteration, range(i),
+//   SetIterationTime, SetLabel, SkipWithError, counters), BENCHMARK_MAIN,
+//   --benchmark_filter, and --benchmark_format=console|json.
+//
+// Instance names ("Fig13a/algo:2/N_thousands:10/iterations:1/manual_time")
+// and the JSON document shape (context object, "benchmarks" array with
+// counters inlined as top-level keys, error_occurred/error_message on
+// skipped runs) follow Google Benchmark 1.7 so scripts/bench_merge.py
+// cannot tell the flavors apart. Not thread-safe within one binary (the
+// figures are single-threaded).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+/// User counter; implicit construction from double makes
+/// `state.counters["x"] = 1.0` work like the real library.
+struct Counter {
+  Counter(double v = 0.0) : value(v) {}  // NOLINT(runtime/explicit)
+  operator double() const { return value; }  // NOLINT(runtime/explicit)
+  double value;
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+namespace internal {
+class BenchmarkRunner;
+}  // namespace internal
+
+class State {
+ public:
+  /// Range-for protocol: `for (auto _ : state)` runs the configured number
+  /// of iterations, stopping early after SkipWithError.
+  struct Value {};
+  class StateIterator {
+   public:
+    explicit StateIterator(State* state) : state_(state) {}
+    Value operator*() const { return Value(); }
+    StateIterator& operator++() { return *this; }
+    bool operator!=(const StateIterator&) const {
+      return state_->KeepRunning();
+    }
+
+   private:
+    State* state_;
+  };
+
+  StateIterator begin() { return StateIterator(this); }
+  StateIterator end() { return StateIterator(this); }
+
+  /// The index-th argument of the current instance (aborts if out of range,
+  /// mirroring the real library's CHECK).
+  std::int64_t range(std::size_t index = 0) const;
+
+  /// Manual-time mode: accumulates the reported time of this iteration.
+  void SetIterationTime(double seconds) { manual_seconds_ += seconds; }
+
+  void SetLabel(const std::string& label) { label_ = label; }
+
+  /// Marks the whole run as errored; remaining iterations are skipped and
+  /// the run is reported with error_occurred/error_message.
+  void SkipWithError(const std::string& message) {
+    skipped_ = true;
+    if (error_message_.empty()) error_message_ = message;
+  }
+
+  bool error_occurred() const { return skipped_; }
+
+  UserCounters counters;
+
+ private:
+  friend class internal::BenchmarkRunner;
+
+  State(std::vector<std::int64_t> ranges, std::int64_t max_iterations)
+      : ranges_(std::move(ranges)), max_iterations_(max_iterations) {}
+
+  bool KeepRunning() {
+    if (skipped_ || completed_ >= max_iterations_) return false;
+    ++completed_;
+    return true;
+  }
+
+  std::vector<std::int64_t> ranges_;
+  std::int64_t max_iterations_;
+  std::int64_t completed_ = 0;
+  double manual_seconds_ = 0.0;
+  bool skipped_ = false;
+  std::string error_message_;
+  std::string label_;
+};
+
+namespace internal {
+
+using BenchmarkFunc = void (*)(State&);
+
+/// Builder returned by BENCHMARK(); mirrors the google/benchmark fluent
+/// interface for the subset bench/ uses. Every setter returns `this`.
+class Benchmark {
+ public:
+  Benchmark(std::string name, BenchmarkFunc func)
+      : name_(std::move(name)), func_(func) {}
+
+  Benchmark* ArgNames(const std::vector<std::string>& names) {
+    arg_names_ = names;
+    return this;
+  }
+
+  /// Cartesian product of the per-axis value lists, first axis slowest.
+  Benchmark* ArgsProduct(
+      const std::vector<std::vector<std::int64_t>>& product) {
+    std::vector<std::vector<std::int64_t>> expanded{{}};
+    for (const std::vector<std::int64_t>& axis : product) {
+      std::vector<std::vector<std::int64_t>> next;
+      next.reserve(expanded.size() * axis.size());
+      for (const std::vector<std::int64_t>& partial : expanded) {
+        for (std::int64_t value : axis) {
+          std::vector<std::int64_t> item = partial;
+          item.push_back(value);
+          next.push_back(std::move(item));
+        }
+      }
+      expanded = std::move(next);
+    }
+    for (std::vector<std::int64_t>& args : expanded) {
+      arg_lists_.push_back(std::move(args));
+    }
+    return this;
+  }
+
+  Benchmark* Args(const std::vector<std::int64_t>& args) {
+    arg_lists_.push_back(args);
+    return this;
+  }
+
+  Benchmark* Arg(std::int64_t arg) {
+    arg_lists_.push_back({arg});
+    return this;
+  }
+
+  Benchmark* Iterations(std::int64_t iterations) {
+    iterations_ = iterations;
+    explicit_iterations_ = true;
+    return this;
+  }
+
+  Benchmark* UseManualTime() {
+    manual_time_ = true;
+    return this;
+  }
+
+  Benchmark* Unit(TimeUnit unit) {
+    unit_ = unit;
+    return this;
+  }
+
+ private:
+  friend class BenchmarkRunner;
+
+  std::string name_;
+  BenchmarkFunc func_;
+  std::vector<std::string> arg_names_;
+  std::vector<std::vector<std::int64_t>> arg_lists_;
+  std::int64_t iterations_ = 1;
+  bool explicit_iterations_ = false;
+  bool manual_time_ = false;
+  TimeUnit unit_ = kNanosecond;
+};
+
+/// Registers a benchmark family; the returned pointer stays owned by the
+/// global registry and valid for the builder-chain assignment.
+Benchmark* RegisterBenchmarkInternal(const char* name, BenchmarkFunc func);
+
+}  // namespace internal
+
+/// Parses and removes --benchmark_* flags from argv (exits on malformed
+/// values, like the real library).
+void Initialize(int* argc, char** argv);
+
+/// True (after printing to stderr) if any non-flag arguments remain.
+bool ReportUnrecognizedArguments(int argc, char** argv);
+
+/// Runs every registered instance matching --benchmark_filter and reports
+/// in the configured format; returns the number of instances run.
+std::size_t RunSpecifiedBenchmarks();
+
+void Shutdown();
+
+}  // namespace benchmark
+
+#define CKNN_BENCHMARK_CONCAT_IMPL_(a, b) a##b
+#define CKNN_BENCHMARK_CONCAT_(a, b) CKNN_BENCHMARK_CONCAT_IMPL_(a, b)
+
+#define BENCHMARK(fn)                                       \
+  [[maybe_unused]] static ::benchmark::internal::Benchmark* \
+      CKNN_BENCHMARK_CONCAT_(cknn_benchmark_, __LINE__) =   \
+          ::benchmark::internal::RegisterBenchmarkInternal(#fn, fn)
+
+#define BENCHMARK_MAIN()                                                \
+  int main(int argc, char** argv) {                                     \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }
+
+#endif  // CKNN_THIRD_PARTY_BENCHMARK_SHIM_BENCHMARK_H_

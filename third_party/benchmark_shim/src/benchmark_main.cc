@@ -1,0 +1,4 @@
+// benchmark_main-equivalent: the default main() for shim-linked figures.
+#include "benchmark/benchmark.h"
+
+BENCHMARK_MAIN();

@@ -1,0 +1,399 @@
+#include "benchmark/benchmark.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <regex>
+#include <thread>
+
+namespace benchmark {
+namespace {
+
+struct Flags {
+  std::string filter;
+  std::string format = "console";      // console | json
+  std::string out_path;                // --benchmark_out=<file>
+  std::string out_format = "json";     // --benchmark_out_format=
+  bool list_tests = false;
+  std::string executable;
+};
+
+Flags& GetFlags() {
+  static Flags flags;
+  return flags;
+}
+
+std::vector<std::unique_ptr<internal::Benchmark>>& Registry() {
+  static std::vector<std::unique_ptr<internal::Benchmark>> registry;
+  return registry;
+}
+
+const char* UnitString(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond:
+      return "ns";
+    case kMicrosecond:
+      return "us";
+    case kMillisecond:
+      return "ms";
+    case kSecond:
+      return "s";
+  }
+  return "ns";
+}
+
+double UnitMultiplier(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond:
+      return 1e9;
+    case kMicrosecond:
+      return 1e6;
+    case kMillisecond:
+      return 1e3;
+    case kSecond:
+      return 1.0;
+  }
+  return 1e9;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double CpuSeconds() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+/// One result row, already converted to the benchmark's time unit.
+struct RunResult {
+  std::string name;
+  std::size_t family_index = 0;
+  std::size_t instance_index = 0;
+  std::int64_t iterations = 0;
+  double real_time = 0.0;
+  double cpu_time = 0.0;
+  const char* time_unit = "ns";
+  std::string label;
+  UserCounters counters;
+  bool error_occurred = false;
+  std::string error_message;
+};
+
+}  // namespace
+
+std::int64_t State::range(std::size_t index) const {
+  if (index >= ranges_.size()) {
+    std::fprintf(stderr,
+                 "benchmark_shim: State::range(%zu) out of bounds (%zu args)\n",
+                 index, ranges_.size());
+    std::abort();
+  }
+  return ranges_[index];
+}
+
+namespace internal {
+
+Benchmark* RegisterBenchmarkInternal(const char* name, BenchmarkFunc func) {
+  Registry().push_back(std::make_unique<Benchmark>(name, func));
+  return Registry().back().get();
+}
+
+/// Expands families into named instances, runs them, and reports.
+class BenchmarkRunner {
+ public:
+  /// A family registered without args still gets one (argless) instance.
+  static std::vector<std::vector<std::int64_t>> Instances(
+      const Benchmark& family) {
+    if (family.arg_lists_.empty()) return {{}};
+    return family.arg_lists_;
+  }
+
+  static std::string InstanceName(const Benchmark& family,
+                                  const std::vector<std::int64_t>& args) {
+    std::string name = family.name_;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      name += '/';
+      if (i < family.arg_names_.size() && !family.arg_names_[i].empty()) {
+        name += family.arg_names_[i] + ':';
+      }
+      name += std::to_string(args[i]);
+    }
+    if (family.explicit_iterations_) {
+      name += "/iterations:" + std::to_string(family.iterations_);
+    }
+    if (family.manual_time_) name += "/manual_time";
+    return name;
+  }
+
+  static RunResult Run(const Benchmark& family, std::size_t family_index,
+                       std::size_t instance_index,
+                       const std::vector<std::int64_t>& args) {
+    RunResult result;
+    result.name = InstanceName(family, args);
+    result.family_index = family_index;
+    result.instance_index = instance_index;
+    result.time_unit = UnitString(family.unit_);
+
+    State state(args, family.iterations_);
+    const double cpu_before = CpuSeconds();
+    const auto wall_before = std::chrono::steady_clock::now();
+    family.func_(state);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_before)
+            .count();
+    const double cpu_seconds = CpuSeconds() - cpu_before;
+
+    result.iterations = state.completed_;
+    result.label = state.label_;
+    result.counters = state.counters;
+    if (state.skipped_) {
+      result.error_occurred = true;
+      result.error_message = state.error_message_;
+      result.iterations = 0;
+      return result;
+    }
+    const double denom =
+        result.iterations > 0 ? static_cast<double>(result.iterations) : 1.0;
+    const double real_seconds =
+        family.manual_time_ ? state.manual_seconds_ : wall_seconds;
+    const double scale = UnitMultiplier(family.unit_);
+    result.real_time = real_seconds / denom * scale;
+    result.cpu_time = cpu_seconds / denom * scale;
+    return result;
+  }
+};
+
+}  // namespace internal
+
+void Initialize(int* argc, char** argv) {
+  Flags& flags = GetFlags();
+  if (*argc > 0) flags.executable = argv[0];
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--benchmark_filter=")) {
+      flags.filter = v;
+    } else if (const char* v = value_of("--benchmark_format=")) {
+      if (std::strcmp(v, "console") != 0 && std::strcmp(v, "json") != 0) {
+        std::fprintf(stderr,
+                     "benchmark_shim: unsupported --benchmark_format=%s "
+                     "(console|json)\n",
+                     v);
+        std::exit(1);
+      }
+      flags.format = v;
+    } else if (const char* v = value_of("--benchmark_out=")) {
+      flags.out_path = v;
+    } else if (const char* v = value_of("--benchmark_out_format=")) {
+      flags.out_format = v;
+    } else if (value_of("--benchmark_color=") != nullptr ||
+               value_of("--benchmark_counters_tabular=") != nullptr) {
+      // Accepted and ignored: cosmetic in the real library.
+    } else if (arg == "--benchmark_list_tests" ||
+               arg == "--benchmark_list_tests=true") {
+      flags.list_tests = true;
+    } else {
+      argv[kept++] = argv[i];  // Left for ReportUnrecognizedArguments.
+    }
+  }
+  *argc = kept;
+}
+
+bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "%s: unrecognized command-line flag: %s\n",
+                 GetFlags().executable.c_str(), argv[i]);
+  }
+  return argc > 1;
+}
+
+namespace {
+
+void PrintContext(std::FILE* out) {
+  char date[64] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_buf;
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &now);
+#else
+  localtime_r(&now, &tm_buf);
+#endif
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S%z", &tm_buf);
+  std::fprintf(out,
+               "{\n"
+               "  \"context\": {\n"
+               "    \"date\": \"%s\",\n"
+               "    \"executable\": \"%s\",\n"
+               "    \"num_cpus\": %u,\n"
+               "    \"mhz_per_cpu\": 0,\n"
+               "    \"cpu_scaling_enabled\": false,\n"
+               "    \"caches\": [\n"
+               "    ],\n"
+               "    \"library_build_type\": \"cknn-benchmark-shim\"\n"
+               "  },\n",
+               date, JsonEscape(GetFlags().executable).c_str(),
+               std::thread::hardware_concurrency());
+}
+
+void PrintJson(std::FILE* out, const std::vector<RunResult>& results) {
+  PrintContext(out);
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"family_index\": %zu,\n"
+                 "      \"per_family_instance_index\": %zu,\n"
+                 "      \"run_name\": \"%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"repetitions\": 1,\n"
+                 "      \"repetition_index\": 0,\n"
+                 "      \"threads\": 1,\n",
+                 JsonEscape(r.name).c_str(), r.family_index, r.instance_index,
+                 JsonEscape(r.name).c_str());
+    if (r.error_occurred) {
+      std::fprintf(out,
+                   "      \"error_occurred\": true,\n"
+                   "      \"error_message\": \"%s\",\n",
+                   JsonEscape(r.error_message).c_str());
+    }
+    std::fprintf(out,
+                 "      \"iterations\": %lld,\n"
+                 "      \"real_time\": %.9e,\n"
+                 "      \"cpu_time\": %.9e,\n"
+                 "      \"time_unit\": \"%s\"",
+                 static_cast<long long>(r.iterations), r.real_time, r.cpu_time,
+                 r.time_unit);
+    for (const auto& [key, counter] : r.counters) {
+      std::fprintf(out, ",\n      \"%s\": %.9e", JsonEscape(key).c_str(),
+                   counter.value);
+    }
+    if (!r.label.empty()) {
+      std::fprintf(out, ",\n      \"label\": \"%s\"",
+                   JsonEscape(r.label).c_str());
+    }
+    std::fprintf(out, "\n    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+void PrintConsole(std::FILE* out, const std::vector<RunResult>& results) {
+  std::fprintf(out, "%-64s %16s %16s\n", "Benchmark", "Time", "CPU");
+  std::fprintf(out,
+               "-----------------------------------------------------------"
+               "---------------------------------------\n");
+  for (const RunResult& r : results) {
+    if (r.error_occurred) {
+      std::fprintf(out, "%-64s ERROR: %s\n", r.name.c_str(),
+                   r.error_message.c_str());
+      continue;
+    }
+    std::fprintf(out, "%-64s %13.3f %s %13.3f %s", r.name.c_str(), r.real_time,
+                 r.time_unit, r.cpu_time, r.time_unit);
+    for (const auto& [key, counter] : r.counters) {
+      std::fprintf(out, " %s=%g", key.c_str(), counter.value);
+    }
+    if (!r.label.empty()) std::fprintf(out, " %s", r.label.c_str());
+    std::fprintf(out, "\n");
+  }
+}
+
+}  // namespace
+
+std::size_t RunSpecifiedBenchmarks() {
+  const Flags& flags = GetFlags();
+  std::regex filter;
+  if (!flags.filter.empty()) {
+    try {
+      filter = std::regex(flags.filter);
+    } catch (const std::regex_error& e) {
+      std::fprintf(stderr, "benchmark_shim: bad --benchmark_filter: %s\n",
+                   e.what());
+      std::exit(1);
+    }
+  }
+
+  std::vector<RunResult> results;
+  std::size_t family_index = 0;
+  for (const auto& family : Registry()) {
+    const std::vector<std::vector<std::int64_t>> instances =
+        internal::BenchmarkRunner::Instances(*family);
+    std::size_t instance_index = 0;
+    for (const std::vector<std::int64_t>& args : instances) {
+      const std::string name =
+          internal::BenchmarkRunner::InstanceName(*family, args);
+      if (!flags.filter.empty() && !std::regex_search(name, filter)) continue;
+      if (flags.list_tests) {
+        std::printf("%s\n", name.c_str());
+        ++instance_index;
+        continue;
+      }
+      results.push_back(internal::BenchmarkRunner::Run(
+          *family, family_index, instance_index++, args));
+    }
+    ++family_index;
+  }
+  if (flags.list_tests) return 0;
+
+  if (flags.format == "json") {
+    PrintJson(stdout, results);
+  } else {
+    PrintConsole(stdout, results);
+  }
+  if (!flags.out_path.empty()) {
+    if (flags.out_format != "json") {
+      std::fprintf(stderr,
+                   "benchmark_shim: only --benchmark_out_format=json is "
+                   "supported\n");
+      std::exit(1);
+    }
+    std::FILE* f = std::fopen(flags.out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "benchmark_shim: cannot open %s\n",
+                   flags.out_path.c_str());
+      std::exit(1);
+    }
+    PrintJson(f, results);
+    std::fclose(f);
+  }
+  return results.size();
+}
+
+void Shutdown() {}
+
+}  // namespace benchmark

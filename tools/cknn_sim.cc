@@ -9,6 +9,9 @@
 // Use --compare to run OVH, IMA and GMA on the identical workload and
 // print a comparison table.
 
+#include <cerrno>
+#include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +51,8 @@ void PrintUsage() {
       "  --seed=N              master seed (default 42)\n");
 }
 
+/// Matches `--name` (value left nullptr) or `--name=value`; other arguments,
+/// including longer flags sharing the prefix, do not match.
 bool ParseFlag(const char* arg, const char* name, const char** value) {
   const std::size_t len = std::strlen(name);
   if (std::strncmp(arg, name, len) != 0) return false;
@@ -62,6 +67,74 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
   return false;
 }
 
+/// A value flag given bare (`--algo` instead of `--algo=gma`) is an error,
+/// never a fall-through to the next flag in the chain.
+bool RequireValue(const char* flag, const char* v) {
+  if (v != nullptr && *v != '\0') return true;
+  std::fprintf(stderr, "missing value for %s\n\n", flag);
+  PrintUsage();
+  return false;
+}
+
+/// A boolean flag given a value (`--compare=yes`) is equally an error.
+bool RejectValue(const char* flag, const char* v) {
+  if (v == nullptr) return true;
+  std::fprintf(stderr, "%s does not take a value\n\n", flag);
+  PrintUsage();
+  return false;
+}
+
+bool BadNumber(const char* flag, const char* v) {
+  std::fprintf(stderr, "invalid numeric value for %s: '%s'\n\n", flag, v);
+  PrintUsage();
+  return false;
+}
+
+/// Strict numeric parsing: `--k=fifty` or `--edges=-5` must error out, not
+/// silently become 0 the way atoi/strtoull would.
+bool ParseCount(const char* flag, const char* v, std::uint64_t* out) {
+  if (!RequireValue(flag, v)) return false;
+  if (*v == '-') return BadNumber(flag, v);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0') return BadNumber(flag, v);
+  *out = parsed;
+  return true;
+}
+
+bool ParseSize(const char* flag, const char* v, std::size_t* out) {
+  std::uint64_t parsed = 0;
+  if (!ParseCount(flag, v, &parsed)) return false;
+  *out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+/// --k and --timestamps must be >= 1: a zero or negative value would run an
+/// empty simulation (or die deep in the engine) instead of erroring here.
+bool ParsePositiveInt(const char* flag, const char* v, int* out) {
+  if (!RequireValue(flag, v)) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed < 1 ||
+      parsed > INT_MAX) {
+    return BadNumber(flag, v);
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool ParseDouble(const char* flag, const char* v, double* out) {
+  if (!RequireValue(flag, v)) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (errno != 0 || end == v || *end != '\0') return BadNumber(flag, v);
+  *out = parsed;
+  return true;
+}
+
 bool ParseOptions(int argc, char** argv, Options* opt) {
   opt->spec.network.target_edges = 10000;
   opt->spec.network.seed = 1;
@@ -71,7 +144,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
   opt->spec.timestamps = 100;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
-    if (ParseFlag(argv[i], "--algo", &v) && v != nullptr) {
+    if (ParseFlag(argv[i], "--algo", &v)) {
+      if (!RequireValue("--algo", v)) return false;
       if (std::strcmp(v, "ima") == 0) {
         opt->algo = Algorithm::kIma;
       } else if (std::strcmp(v, "gma") == 0) {
@@ -79,39 +153,67 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       } else if (std::strcmp(v, "ovh") == 0) {
         opt->algo = Algorithm::kOvh;
       } else {
-        std::fprintf(stderr, "unknown algorithm: %s\n", v);
+        std::fprintf(stderr, "unknown algorithm: %s\n\n", v);
+        PrintUsage();
         return false;
       }
     } else if (ParseFlag(argv[i], "--compare", &v)) {
+      if (!RejectValue("--compare", v)) return false;
       opt->compare = true;
     } else if (ParseFlag(argv[i], "--memory", &v)) {
+      if (!RejectValue("--memory", v)) return false;
       opt->memory = true;
-    } else if (ParseFlag(argv[i], "--edges", &v) && v) {
-      opt->spec.network.target_edges = std::strtoull(v, nullptr, 10);
-    } else if (ParseFlag(argv[i], "--objects", &v) && v) {
-      opt->spec.workload.num_objects = std::strtoull(v, nullptr, 10);
-    } else if (ParseFlag(argv[i], "--queries", &v) && v) {
-      opt->spec.workload.num_queries = std::strtoull(v, nullptr, 10);
-    } else if (ParseFlag(argv[i], "--k", &v) && v) {
-      opt->spec.workload.k = std::atoi(v);
-    } else if (ParseFlag(argv[i], "--timestamps", &v) && v) {
-      opt->spec.timestamps = std::atoi(v);
-    } else if (ParseFlag(argv[i], "--edge-agility", &v) && v) {
-      opt->spec.workload.edge_agility = std::atof(v);
-    } else if (ParseFlag(argv[i], "--object-agility", &v) && v) {
-      opt->spec.workload.object_agility = std::atof(v);
-    } else if (ParseFlag(argv[i], "--query-agility", &v) && v) {
-      opt->spec.workload.query_agility = std::atof(v);
-    } else if (ParseFlag(argv[i], "--object-speed", &v) && v) {
-      opt->spec.workload.object_speed = std::atof(v);
-    } else if (ParseFlag(argv[i], "--query-speed", &v) && v) {
-      opt->spec.workload.query_speed = std::atof(v);
+    } else if (ParseFlag(argv[i], "--edges", &v)) {
+      if (!ParseSize("--edges", v, &opt->spec.network.target_edges)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--objects", &v)) {
+      if (!ParseSize("--objects", v, &opt->spec.workload.num_objects)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--queries", &v)) {
+      if (!ParseSize("--queries", v, &opt->spec.workload.num_queries)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--k", &v)) {
+      if (!ParsePositiveInt("--k", v, &opt->spec.workload.k)) return false;
+    } else if (ParseFlag(argv[i], "--timestamps", &v)) {
+      if (!ParsePositiveInt("--timestamps", v, &opt->spec.timestamps)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--edge-agility", &v)) {
+      if (!ParseDouble("--edge-agility", v,
+                       &opt->spec.workload.edge_agility)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--object-agility", &v)) {
+      if (!ParseDouble("--object-agility", v,
+                       &opt->spec.workload.object_agility)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--query-agility", &v)) {
+      if (!ParseDouble("--query-agility", v,
+                       &opt->spec.workload.query_agility)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--object-speed", &v)) {
+      if (!ParseDouble("--object-speed", v,
+                       &opt->spec.workload.object_speed)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--query-speed", &v)) {
+      if (!ParseDouble("--query-speed", v,
+                       &opt->spec.workload.query_speed)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--uniform-queries", &v)) {
+      if (!RejectValue("--uniform-queries", v)) return false;
       opt->spec.workload.query_distribution = Distribution::kUniform;
     } else if (ParseFlag(argv[i], "--gaussian-objects", &v)) {
+      if (!RejectValue("--gaussian-objects", v)) return false;
       opt->spec.workload.object_distribution = Distribution::kGaussian;
-    } else if (ParseFlag(argv[i], "--seed", &v) && v) {
-      opt->spec.workload.seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      if (!ParseCount("--seed", v, &opt->spec.workload.seed)) return false;
       opt->spec.network.seed = opt->spec.workload.seed ^ 0x9E37;
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", argv[i]);
