@@ -18,6 +18,10 @@ struct ObjectUpdate {
   ObjectId id = kInvalidObject;
   std::optional<NetworkPoint> old_pos;
   std::optional<NetworkPoint> new_pos;
+
+  friend bool operator==(const ObjectUpdate& a, const ObjectUpdate& b) {
+    return a.id == b.id && a.old_pos == b.old_pos && a.new_pos == b.new_pos;
+  }
 };
 
 /// \brief Update of a continuous query: installation, movement, or
@@ -31,12 +35,22 @@ struct QueryUpdate {
   NetworkPoint pos;
   /// Number of neighbors (only used for kInstall).
   int k = 1;
+
+  friend bool operator==(const QueryUpdate& a, const QueryUpdate& b) {
+    if (a.id != b.id || a.kind != b.kind) return false;
+    if (a.kind == Kind::kTerminate) return true;  // pos/k are ignored.
+    return a.pos == b.pos && (a.kind != Kind::kInstall || a.k == b.k);
+  }
 };
 
 /// \brief Weight change of a network edge (e.g., from congestion sensors).
 struct EdgeUpdate {
   EdgeId edge = kInvalidEdge;
   double new_weight = 0.0;
+
+  friend bool operator==(const EdgeUpdate& a, const EdgeUpdate& b) {
+    return a.edge == b.edge && a.new_weight == b.new_weight;
+  }
 };
 
 /// \brief All updates received in one timestamp. The complete IMA (Fig. 10)
@@ -50,6 +64,11 @@ struct UpdateBatch {
 
   bool Empty() const {
     return objects.empty() && queries.empty() && edges.empty();
+  }
+
+  friend bool operator==(const UpdateBatch& a, const UpdateBatch& b) {
+    return a.objects == b.objects && a.queries == b.queries &&
+           a.edges == b.edges;
   }
 };
 

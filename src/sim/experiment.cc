@@ -1,8 +1,11 @@
 #include "src/sim/experiment.h"
 
 #include <iomanip>
+#include <sstream>
 
+#include "src/trace/trace_source.h"
 #include "src/util/macros.h"
+#include "src/util/stopwatch.h"
 
 namespace cknn {
 
@@ -26,6 +29,97 @@ RunMetrics RunBrinkhoffExperiment(Algorithm algorithm,
   SimulationOptions options;
   options.timestamps = timestamps;
   return RunSimulation(&server, &workload, options);
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<TraceMeta> ExperimentTraceMeta(const ExperimentSpec& spec) {
+  const WorkloadConfig& wl = spec.workload;
+  const auto distribution_name = [](Distribution d) {
+    return d == Distribution::kUniform ? "uniform" : "gaussian";
+  };
+  return {
+      {"generator", "table2"},
+      {"seed", std::to_string(wl.seed)},
+      {"network_seed", std::to_string(spec.network.seed)},
+      {"target_edges", std::to_string(spec.network.target_edges)},
+      {"objects", std::to_string(wl.num_objects)},
+      {"queries", std::to_string(wl.num_queries)},
+      {"object_distribution", distribution_name(wl.object_distribution)},
+      {"query_distribution", distribution_name(wl.query_distribution)},
+      {"k", std::to_string(wl.k)},
+      {"timestamps", std::to_string(spec.timestamps)},
+      {"edge_agility", FormatDouble(wl.edge_agility)},
+      {"object_agility", FormatDouble(wl.object_agility)},
+      {"object_speed", FormatDouble(wl.object_speed)},
+      {"query_agility", FormatDouble(wl.query_agility)},
+      {"query_speed", FormatDouble(wl.query_speed)},
+      {"weight_magnitude", FormatDouble(wl.weight_magnitude)},
+      {"object_gaussian_stddev", FormatDouble(wl.object_gaussian_stddev)},
+      {"query_gaussian_stddev", FormatDouble(wl.query_gaussian_stddev)},
+  };
+}
+
+Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
+                                         const ExperimentSpec& spec,
+                                         const std::string& trace_path) {
+  RoadNetwork net = GenerateRoadNetwork(spec.network);
+  MonitoringServer server(std::move(net), algorithm);
+  Result<TraceWriter> writer = TraceWriter::Open(
+      trace_path, ExperimentTraceMeta(spec), server.network());
+  if (!writer.ok()) return writer.status();
+  Workload workload(&server.network(), &server.spatial_index(),
+                    spec.workload);
+  RecordingWorkloadSource recorder(&workload, &*writer);
+  SimulationOptions options;
+  options.timestamps = spec.timestamps;
+  options.measure_memory = spec.measure_memory;
+  RunMetrics metrics = RunSimulation(&server, &recorder, options);
+  CKNN_RETURN_NOT_OK(recorder.status());
+  CKNN_RETURN_NOT_OK(writer->Finish());
+  return metrics;
+}
+
+Result<RunMetrics> RunTraceReplay(Algorithm algorithm, const Trace& trace,
+                                  bool measure_memory) {
+  MonitoringServer server(CloneNetwork(trace.network), algorithm);
+  TraceWorkloadSource source(&trace);
+  {
+    const Status st = server.Tick(source.Initial());
+    if (!st.ok()) {
+      // Tick indices match the trace's batch order and the conformance
+      // report's timestamps: tick 0 is the initial batch.
+      return Status::FailedPrecondition("replay tick 0 rejected: " +
+                                        st.message());
+    }
+  }
+  RunMetrics metrics;
+  const int steps = source.NumSteps();
+  metrics.steps.reserve(static_cast<std::size_t>(steps));
+  for (int ts = 0; ts < steps; ++ts) {
+    const UpdateBatch batch = source.Step();
+    Stopwatch watch;
+    const Status st = server.Tick(batch);
+    TimestepMetrics step;
+    step.seconds = watch.ElapsedSeconds();
+    if (!st.ok()) {
+      return Status::FailedPrecondition("replay tick " +
+                                        std::to_string(ts + 1) +
+                                        " rejected: " + st.message());
+    }
+    if (measure_memory) step.memory_bytes = server.MonitorMemoryBytes();
+    metrics.steps.push_back(step);
+  }
+  return metrics;
 }
 
 SeriesTable::SeriesTable(std::string title, std::string x_label,

@@ -10,6 +10,7 @@
 #include "src/gen/workload.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulation.h"
+#include "src/trace/trace.h"
 
 namespace cknn {
 
@@ -32,6 +33,27 @@ RunMetrics RunBrinkhoffExperiment(Algorithm algorithm,
                                   const RoadNetwork& base_network,
                                   const BrinkhoffWorkload::Config& config,
                                   int timestamps);
+
+/// Self-describing trace-header metadata for a spec: everything needed to
+/// regenerate the workload from scratch (the network itself is embedded in
+/// the trace alongside).
+std::vector<TraceMeta> ExperimentTraceMeta(const ExperimentSpec& spec);
+
+/// Runs one algorithm on one spec while recording the network and every
+/// consumed update batch to `trace_path` (see docs/trace_format.md). The
+/// written trace replays the run exactly — against this or any other
+/// algorithm.
+Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
+                                         const ExperimentSpec& spec,
+                                         const std::string& trace_path);
+
+/// Replays a recorded trace against one algorithm on a clone of the
+/// trace's network, timing each tick. The horizon is the trace's own.
+/// Unlike the generator paths, semantically invalid batches (a trace
+/// recorded against a different network state) surface as error Status
+/// instead of aborting.
+Result<RunMetrics> RunTraceReplay(Algorithm algorithm, const Trace& trace,
+                                  bool measure_memory);
 
 /// \brief Paper-style series table: one row per x-value, one column per
 /// series (typically OVH / IMA / GMA), printed as an aligned text table.

@@ -1,0 +1,457 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+namespace {
+
+std::string LineError(int line, const std::string& msg) {
+  return "trace line " + std::to_string(line) + ": " + msg;
+}
+
+/// True iff the stream has nothing but whitespace left.
+bool AtLineEnd(std::istringstream* ss) {
+  std::string extra;
+  return !(*ss >> extra);
+}
+
+/// Positions are serialized as "<edge> <t>" or the single token "-" for a
+/// missing (appear/disappear) side.
+void WritePosition(std::ostream& out, const std::optional<NetworkPoint>& p) {
+  if (p.has_value()) {
+    out << p->edge << ' ' << p->t;
+  } else {
+    out << '-';
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- writer --
+
+Result<TraceWriter> TraceWriter::Open(const std::string& path,
+                                      const std::vector<TraceMeta>& meta,
+                                      const RoadNetwork& network) {
+  // Validate the metadata before touching the file, so a rejected call
+  // cannot clobber an existing trace at `path`.
+  for (const TraceMeta& m : meta) {
+    if (m.key.empty()) return Status::InvalidArgument("empty trace meta key");
+    for (char c : m.key) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        return Status::InvalidArgument("whitespace in trace meta key: " +
+                                       m.key);
+      }
+    }
+    if (m.value.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("newline in trace meta value for key " +
+                                     m.key);
+    }
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  // Precision 17 makes double round-trips exact: the reader recovers the
+  // identical bit pattern, so write -> read -> write is byte-identical.
+  out << std::setprecision(17);
+  out << "CKNNTRACE " << kTraceFormatVersion << '\n';
+  for (const TraceMeta& m : meta) {
+    out << "meta " << m.key << ' ' << m.value << '\n';
+  }
+  out << "network " << network.NumNodes() << ' ' << network.NumEdges()
+      << '\n';
+  for (NodeId n = 0; n < network.NumNodes(); ++n) {
+    const Point& p = network.NodePosition(n);
+    out << "n " << p.x << ' ' << p.y << '\n';
+  }
+  for (EdgeId e = 0; e < network.NumEdges(); ++e) {
+    const RoadNetwork::Edge& ed = network.edge(e);
+    out << "e " << ed.u << ' ' << ed.v << ' ' << ed.length << ' ' << ed.weight
+        << '\n';
+  }
+  if (!out) return Status::IoError("write failure on " + path);
+  return TraceWriter(std::move(out));
+}
+
+Status TraceWriter::AppendBatch(const UpdateBatch& batch) {
+  if (finished_) {
+    return Status::FailedPrecondition("trace writer already finished");
+  }
+  out_ << "batch " << batch.objects.size() << ' ' << batch.queries.size()
+       << ' ' << batch.edges.size() << '\n';
+  for (const ObjectUpdate& u : batch.objects) {
+    out_ << "o " << u.id << ' ';
+    WritePosition(out_, u.old_pos);
+    out_ << ' ';
+    WritePosition(out_, u.new_pos);
+    out_ << '\n';
+  }
+  for (const QueryUpdate& u : batch.queries) {
+    switch (u.kind) {
+      case QueryUpdate::Kind::kInstall:
+        out_ << "q i " << u.id << ' ' << u.pos.edge << ' ' << u.pos.t << ' '
+             << u.k << '\n';
+        break;
+      case QueryUpdate::Kind::kMove:
+        out_ << "q m " << u.id << ' ' << u.pos.edge << ' ' << u.pos.t << '\n';
+        break;
+      case QueryUpdate::Kind::kTerminate:
+        out_ << "q t " << u.id << '\n';
+        break;
+    }
+  }
+  for (const EdgeUpdate& u : batch.edges) {
+    out_ << "w " << u.edge << ' ' << u.new_weight << '\n';
+  }
+  out_ << "end\n";
+  if (!out_) return Status::IoError("write failure while appending batch");
+  ++batches_written_;
+  return Status::OK();
+}
+
+Status TraceWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("trace writer already finished");
+  }
+  finished_ = true;
+  out_ << "eot " << batches_written_ << '\n';
+  out_.close();
+  if (!out_) return Status::IoError("write failure on trace trailer");
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- reader --
+
+Result<TraceReader> TraceReader::Open(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  TraceReader reader(std::move(in));
+  const Status st = reader.ParseHeader();
+  if (!st.ok()) return st;
+  return reader;
+}
+
+namespace {
+
+/// Reads the next significant line (skipping blank lines and '#' comments,
+/// which hand-authored traces may contain; CRLF endings are stripped so
+/// meta values and markers parse identically). Returns false on EOF.
+bool NextSignificantLine(std::ifstream* in, int* line_number,
+                         std::string* line) {
+  while (std::getline(*in, *line)) {
+    ++*line_number;
+    if (!line->empty() && line->back() == '\r') line->pop_back();
+    std::size_t i = 0;
+    while (i < line->size() &&
+           std::isspace(static_cast<unsigned char>((*line)[i]))) {
+      ++i;
+    }
+    if (i == line->size() || (*line)[i] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+Status ParsePosition(std::istringstream* ss, int line,
+                     std::size_t num_edges,
+                     std::optional<NetworkPoint>* out) {
+  std::string token;
+  if (!(*ss >> token)) {
+    return Status::IoError(LineError(line, "missing position"));
+  }
+  if (token == "-") {
+    out->reset();
+    return Status::OK();
+  }
+  std::istringstream edge_ss(token);
+  EdgeId edge = 0;
+  double t = 0.0;
+  if (!(edge_ss >> edge) || !AtLineEnd(&edge_ss) || !(*ss >> t)) {
+    return Status::IoError(LineError(line, "malformed position"));
+  }
+  if (edge >= num_edges) {
+    return Status::InvalidArgument(
+        LineError(line, "position on unknown edge"));
+  }
+  if (!(t >= 0.0 && t <= 1.0)) {
+    return Status::InvalidArgument(
+        LineError(line, "position parameter outside [0, 1]"));
+  }
+  *out = NetworkPoint{edge, t};
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TraceReader::ParseHeader() {
+  std::string line;
+  if (!NextSignificantLine(&in_, &line_number_, &line)) {
+    return Status::IoError("empty trace file");
+  }
+  {
+    std::istringstream ss(line);
+    std::string magic;
+    if (!(ss >> magic >> version_) || !AtLineEnd(&ss) ||
+        magic != "CKNNTRACE") {
+      return Status::IoError(LineError(line_number_, "bad trace magic"));
+    }
+    if (version_ != kTraceFormatVersion) {
+      return Status::InvalidArgument(
+          LineError(line_number_, "unsupported trace version " +
+                                      std::to_string(version_)));
+    }
+  }
+  // Metadata lines up to the mandatory network line.
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  while (true) {
+    if (!NextSignificantLine(&in_, &line_number_, &line)) {
+      return Status::IoError("trace truncated before network section");
+    }
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "meta") {
+      TraceMeta m;
+      if (!(ss >> m.key)) {
+        return Status::IoError(LineError(line_number_, "malformed meta"));
+      }
+      std::getline(ss, m.value);
+      if (!m.value.empty() && m.value[0] == ' ') m.value.erase(0, 1);
+      meta_.push_back(std::move(m));
+      continue;
+    }
+    if (kind == "network") {
+      if (!(ss >> num_nodes >> num_edges) || !AtLineEnd(&ss)) {
+        return Status::IoError(
+            LineError(line_number_, "malformed network line"));
+      }
+      break;
+    }
+    return Status::IoError(
+        LineError(line_number_, "expected meta or network, got " + kind));
+  }
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    if (!NextSignificantLine(&in_, &line_number_, &line)) {
+      return Status::IoError("trace truncated in node list");
+    }
+    std::istringstream ss(line);
+    std::string kind;
+    double x = 0.0;
+    double y = 0.0;
+    if (!(ss >> kind >> x >> y) || !AtLineEnd(&ss) || kind != "n") {
+      return Status::IoError(LineError(line_number_, "malformed node line"));
+    }
+    network_.AddNode(Point{x, y});
+  }
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    if (!NextSignificantLine(&in_, &line_number_, &line)) {
+      return Status::IoError("trace truncated in edge list");
+    }
+    std::istringstream ss(line);
+    std::string kind;
+    NodeId u = 0;
+    NodeId v = 0;
+    double length = 0.0;
+    double weight = 0.0;
+    if (!(ss >> kind >> u >> v >> length >> weight) || !AtLineEnd(&ss) ||
+        kind != "e") {
+      return Status::IoError(LineError(line_number_, "malformed edge line"));
+    }
+    auto added = network_.AddEdge(u, v, length);
+    if (!added.ok()) {
+      return Status::InvalidArgument(
+          LineError(line_number_, added.status().message()));
+    }
+    if (weight != length) {
+      const Status st = network_.SetWeight(added.value(), weight);
+      if (!st.ok()) {
+        return Status::InvalidArgument(
+            LineError(line_number_, st.message()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> TraceReader::NextBatch(UpdateBatch* out) {
+  const std::size_t num_edges = network_.NumEdges();
+  std::string line;
+  if (!NextSignificantLine(&in_, &line_number_, &line)) {
+    return Status::IoError(
+        "trace truncated: missing end-of-trace trailer (eot)");
+  }
+  std::istringstream header(line);
+  std::string kind;
+  header >> kind;
+  if (kind == "eot") {
+    std::uint64_t count = 0;
+    if (!(header >> count) || !AtLineEnd(&header)) {
+      return Status::IoError(LineError(line_number_, "malformed trailer"));
+    }
+    if (count != batches_read_) {
+      return Status::IoError(
+          LineError(line_number_, "trailer batch count mismatch: trailer says " +
+                                      std::to_string(count) + ", read " +
+                                      std::to_string(batches_read_)));
+    }
+    if (NextSignificantLine(&in_, &line_number_, &line)) {
+      return Status::IoError(
+          LineError(line_number_, "content after end-of-trace trailer"));
+    }
+    return false;
+  }
+  std::size_t num_objects = 0;
+  std::size_t num_queries = 0;
+  std::size_t num_weights = 0;
+  if (kind != "batch" ||
+      !(header >> num_objects >> num_queries >> num_weights) ||
+      !AtLineEnd(&header)) {
+    return Status::IoError(LineError(line_number_, "malformed batch header"));
+  }
+  *out = UpdateBatch{};
+  // The header counts are untrusted input: cap the reservations so a
+  // corrupt count degrades to incremental growth (and a clean truncation
+  // error below) instead of a length_error/bad_alloc abort.
+  constexpr std::size_t kReserveCap = 1u << 20;
+  out->objects.reserve(std::min(num_objects, kReserveCap));
+  out->queries.reserve(std::min(num_queries, kReserveCap));
+  out->edges.reserve(std::min(num_weights, kReserveCap));
+  for (std::size_t i = 0; i < num_objects; ++i) {
+    if (!NextSignificantLine(&in_, &line_number_, &line)) {
+      return Status::IoError("trace truncated in object records");
+    }
+    std::istringstream ss(line);
+    ObjectUpdate u;
+    if (!(ss >> kind >> u.id) || kind != "o") {
+      return Status::IoError(
+          LineError(line_number_, "malformed object record"));
+    }
+    Status st = ParsePosition(&ss, line_number_, num_edges, &u.old_pos);
+    if (!st.ok()) return st;
+    st = ParsePosition(&ss, line_number_, num_edges, &u.new_pos);
+    if (!st.ok()) return st;
+    if (!AtLineEnd(&ss)) {
+      return Status::IoError(
+          LineError(line_number_, "trailing data in object record"));
+    }
+    out->objects.push_back(u);
+  }
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    if (!NextSignificantLine(&in_, &line_number_, &line)) {
+      return Status::IoError("trace truncated in query records");
+    }
+    std::istringstream ss(line);
+    std::string op;
+    QueryUpdate u;
+    if (!(ss >> kind >> op >> u.id) || kind != "q") {
+      return Status::IoError(
+          LineError(line_number_, "malformed query record"));
+    }
+    std::optional<NetworkPoint> pos;
+    if (op == "i") {
+      u.kind = QueryUpdate::Kind::kInstall;
+      const Status st = ParsePosition(&ss, line_number_, num_edges, &pos);
+      if (!st.ok()) return st;
+      if (!pos.has_value() || !(ss >> u.k) || u.k < 1) {
+        return Status::IoError(
+            LineError(line_number_, "malformed query install record"));
+      }
+      u.pos = *pos;
+    } else if (op == "m") {
+      u.kind = QueryUpdate::Kind::kMove;
+      const Status st = ParsePosition(&ss, line_number_, num_edges, &pos);
+      if (!st.ok()) return st;
+      if (!pos.has_value()) {
+        return Status::IoError(
+            LineError(line_number_, "malformed query move record"));
+      }
+      u.pos = *pos;
+      u.k = 0;
+    } else if (op == "t") {
+      u.kind = QueryUpdate::Kind::kTerminate;
+      u.pos = NetworkPoint{};
+      u.k = 0;
+    } else {
+      return Status::IoError(
+          LineError(line_number_, "unknown query op '" + op + "'"));
+    }
+    if (!AtLineEnd(&ss)) {
+      return Status::IoError(
+          LineError(line_number_, "trailing data in query record"));
+    }
+    out->queries.push_back(u);
+  }
+  for (std::size_t i = 0; i < num_weights; ++i) {
+    if (!NextSignificantLine(&in_, &line_number_, &line)) {
+      return Status::IoError("trace truncated in weight records");
+    }
+    std::istringstream ss(line);
+    EdgeUpdate u;
+    if (!(ss >> kind >> u.edge >> u.new_weight) || !AtLineEnd(&ss) ||
+        kind != "w") {
+      return Status::IoError(
+          LineError(line_number_, "malformed weight record"));
+    }
+    if (u.edge >= num_edges) {
+      return Status::InvalidArgument(
+          LineError(line_number_, "weight update for unknown edge"));
+    }
+    if (u.new_weight < 0.0) {
+      return Status::InvalidArgument(
+          LineError(line_number_, "negative edge weight"));
+    }
+    out->edges.push_back(u);
+  }
+  if (!NextSignificantLine(&in_, &line_number_, &line)) {
+    return Status::IoError("trace truncated: missing batch end marker");
+  }
+  {
+    // Tokenized like every other record, so CRLF endings and stray
+    // whitespace don't break only the terminator.
+    std::istringstream ss(line);
+    std::string marker;
+    if (!(ss >> marker) || marker != "end" || !AtLineEnd(&ss)) {
+      return Status::IoError(
+          LineError(line_number_, "expected batch end marker"));
+    }
+  }
+  ++batches_read_;
+  return true;
+}
+
+// --------------------------------------------------------- convenience --
+
+Status WriteTrace(const Trace& trace, const std::string& path) {
+  Result<TraceWriter> writer = TraceWriter::Open(path, trace.meta,
+                                                 trace.network);
+  if (!writer.ok()) return writer.status();
+  for (const UpdateBatch& batch : trace.batches) {
+    CKNN_RETURN_NOT_OK(writer->AppendBatch(batch));
+  }
+  return writer->Finish();
+}
+
+Result<Trace> ReadTrace(const std::string& path) {
+  Result<TraceReader> reader = TraceReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  Trace trace;
+  trace.version = reader->version();
+  trace.meta = reader->meta();
+  UpdateBatch batch;
+  while (true) {
+    Result<bool> more = reader->NextBatch(&batch);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    trace.batches.push_back(std::move(batch));
+    batch = UpdateBatch{};
+  }
+  trace.network = reader->TakeNetwork();
+  return trace;
+}
+
+}  // namespace cknn

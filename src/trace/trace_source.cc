@@ -1,0 +1,59 @@
+#include "src/trace/trace_source.h"
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+TraceWorkloadSource::TraceWorkloadSource(const Trace* trace) : trace_(trace) {
+  CKNN_CHECK(trace_ != nullptr);
+}
+
+UpdateBatch TraceWorkloadSource::Initial() {
+  CKNN_CHECK(next_ == 0);
+  next_ = 1;  // Even an empty trace consumes its (absent) initial tick.
+  if (trace_->batches.empty()) return UpdateBatch{};
+  return trace_->batches[0];
+}
+
+UpdateBatch TraceWorkloadSource::Step() {
+  CKNN_CHECK(next_ > 0);  // Initial() must run first.
+  if (next_ >= trace_->batches.size()) return UpdateBatch{};
+  return trace_->batches[next_++];
+}
+
+std::size_t TraceWorkloadSource::StepsRemaining() const {
+  return next_ >= trace_->batches.size() ? 0 : trace_->batches.size() - next_;
+}
+
+int TraceWorkloadSource::NumSteps() const {
+  return trace_->batches.empty()
+             ? 0
+             : static_cast<int>(trace_->batches.size()) - 1;
+}
+
+RecordingWorkloadSource::RecordingWorkloadSource(
+    WorkloadSource* inner, TraceWriter* writer,
+    std::vector<UpdateBatch>* capture)
+    : inner_(inner), writer_(writer), capture_(capture) {
+  CKNN_CHECK(inner_ != nullptr);
+  CKNN_CHECK(writer_ != nullptr || capture_ != nullptr);
+}
+
+UpdateBatch RecordingWorkloadSource::Record(UpdateBatch batch) {
+  if (writer_ != nullptr) {
+    const Status st = writer_->AppendBatch(batch);
+    if (status_.ok() && !st.ok()) status_ = st;
+  }
+  if (capture_ != nullptr) capture_->push_back(batch);
+  return batch;
+}
+
+UpdateBatch RecordingWorkloadSource::Initial() {
+  return Record(inner_->Initial());
+}
+
+UpdateBatch RecordingWorkloadSource::Step() {
+  return Record(inner_->Step());
+}
+
+}  // namespace cknn

@@ -1,0 +1,65 @@
+#ifndef CKNN_TRACE_TRACE_SOURCE_H_
+#define CKNN_TRACE_TRACE_SOURCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/gen/workload.h"
+#include "src/trace/trace.h"
+
+namespace cknn {
+
+/// \brief Replays a recorded trace through the standard `WorkloadSource`
+/// interface: `Initial()` yields the trace's first batch, every `Step()`
+/// the next one. Once the trace is exhausted, `Step()` returns empty
+/// batches, so a longer simulation horizon degrades to a quiescent network
+/// instead of dying.
+class TraceWorkloadSource : public WorkloadSource {
+ public:
+  /// `trace` must outlive the source.
+  explicit TraceWorkloadSource(const Trace* trace);
+
+  UpdateBatch Initial() override;
+  UpdateBatch Step() override;
+
+  /// Number of `Step()` calls the trace still covers.
+  std::size_t StepsRemaining() const;
+
+  /// The simulation horizon the trace was recorded over (batches minus the
+  /// initial tick).
+  int NumSteps() const;
+
+ private:
+  const Trace* trace_;
+  std::size_t next_ = 0;
+};
+
+/// \brief Tees another workload source: every batch handed to the
+/// simulation is also appended to a `TraceWriter` and/or captured into an
+/// in-memory batch vector. Wrap any generator with this to record a run.
+class RecordingWorkloadSource : public WorkloadSource {
+ public:
+  /// `inner` must outlive the source; `writer` and `capture` may each be
+  /// null. Call `writer->Finish()` yourself after the run.
+  RecordingWorkloadSource(WorkloadSource* inner, TraceWriter* writer,
+                          std::vector<UpdateBatch>* capture = nullptr);
+
+  UpdateBatch Initial() override;
+  UpdateBatch Step() override;
+
+  /// First write error encountered while appending, OK otherwise. Batches
+  /// keep flowing to the simulation even after a write error.
+  const Status& status() const { return status_; }
+
+ private:
+  UpdateBatch Record(UpdateBatch batch);
+
+  WorkloadSource* inner_;
+  TraceWriter* writer_;
+  std::vector<UpdateBatch>* capture_;
+  Status status_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_TRACE_TRACE_SOURCE_H_

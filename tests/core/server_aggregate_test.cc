@@ -1,0 +1,182 @@
+// Section 4.5 preprocessing through the server's Tick path: when one
+// entity issues several updates in a single timestamp, the batch handed to
+// the algorithm must collapse to the last-write state — for every
+// algorithm, and with the same observable outcome as submitting the
+// collapsed update directly.
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/core/server.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+class TickAggregationTest : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  /// Fresh server on a 4x4 unit grid with two objects and one 2-NN query.
+  std::unique_ptr<MonitoringServer> MakeServer() {
+    auto server = std::make_unique<MonitoringServer>(testing::MakeGrid(4),
+                                                     GetParam());
+    EXPECT_TRUE(server->AddObject(0, NetworkPoint{0, 0.25}).ok());
+    EXPECT_TRUE(server->AddObject(1, NetworkPoint{10, 0.5}).ok());
+    EXPECT_TRUE(server->InstallQuery(0, NetworkPoint{2, 0.5}, 2).ok());
+    return server;
+  }
+
+  /// Both servers must expose identical query-0 results.
+  void ExpectSameResult(const MonitoringServer& a, const MonitoringServer& b) {
+    const auto* ra = a.ResultOf(0);
+    const auto* rb = b.ResultOf(0);
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_EQ(*ra, *rb);
+  }
+};
+
+TEST_P(TickAggregationTest, ChainedObjectMovesCollapseToLastWrite) {
+  auto chained = MakeServer();
+  auto collapsed = MakeServer();
+  UpdateBatch batch;
+  batch.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{0, 0.25}, NetworkPoint{5, 0.5}});
+  batch.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{5, 0.5}, NetworkPoint{9, 0.75}});
+  batch.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{9, 0.75}, NetworkPoint{14, 0.5}});
+  ASSERT_TRUE(chained->Tick(batch).ok());
+
+  UpdateBatch single;
+  single.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{0, 0.25}, NetworkPoint{14, 0.5}});
+  ASSERT_TRUE(collapsed->Tick(single).ok());
+
+  EXPECT_EQ(chained->objects().Position(0).value(), (NetworkPoint{14, 0.5}));
+  ExpectSameResult(*chained, *collapsed);
+  // One batch, one timestamp — regardless of how many updates it carried.
+  EXPECT_EQ(chained->timestamp(), collapsed->timestamp());
+}
+
+TEST_P(TickAggregationTest, AppearThenMoveCollapsesToFinalAppearance) {
+  auto chained = MakeServer();
+  auto collapsed = MakeServer();
+  UpdateBatch batch;
+  batch.objects.push_back(ObjectUpdate{7, std::nullopt, NetworkPoint{4, 0.5}});
+  batch.objects.push_back(
+      ObjectUpdate{7, NetworkPoint{4, 0.5}, NetworkPoint{2, 0.25}});
+  ASSERT_TRUE(chained->Tick(batch).ok());
+
+  UpdateBatch single;
+  single.objects.push_back(
+      ObjectUpdate{7, std::nullopt, NetworkPoint{2, 0.25}});
+  ASSERT_TRUE(collapsed->Tick(single).ok());
+
+  EXPECT_EQ(chained->objects().Position(7).value(), (NetworkPoint{2, 0.25}));
+  ExpectSameResult(*chained, *collapsed);
+}
+
+TEST_P(TickAggregationTest, MoveThenDisappearRemovesTheObject) {
+  auto server = MakeServer();
+  UpdateBatch batch;
+  batch.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{0, 0.25}, NetworkPoint{5, 0.5}});
+  batch.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{5, 0.5}, std::nullopt});
+  ASSERT_TRUE(server->Tick(batch).ok());
+  EXPECT_FALSE(server->objects().Contains(0));
+  const auto* result = server->ResultOf(0);
+  ASSERT_NE(result, nullptr);
+  ASSERT_EQ(result->size(), 1u);  // Only object 1 remains.
+  EXPECT_EQ((*result)[0].id, 1u);
+}
+
+TEST_P(TickAggregationTest, RepeatedEdgeWeightUpdatesLastWriteWins) {
+  auto chained = MakeServer();
+  auto collapsed = MakeServer();
+  UpdateBatch batch;
+  batch.edges.push_back(EdgeUpdate{2, 9.0});
+  batch.edges.push_back(EdgeUpdate{2, 0.5});
+  batch.edges.push_back(EdgeUpdate{2, 3.25});
+  batch.edges.push_back(EdgeUpdate{7, 2.0});  // Another edge rides along.
+  ASSERT_TRUE(chained->Tick(batch).ok());
+
+  UpdateBatch single;
+  single.edges.push_back(EdgeUpdate{2, 3.25});
+  single.edges.push_back(EdgeUpdate{7, 2.0});
+  ASSERT_TRUE(collapsed->Tick(single).ok());
+
+  EXPECT_DOUBLE_EQ(chained->network().edge(2).weight, 3.25);
+  EXPECT_DOUBLE_EQ(chained->network().edge(7).weight, 2.0);
+  ExpectSameResult(*chained, *collapsed);
+}
+
+TEST_P(TickAggregationTest, ChainedQueryMovesCollapseToLastWrite) {
+  auto chained = MakeServer();
+  auto collapsed = MakeServer();
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{8, 0.5}, 0});
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{12, 0.75}, 0});
+  ASSERT_TRUE(chained->Tick(batch).ok());
+
+  UpdateBatch single;
+  single.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{12, 0.75}, 0});
+  ASSERT_TRUE(collapsed->Tick(single).ok());
+  ExpectSameResult(*chained, *collapsed);
+}
+
+TEST_P(TickAggregationTest, InstallMoveTerminateWithinOneTickIsANoOp) {
+  auto server = MakeServer();
+  const std::size_t queries_before = server->monitor().NumQueries();
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{5, QueryUpdate::Kind::kInstall, NetworkPoint{1, 0.5}, 3});
+  batch.queries.push_back(
+      QueryUpdate{5, QueryUpdate::Kind::kMove, NetworkPoint{3, 0.5}, 0});
+  batch.queries.push_back(
+      QueryUpdate{5, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  ASSERT_TRUE(server->Tick(batch).ok());
+  EXPECT_EQ(server->ResultOf(5), nullptr);
+  EXPECT_EQ(server->monitor().NumQueries(), queries_before);
+}
+
+TEST_P(TickAggregationTest, MixedEntitiesAggregateIndependently) {
+  auto chained = MakeServer();
+  auto collapsed = MakeServer();
+  UpdateBatch batch;
+  batch.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{0, 0.25}, NetworkPoint{1, 0.5}});
+  batch.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{1, 0.5}, NetworkPoint{1, 0.75}});
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{4, 0.5}, 0});
+  batch.edges.push_back(EdgeUpdate{1, 4.0});
+  batch.edges.push_back(EdgeUpdate{1, 1.5});
+  ASSERT_TRUE(chained->Tick(batch).ok());
+
+  UpdateBatch single;
+  single.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{0, 0.25}, NetworkPoint{1, 0.75}});
+  single.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{4, 0.5}, 0});
+  single.edges.push_back(EdgeUpdate{1, 1.5});
+  ASSERT_TRUE(collapsed->Tick(single).ok());
+
+  EXPECT_EQ(chained->objects().Position(0).value(), (NetworkPoint{1, 0.75}));
+  EXPECT_DOUBLE_EQ(chained->network().edge(1).weight, 1.5);
+  ExpectSameResult(*chained, *collapsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, TickAggregationTest,
+                         ::testing::Values(Algorithm::kIma, Algorithm::kGma,
+                                           Algorithm::kOvh),
+                         [](const ::testing::TestParamInfo<Algorithm>& info) {
+                           return std::string(AlgorithmName(info.param));
+                         });
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,125 @@
+// Coordinate snapping through the PMR quadtree (MonitoringServer::Snap):
+// how raw coordinate-only location updates are interpreted. Covers
+// off-network points (including outside the workspace), exact equidistant
+// ties between edges, agreement with a brute-force nearest-edge oracle,
+// and geometrically degenerate zero-length edges.
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "src/core/server.h"
+#include "src/graph/network_point.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+/// Brute-force nearest-edge distance over every edge segment.
+double BruteForceSnapDistance(const RoadNetwork& net, const Point& p) {
+  double best = std::numeric_limits<double>::infinity();
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    best = std::min(best, PointSegmentDistance(p, net.EdgeSegment(e)));
+  }
+  return best;
+}
+
+TEST(SnapTest, PointOnAnEdgeSnapsExactly) {
+  MonitoringServer server(testing::MakeGrid(3), Algorithm::kOvh);
+  // Interior of edge 0, from (0,0) to (1,0).
+  const auto snapped = server.Snap(Point{0.25, 0.0});
+  ASSERT_TRUE(snapped.ok());
+  EXPECT_EQ(snapped->edge, 0u);
+  EXPECT_NEAR(snapped->t, 0.25, 1e-12);
+  EXPECT_NEAR(Distance(ToEuclidean(server.network(), *snapped),
+                       Point{0.25, 0.0}),
+              0.0, 1e-12);
+}
+
+TEST(SnapTest, OffNetworkPointClampsToNearestEdgeEndpoint) {
+  MonitoringServer server(testing::MakeGrid(3), Algorithm::kOvh);
+  // Left of the grid, level with the first vertical edge (node (0,0) to
+  // (0,1), edge id 1): the snap clamps onto that edge at t = 0.3.
+  const auto snapped = server.Snap(Point{-0.5, 0.3});
+  ASSERT_TRUE(snapped.ok());
+  EXPECT_EQ(snapped->edge, 1u);
+  EXPECT_NEAR(snapped->t, 0.3, 1e-12);
+  // Beyond the corner: every incident edge is equidistant, the chosen
+  // point is the corner node itself.
+  const auto corner = server.Snap(Point{-0.2, -0.3});
+  ASSERT_TRUE(corner.ok());
+  EXPECT_NEAR(Distance(ToEuclidean(server.network(), *corner), Point{0, 0}),
+              0.0, 1e-12);
+}
+
+TEST(SnapTest, EquidistantEdgeTieIsDeterministicAndCorrect) {
+  MonitoringServer server(testing::MakeGrid(3), Algorithm::kOvh);
+  // Center of a unit grid cell: exactly 0.5 from all four surrounding
+  // edges. Any of them is a correct answer; repeated snaps must agree.
+  const Point center{0.5, 0.5};
+  const auto first = server.Snap(center);
+  ASSERT_TRUE(first.ok());
+  EXPECT_NEAR(Distance(ToEuclidean(server.network(), *first), center), 0.5,
+              1e-12);
+  for (int i = 0; i < 5; ++i) {
+    const auto again = server.Snap(center);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->edge, first->edge);
+    EXPECT_EQ(again->t, first->t);
+  }
+}
+
+TEST(SnapTest, MatchesBruteForceNearestEdge) {
+  MonitoringServer server(testing::MakeGrid(5, 2.0), Algorithm::kOvh);
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    // Sample inside and well outside the 8x8 workspace.
+    const Point p{rng.Uniform(-3.0, 11.0), rng.Uniform(-3.0, 11.0)};
+    const auto snapped = server.Snap(p);
+    ASSERT_TRUE(snapped.ok());
+    const double via_index =
+        Distance(ToEuclidean(server.network(), *snapped), p);
+    const double via_scan = BruteForceSnapDistance(server.network(), p);
+    EXPECT_NEAR(via_index, via_scan, 1e-9) << "point " << p.x << "," << p.y;
+  }
+}
+
+TEST(SnapTest, DegenerateZeroLengthEdgeIsSnappable) {
+  // Two coincident nodes joined by an edge with an explicit positive travel
+  // cost: geometrically a point, topologically a normal edge.
+  RoadNetwork net;
+  const NodeId a = net.AddNode(Point{0.0, 1.0});
+  const NodeId b = net.AddNode(Point{0.0, 1.0});
+  const NodeId c = net.AddNode(Point{0.0, 0.0});
+  const NodeId d = net.AddNode(Point{1.0, 0.0});
+  auto degenerate = net.AddEdge(a, b, /*length_override=*/1.0);
+  ASSERT_TRUE(degenerate.ok());
+  ASSERT_TRUE(net.AddEdge(c, d).ok());
+  ASSERT_TRUE(net.AddEdge(a, c).ok());
+  MonitoringServer server(std::move(net), Algorithm::kOvh);
+
+  // Closest to the coincident pair: the degenerate edge (or the vertical
+  // edge's endpoint, which is the same geometric spot).
+  const auto snapped = server.Snap(Point{0.15, 1.1});
+  ASSERT_TRUE(snapped.ok());
+  EXPECT_NEAR(Distance(ToEuclidean(server.network(), *snapped),
+                       Point{0.0, 1.0}),
+              0.0, 1e-12);
+  // The parameter of a snap onto the degenerate segment itself is 0 by
+  // convention (ClosestPointParam on a zero-length segment).
+  if (snapped->edge == degenerate.value()) {
+    EXPECT_EQ(snapped->t, 0.0);
+  }
+  // Entities can live on the degenerate edge and be found by queries.
+  ASSERT_TRUE(
+      server.AddObject(0, NetworkPoint{degenerate.value(), 0.0}).ok());
+  ASSERT_TRUE(server.InstallQuery(0, NetworkPoint{1, 0.5}, 1).ok());
+  const auto* result = server.ResultOf(0);
+  ASSERT_NE(result, nullptr);
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 0u);
+}
+
+}  // namespace
+}  // namespace cknn

@@ -3,6 +3,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -88,6 +91,15 @@ inline std::vector<Neighbor> BruteForceKnn(const RoadNetwork& net,
   });
   if (static_cast<int>(all.size()) > k) all.resize(k);
   return all;
+}
+
+/// Whole file as a string (for byte-identity assertions on trace files).
+inline std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
 }
 
 /// Asserts that two k-NN result lists agree as distance multisets (ids may

@@ -1,0 +1,70 @@
+# End-to-end CLI leg of the `conformance` label: record three randomized
+# scenarios with cknn_sim --conformance --record (which already verifies
+# OVH/IMA/GMA agreement in lockstep), then re-check each recorded file
+# through --replay --conformance, and finally assert that a corrupted
+# trace is rejected instead of silently replayed. Invoked by CTest as
+#   cmake -DCKNN_SIM=<path> -DWORK_DIR=<dir> -P conformance_cli_test.cmake
+# CKNN_FUZZ_SEED (optional) shifts the scenario seeds, like the gtest
+# fuzz suites.
+if(NOT DEFINED CKNN_SIM OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "conformance_cli_test.cmake requires -DCKNN_SIM=<path> -DWORK_DIR=<dir>")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(base_seed 0)
+if(DEFINED ENV{CKNN_FUZZ_SEED})
+  string(REGEX MATCH "^[0-9]+" env_seed "$ENV{CKNN_FUZZ_SEED}")
+  if(NOT env_seed STREQUAL "")
+    set(base_seed ${env_seed})
+  endif()
+endif()
+
+function(expect_conformance_ok case)
+  execute_process(
+    COMMAND ${CKNN_SIM} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "${case}: cknn_sim ${ARGN} exited ${code}\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  string(FIND "${out}" "conformance OK" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "${case}: no 'conformance OK' in output\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  message(STATUS "${case} OK")
+endfunction()
+
+foreach(i RANGE 1 3)
+  math(EXPR seed "${base_seed} + 101 * ${i}")
+  set(trace "${WORK_DIR}/scenario_${i}.trace")
+  expect_conformance_ok(record_scenario_${i}
+    --conformance --record=${trace}
+    --edges=250 --objects=120 --queries=15 --k=5 --timestamps=8
+    --edge-agility=0.1 --object-agility=0.2 --query-agility=0.2
+    --seed=${seed})
+  expect_conformance_ok(replay_scenario_${i}
+    --replay=${trace} --conformance)
+endforeach()
+
+# A corrupted trace must be rejected, not replayed as if nothing happened.
+set(corrupt "${WORK_DIR}/corrupt.trace")
+file(READ "${WORK_DIR}/scenario_1.trace" intact)
+string(REPLACE "eot " "eot 9" tampered "${intact}")
+file(WRITE "${corrupt}" "${tampered}")
+execute_process(
+  COMMAND ${CKNN_SIM} --replay=${corrupt} --conformance
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(code EQUAL 0)
+  message(FATAL_ERROR
+    "corrupted trace was accepted\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+message(STATUS "corrupt_trace_rejected OK (${code})")

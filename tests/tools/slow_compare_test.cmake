@@ -1,0 +1,54 @@
+# Medium-scale cknn_sim --compare / --memory runs — the ROADMAP'd `slow`
+# lane. Default scale (paper cardinalities, shortened horizon) finishes in
+# a few seconds so the full ctest run stays bounded; the nightly workflow
+# raises CKNN_FUZZ_SCALE to lengthen the horizon (integer part, clamped to
+# [1, 32], mirroring tests/fuzz_util.h). Invoked by CTest as
+#   cmake -DCKNN_SIM=<path> -P slow_compare_test.cmake
+if(NOT DEFINED CKNN_SIM)
+  message(FATAL_ERROR "slow_compare_test.cmake requires -DCKNN_SIM=<path>")
+endif()
+
+set(scale 1)
+if(DEFINED ENV{CKNN_FUZZ_SCALE})
+  string(REGEX MATCH "^[0-9]+" scale_int "$ENV{CKNN_FUZZ_SCALE}")
+  if(NOT scale_int STREQUAL "" AND scale_int GREATER 0)
+    set(scale ${scale_int})
+  endif()
+  if(scale GREATER 32)
+    set(scale 32)
+  endif()
+endif()
+math(EXPR timestamps "20 * ${scale}")
+
+# run_sim(<case> <required substring> <args...>)
+function(run_sim case required)
+  execute_process(
+    COMMAND ${CKNN_SIM} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "${case}: cknn_sim ${ARGN} exited ${code}\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  string(FIND "${out}" "${required}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "${case}: expected '${required}' in output\nstdout:\n${out}")
+  endif()
+  message(STATUS "${case} OK (scale ${scale}, ${timestamps} timestamps)")
+endfunction()
+
+# Paper cardinalities (Table 2) on a shortened horizon: all three
+# algorithms on one identical workload, with the memory row.
+run_sim(medium_compare "memory (KB)"
+  --compare --memory
+  --edges=10000 --objects=100000 --queries=2000 --k=50
+  --timestamps=${timestamps} --seed=1234)
+
+# Single-algorithm per-timestamp memory reporting at the same scale.
+run_sim(medium_memory "mem "
+  --algo=ima --memory
+  --edges=10000 --objects=100000 --queries=2000 --k=50
+  --timestamps=${timestamps} --seed=1234)

@@ -61,3 +61,31 @@ expect_usage_error(negative_count --edges=-5)
 expect_usage_error(trailing_garbage --queries=10x)
 expect_usage_error(zero_k --k=0)
 expect_usage_error(negative_timestamps --timestamps=-5)
+expect_usage_error(bare_record --record)
+expect_usage_error(bare_replay --replay)
+expect_usage_error(record_and_replay --record=a.trace --replay=b.trace)
+expect_usage_error(compare_and_conformance --compare --conformance)
+expect_usage_error(compare_and_record --compare --record=a.trace)
+expect_usage_error(valued_conformance --conformance=yes)
+expect_usage_error(replay_with_generator_flag --replay=a.trace --edges=100)
+expect_usage_error(replay_with_seed --replay=a.trace --seed=3)
+expect_usage_error(conformance_with_algo --conformance --algo=ima)
+expect_usage_error(conformance_with_memory --conformance --memory)
+
+# Replay of a missing trace must fail cleanly (a read error, not usage).
+execute_process(
+  COMMAND ${CKNN_SIM} --replay=does_not_exist.trace
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(code EQUAL 0)
+  message(FATAL_ERROR
+    "replay of a missing trace exited 0\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+string(FIND "${err}" "cannot read trace" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+    "replay of a missing trace should report a read error, got\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+message(STATUS "cknn_sim missing_trace OK (${code})")

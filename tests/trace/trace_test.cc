@@ -1,0 +1,249 @@
+// Trace format round-trip and error-path coverage: the writer/reader pair
+// must preserve every batch bit-for-bit, produce byte-identical output on
+// write -> read -> write, and reject malformed or truncated files with a
+// line-numbered error instead of silently replaying garbage.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/trace/trace.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+using testing::ReadFileToString;
+
+void WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// A small trace exercising every record kind: appear / move / disappear
+/// objects, install / move / terminate queries, weight updates, fluctuated
+/// initial weights, meta values with spaces, and an empty batch.
+Trace MakeSampleTrace() {
+  Trace trace;
+  trace.network = testing::MakeGrid(3);
+  EXPECT_TRUE(trace.network.SetWeight(1, 2.53125).ok());
+  trace.meta.push_back(TraceMeta{"generator", "hand-written sample"});
+  trace.meta.push_back(TraceMeta{"seed", "7"});
+
+  UpdateBatch initial;
+  initial.objects.push_back(
+      ObjectUpdate{0, std::nullopt, NetworkPoint{0, 0.125}});
+  initial.objects.push_back(
+      ObjectUpdate{1, std::nullopt, NetworkPoint{3, 1.0 / 3.0}});
+  initial.queries.push_back(QueryUpdate{0, QueryUpdate::Kind::kInstall,
+                                        NetworkPoint{2, 0.75}, 2});
+  trace.batches.push_back(initial);
+
+  UpdateBatch step;
+  step.objects.push_back(
+      ObjectUpdate{0, NetworkPoint{0, 0.125}, NetworkPoint{1, 0.5}});
+  step.objects.push_back(
+      ObjectUpdate{1, NetworkPoint{3, 1.0 / 3.0}, std::nullopt});
+  step.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{2, 0.25}, 0});
+  step.queries.push_back(QueryUpdate{1, QueryUpdate::Kind::kInstall,
+                                     NetworkPoint{0, 0.0}, 1});
+  step.edges.push_back(EdgeUpdate{4, 1.875});
+  trace.batches.push_back(step);
+
+  UpdateBatch last;
+  last.queries.push_back(
+      QueryUpdate{1, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  trace.batches.push_back(last);
+  trace.batches.push_back(UpdateBatch{});  // Quiescent tick.
+  return trace;
+}
+
+TEST(TraceFormatTest, RoundTripPreservesEverything) {
+  const std::string path = "trace_test_roundtrip.trace";
+  const Trace original = MakeSampleTrace();
+  ASSERT_TRUE(WriteTrace(original, path).ok());
+
+  Result<Trace> read = ReadTrace(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->version, kTraceFormatVersion);
+  ASSERT_EQ(read->meta.size(), original.meta.size());
+  for (std::size_t i = 0; i < original.meta.size(); ++i) {
+    EXPECT_EQ(read->meta[i].key, original.meta[i].key);
+    EXPECT_EQ(read->meta[i].value, original.meta[i].value);
+  }
+  ASSERT_EQ(read->network.NumNodes(), original.network.NumNodes());
+  ASSERT_EQ(read->network.NumEdges(), original.network.NumEdges());
+  for (NodeId n = 0; n < original.network.NumNodes(); ++n) {
+    EXPECT_EQ(read->network.NodePosition(n), original.network.NodePosition(n));
+  }
+  for (EdgeId e = 0; e < original.network.NumEdges(); ++e) {
+    const RoadNetwork::Edge& want = original.network.edge(e);
+    const RoadNetwork::Edge& got = read->network.edge(e);
+    EXPECT_EQ(got.u, want.u);
+    EXPECT_EQ(got.v, want.v);
+    EXPECT_EQ(got.length, want.length);  // Exact: precision-17 round-trip.
+    EXPECT_EQ(got.weight, want.weight);
+  }
+  EXPECT_EQ(read->batches, original.batches);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, WriteReadWriteIsByteIdentical) {
+  const std::string path_a = "trace_test_bytes_a.trace";
+  const std::string path_b = "trace_test_bytes_b.trace";
+  ASSERT_TRUE(WriteTrace(MakeSampleTrace(), path_a).ok());
+  Result<Trace> read = ReadTrace(path_a);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_TRUE(WriteTrace(*read, path_b).ok());
+  EXPECT_EQ(ReadFileToString(path_a), ReadFileToString(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(TraceFormatTest, EmptyTraceRoundTrips) {
+  const std::string path = "trace_test_empty.trace";
+  Trace trace;
+  trace.network = testing::MakeGrid(2);
+  ASSERT_TRUE(WriteTrace(trace, path).ok());
+  Result<Trace> read = ReadTrace(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->batches.empty());
+  EXPECT_TRUE(read->meta.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, StreamingWriterCountsAndRejectsUseAfterFinish) {
+  const std::string path = "trace_test_streaming.trace";
+  const Trace sample = MakeSampleTrace();
+  Result<TraceWriter> writer =
+      TraceWriter::Open(path, sample.meta, sample.network);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (const UpdateBatch& batch : sample.batches) {
+    ASSERT_TRUE(writer->AppendBatch(batch).ok());
+  }
+  EXPECT_EQ(writer->batches_written(), sample.batches.size());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_TRUE(writer->Finish().IsFailedPrecondition());
+  EXPECT_TRUE(writer->AppendBatch(UpdateBatch{}).IsFailedPrecondition());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, MetaKeyWithWhitespaceRejectedWithoutClobbering) {
+  const std::string path = "trace_test_badmeta.trace";
+  Trace good;
+  good.network = testing::MakeGrid(2);
+  ASSERT_TRUE(WriteTrace(good, path).ok());
+  const std::string before = ReadFileToString(path);
+
+  Trace bad;
+  bad.network = testing::MakeGrid(2);
+  bad.meta.push_back(TraceMeta{"bad key", "value"});
+  EXPECT_TRUE(WriteTrace(bad, path).IsInvalidArgument());
+  // The rejected write must not have truncated the existing trace.
+  EXPECT_EQ(ReadFileToString(path), before);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ReadTrace("no_such_file.trace").status().IsIoError());
+}
+
+TEST(TraceFormatTest, CommentsAndBlankLinesAreSkipped) {
+  const std::string path = "trace_test_comments.trace";
+  WriteStringToFile(path,
+                    "# hand-authored trace\n"
+                    "CKNNTRACE 1\n"
+                    "\n"
+                    "meta note spaces are fine here\n"
+                    "network 2 1\n"
+                    "n 0 0\n"
+                    "n 1 0\n"
+                    "# the only edge\n"
+                    "e 0 1 1 1\n"
+                    "batch 1 1 0\n"
+                    "o 3 - 0 0.5\n"
+                    "q i 0 0 0.25 2\n"
+                    "end\n"
+                    "eot 1\n");
+  Result<Trace> read = ReadTrace(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->meta.size(), 1u);
+  EXPECT_EQ(read->meta[0].value, "spaces are fine here");
+  ASSERT_EQ(read->batches.size(), 1u);
+  ASSERT_EQ(read->batches[0].objects.size(), 1u);
+  EXPECT_FALSE(read->batches[0].objects[0].old_pos.has_value());
+  EXPECT_EQ(read->batches[0].objects[0].new_pos,
+            std::optional<NetworkPoint>(NetworkPoint{0, 0.5}));
+  std::remove(path.c_str());
+}
+
+/// Writes `content` as a trace file and expects the reader to reject it.
+void ExpectReadFails(const std::string& name,
+                     const std::string& content) {
+  SCOPED_TRACE(name);
+  const std::string path = "trace_test_" + name + ".trace";
+  WriteStringToFile(path, content);
+  const Result<Trace> read = ReadTrace(path);
+  EXPECT_FALSE(read.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, MalformedInputsRejected) {
+  const std::string header =
+      "CKNNTRACE 1\nnetwork 2 1\nn 0 0\nn 1 0\ne 0 1 1 1\n";
+  ExpectReadFails("bad_magic", "NOTATRACE 1\n");
+  ExpectReadFails("future_version", "CKNNTRACE 99\nnetwork 0 0\neot 0\n");
+  ExpectReadFails("missing_trailer", header);
+  ExpectReadFails("trailer_count_mismatch", header + "eot 5\n");
+  ExpectReadFails("truncated_batch",
+                  header + "batch 2 0 0\no 0 - 0 0.5\neot 1\n");
+  ExpectReadFails("missing_end_marker",
+                  header + "batch 1 0 0\no 0 - 0 0.5\neot 1\n");
+  ExpectReadFails("unknown_edge_in_position",
+                  header + "batch 1 0 0\no 0 - 7 0.5\nend\neot 1\n");
+  ExpectReadFails("position_param_out_of_range",
+                  header + "batch 1 0 0\no 0 - 0 1.5\nend\neot 1\n");
+  ExpectReadFails("negative_weight",
+                  header + "batch 0 0 1\nw 0 -2\nend\neot 1\n");
+  ExpectReadFails("unknown_query_op",
+                  header + "batch 0 1 0\nq x 0 0 0.5\nend\neot 1\n");
+  ExpectReadFails("install_without_k",
+                  header + "batch 0 1 0\nq i 0 0 0.5\nend\neot 1\n");
+  ExpectReadFails("trailing_garbage_record",
+                  header + "batch 0 0 1\nw 0 2 surprise\nend\neot 1\n");
+  ExpectReadFails("content_after_trailer", header + "eot 0\nbatch 0 0 0\n");
+  ExpectReadFails("edge_self_loop", "CKNNTRACE 1\nnetwork 1 1\nn 0 0\n"
+                                    "e 0 0 1 1\neot 0\n");
+  // Absurd header counts must fail as truncation, not abort on reserve().
+  ExpectReadFails("huge_batch_count",
+                  header + "batch 18446744073709551615 0 0\nend\neot 1\n");
+}
+
+TEST(TraceFormatTest, CrlfLineEndingsAreTolerated) {
+  const std::string path = "trace_test_crlf.trace";
+  WriteStringToFile(path,
+                    "CKNNTRACE 1\r\n"
+                    "meta seed 7\r\n"
+                    "network 2 1\r\n"
+                    "n 0 0\r\n"
+                    "n 1 0\r\n"
+                    "e 0 1 1 1\r\n"
+                    "batch 1 0 0\r\n"
+                    "o 0 - 0 0.5\r\n"
+                    "end\r\n"
+                    "eot 1\r\n");
+  Result<Trace> read = ReadTrace(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->meta.size(), 1u);
+  EXPECT_EQ(read->meta[0].value, "7");  // No trailing '\r'.
+  ASSERT_EQ(read->batches.size(), 1u);
+  EXPECT_EQ(read->batches[0].objects.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cknn

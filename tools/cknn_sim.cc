@@ -8,6 +8,16 @@
 //
 // Use --compare to run OVH, IMA and GMA on the identical workload and
 // print a comparison table.
+//
+// Workloads can be captured and replayed deterministically:
+//
+//   cknn_sim --record=run.trace --edges=500 --timestamps=20 --seed=3
+//   cknn_sim --replay=run.trace --algo=ima
+//   cknn_sim --replay=run.trace --conformance
+//
+// --conformance replays the workload through OVH, IMA and GMA in lockstep
+// and verifies that every query's k-NN set is identical at every timestamp
+// (exit 1 and the first divergence on failure).
 
 #include <cerrno>
 #include <climits>
@@ -16,9 +26,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "src/sim/conformance.h"
 #include "src/sim/experiment.h"
+#include "src/trace/trace_source.h"
 
 namespace cknn {
 namespace {
@@ -27,7 +41,14 @@ struct Options {
   Algorithm algo = Algorithm::kGma;
   bool compare = false;
   bool memory = false;
+  bool conformance = false;
+  std::string record_path;
+  std::string replay_path;
   ExperimentSpec spec;
+  /// First workload-generation flag seen (for conflict reporting): those
+  /// flags have no effect when a trace defines the workload.
+  const char* generator_flag = nullptr;
+  bool algo_flag_used = false;
 };
 
 void PrintUsage() {
@@ -48,7 +69,13 @@ void PrintUsage() {
       "  --uniform-queries     place queries uniformly (default Gaussian)\n"
       "  --gaussian-objects    place objects Gaussian (default uniform)\n"
       "  --memory              report monitoring memory\n"
-      "  --seed=N              master seed (default 42)\n");
+      "  --seed=N              master seed (default 42)\n"
+      "  --record=FILE         record the generated workload as a trace\n"
+      "  --replay=FILE         replay a recorded trace (the network and\n"
+      "                        horizon come from the file)\n"
+      "  --conformance         replay through OVH, IMA and GMA in lockstep\n"
+      "                        and verify identical per-timestamp k-NN\n"
+      "                        results (exit 1 on divergence)\n");
 }
 
 /// Matches `--name` (value left nullptr) or `--name=value`; other arguments,
@@ -142,10 +169,27 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
   opt->spec.workload.num_queries = 5000;
   opt->spec.workload.k = 50;
   opt->spec.timestamps = 100;
+  // Flags that shape the generated workload; meaningless in --replay mode,
+  // where the trace file defines network, workload, and horizon.
+  static const char* const kGeneratorFlags[] = {
+      "--edges",         "--objects",        "--queries",
+      "--k",             "--timestamps",     "--edge-agility",
+      "--object-agility", "--query-agility", "--object-speed",
+      "--query-speed",   "--uniform-queries", "--gaussian-objects",
+      "--seed"};
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
+    if (opt->generator_flag == nullptr) {
+      for (const char* name : kGeneratorFlags) {
+        if (ParseFlag(argv[i], name, &v)) {
+          opt->generator_flag = name;
+          break;
+        }
+      }
+    }
     if (ParseFlag(argv[i], "--algo", &v)) {
       if (!RequireValue("--algo", v)) return false;
+      opt->algo_flag_used = true;
       if (std::strcmp(v, "ima") == 0) {
         opt->algo = Algorithm::kIma;
       } else if (std::strcmp(v, "gma") == 0) {
@@ -163,6 +207,15 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
     } else if (ParseFlag(argv[i], "--memory", &v)) {
       if (!RejectValue("--memory", v)) return false;
       opt->memory = true;
+    } else if (ParseFlag(argv[i], "--conformance", &v)) {
+      if (!RejectValue("--conformance", v)) return false;
+      opt->conformance = true;
+    } else if (ParseFlag(argv[i], "--record", &v)) {
+      if (!RequireValue("--record", v)) return false;
+      opt->record_path = v;
+    } else if (ParseFlag(argv[i], "--replay", &v)) {
+      if (!RequireValue("--replay", v)) return false;
+      opt->replay_path = v;
     } else if (ParseFlag(argv[i], "--edges", &v)) {
       if (!ParseSize("--edges", v, &opt->spec.network.target_edges)) {
         return false;
@@ -221,47 +274,207 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       return false;
     }
   }
+  if (!opt->record_path.empty() && !opt->replay_path.empty()) {
+    std::fprintf(stderr, "--record and --replay cannot be combined\n\n");
+    PrintUsage();
+    return false;
+  }
+  if (opt->compare && (opt->conformance || !opt->record_path.empty())) {
+    std::fprintf(stderr,
+                 "--compare cannot be combined with --record/--conformance\n\n");
+    PrintUsage();
+    return false;
+  }
+  if (!opt->replay_path.empty() && opt->generator_flag != nullptr) {
+    std::fprintf(stderr,
+                 "%s has no effect with --replay "
+                 "(the trace defines network, workload, and horizon)\n\n",
+                 opt->generator_flag);
+    PrintUsage();
+    return false;
+  }
+  if (opt->conformance && opt->algo_flag_used) {
+    std::fprintf(stderr,
+                 "--algo has no effect with --conformance "
+                 "(all three algorithms run in lockstep)\n\n");
+    PrintUsage();
+    return false;
+  }
+  if (opt->conformance && opt->memory) {
+    std::fprintf(stderr,
+                 "--memory has no effect with --conformance\n\n");
+    PrintUsage();
+    return false;
+  }
   opt->spec.measure_memory = opt->memory;
   return true;
 }
 
-int Run(const Options& opt) {
-  if (opt.compare) {
-    SeriesTable table("Algorithm comparison", "metric",
-                      {"OVH", "IMA", "GMA"},
-                      "per-timestamp");
-    std::vector<double> avg;
-    std::vector<double> peak;
-    std::vector<double> mem;
-    for (Algorithm algo :
-         {Algorithm::kOvh, Algorithm::kIma, Algorithm::kGma}) {
-      std::fprintf(stderr, "running %s...\n", AlgorithmName(algo));
-      const RunMetrics metrics = RunExperiment(algo, opt.spec);
-      avg.push_back(metrics.AvgSeconds());
-      peak.push_back(metrics.MaxSeconds());
-      mem.push_back(metrics.AvgMemoryKb());
-    }
-    table.AddRow("avg CPU (s)", avg);
-    table.AddRow("max CPU (s)", peak);
-    if (opt.memory) table.AddRow("memory (KB)", mem);
-    table.Print(std::cout);
-    return 0;
-  }
-  std::fprintf(stderr, "running %s on %zu edges, N=%zu, Q=%zu, k=%d...\n",
-               AlgorithmName(opt.algo), opt.spec.network.target_edges,
-               opt.spec.workload.num_objects, opt.spec.workload.num_queries,
-               opt.spec.workload.k);
-  const RunMetrics metrics = RunExperiment(opt.algo, opt.spec);
+void PrintRun(Algorithm algo, const RunMetrics& metrics, bool memory) {
   for (std::size_t ts = 0; ts < metrics.steps.size(); ++ts) {
     std::printf("ts %4zu  cpu %.6fs", ts, metrics.steps[ts].seconds);
-    if (opt.memory) {
+    if (memory) {
       std::printf("  mem %zu KB", metrics.steps[ts].memory_bytes / 1024);
     }
     std::printf("\n");
   }
   std::printf("\n%s: avg %.6f s/ts, max %.6f s/ts over %zu timestamps\n",
-              AlgorithmName(opt.algo), metrics.AvgSeconds(),
+              AlgorithmName(algo), metrics.AvgSeconds(),
               metrics.MaxSeconds(), metrics.steps.size());
+}
+
+/// Runs `run(algo)` for OVH, IMA and GMA and prints the shared
+/// comparison table (used by both the generated and the replayed
+/// --compare modes).
+template <typename RunFn>
+int PrintComparisonTable(const std::string& title, bool memory, RunFn run) {
+  SeriesTable table(title, "metric", {"OVH", "IMA", "GMA"}, "per-timestamp");
+  std::vector<double> avg;
+  std::vector<double> peak;
+  std::vector<double> mem;
+  for (Algorithm algo :
+       {Algorithm::kOvh, Algorithm::kIma, Algorithm::kGma}) {
+    const Result<RunMetrics> metrics = run(algo);
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "%s run failed: %s\n", AlgorithmName(algo),
+                   metrics.status().ToString().c_str());
+      return 2;
+    }
+    avg.push_back(metrics->AvgSeconds());
+    peak.push_back(metrics->MaxSeconds());
+    mem.push_back(metrics->AvgMemoryKb());
+  }
+  table.AddRow("avg CPU (s)", avg);
+  table.AddRow("max CPU (s)", peak);
+  if (memory) table.AddRow("memory (KB)", mem);
+  table.Print(std::cout);
+  return 0;
+}
+
+int PrintConformance(const Result<ConformanceReport>& report) {
+  if (!report.ok()) {
+    std::fprintf(stderr, "conformance check failed to run: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", report->ToString().c_str());
+  return report->ok ? 0 : 1;
+}
+
+/// Replay modes: the network and horizon come from the trace file.
+int RunReplayModes(const Options& opt) {
+  Result<Trace> trace = ReadTrace(opt.replay_path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "cannot read trace %s: %s\n",
+                 opt.replay_path.c_str(), trace.status().ToString().c_str());
+    return 2;
+  }
+  if (opt.conformance) {
+    std::fprintf(stderr, "checking conformance on %s (%zu ticks)...\n",
+                 opt.replay_path.c_str(), trace->batches.size());
+    return PrintConformance(CheckTraceConformance(*trace));
+  }
+  if (opt.compare) {
+    return PrintComparisonTable(
+        "Algorithm comparison (replay)", opt.memory, [&](Algorithm algo) {
+          std::fprintf(stderr, "replaying %s...\n", AlgorithmName(algo));
+          return RunTraceReplay(algo, *trace, opt.memory);
+        });
+  }
+  std::fprintf(stderr, "replaying %s on %s (%zu edges, %zu ticks)...\n",
+               AlgorithmName(opt.algo), opt.replay_path.c_str(),
+               trace->network.NumEdges(), trace->batches.size());
+  Result<RunMetrics> metrics = RunTraceReplay(opt.algo, *trace, opt.memory);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 metrics.status().ToString().c_str());
+    return 2;
+  }
+  PrintRun(opt.algo, *metrics, opt.memory);
+  return 0;
+}
+
+/// Generates the workload from the flags and replays it through all three
+/// algorithms in lockstep, optionally recording the stream to --record.
+int RunGeneratedConformance(const Options& opt) {
+  const RoadNetwork net = GenerateRoadNetwork(opt.spec.network);
+  const std::vector<std::unique_ptr<MonitoringServer>> servers =
+      BuildLockstepServers(net, ConformanceOptions{}.algorithms);
+  std::vector<MonitoringServer*> ptrs;
+  ptrs.reserve(servers.size());
+  for (const auto& server : servers) ptrs.push_back(server.get());
+  Workload workload(&servers[0]->network(), &servers[0]->spatial_index(),
+                    opt.spec.workload);
+  std::unique_ptr<TraceWriter> writer;
+  std::unique_ptr<RecordingWorkloadSource> recorder;
+  WorkloadSource* source = &workload;
+  if (!opt.record_path.empty()) {
+    Result<TraceWriter> opened = TraceWriter::Open(
+        opt.record_path, ExperimentTraceMeta(opt.spec), net);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot record trace %s: %s\n",
+                   opt.record_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 2;
+    }
+    writer = std::make_unique<TraceWriter>(std::move(opened).value());
+    recorder =
+        std::make_unique<RecordingWorkloadSource>(&workload, writer.get());
+    source = recorder.get();
+  }
+  std::fprintf(stderr,
+               "conformance: %zu edges, N=%zu, Q=%zu, k=%d, %d timestamps\n",
+               net.NumEdges(), opt.spec.workload.num_objects,
+               opt.spec.workload.num_queries, opt.spec.workload.k,
+               opt.spec.timestamps);
+  const Result<ConformanceReport> report = RunLockstep(
+      ptrs, source, opt.spec.timestamps, ConformanceOptions{}.tolerance);
+  if (writer != nullptr) {
+    if (recorder != nullptr && !recorder->status().ok()) {
+      std::fprintf(stderr, "trace recording failed: %s\n",
+                   recorder->status().ToString().c_str());
+      return 2;
+    }
+    const Status st = writer->Finish();
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace recording failed: %s\n",
+                   st.ToString().c_str());
+      return 2;
+    }
+  }
+  return PrintConformance(report);
+}
+
+int Run(const Options& opt) {
+  if (!opt.replay_path.empty()) return RunReplayModes(opt);
+  if (opt.conformance) return RunGeneratedConformance(opt);
+  if (opt.compare) {
+    return PrintComparisonTable(
+        "Algorithm comparison", opt.memory,
+        [&](Algorithm algo) -> Result<RunMetrics> {
+          std::fprintf(stderr, "running %s...\n", AlgorithmName(algo));
+          return RunExperiment(algo, opt.spec);
+        });
+  }
+  std::fprintf(stderr, "running %s on %zu edges, N=%zu, Q=%zu, k=%d...\n",
+               AlgorithmName(opt.algo), opt.spec.network.target_edges,
+               opt.spec.workload.num_objects, opt.spec.workload.num_queries,
+               opt.spec.workload.k);
+  RunMetrics metrics;
+  if (!opt.record_path.empty()) {
+    Result<RunMetrics> recorded =
+        RunRecordedExperiment(opt.algo, opt.spec, opt.record_path);
+    if (!recorded.ok()) {
+      std::fprintf(stderr, "recording failed: %s\n",
+                   recorded.status().ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "trace recorded to %s\n", opt.record_path.c_str());
+    metrics = std::move(recorded).value();
+  } else {
+    metrics = RunExperiment(opt.algo, opt.spec);
+  }
+  PrintRun(opt.algo, metrics, opt.memory);
   return 0;
 }
 
