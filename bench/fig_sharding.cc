@@ -1,0 +1,27 @@
+// Sharding scaling figure (beyond the paper): per-timestamp maintenance
+// cost of the sharded monitoring server vs the worker-shard count, for the
+// two incremental algorithms. The update stream and per-query results are
+// identical at every shard count (see docs/sharding.md); only the
+// execution changes, so the curve isolates the parallel speedup — on a
+// single-core host it degenerates to the (small) sharding overhead.
+
+#include "bench/bench_common.h"
+
+namespace cknn::bench {
+namespace {
+
+void FigSharding(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.shards = static_cast<int>(state.range(1));
+  RunAndReport(state, AlgoOf(state.range(0)), spec);
+}
+
+BENCHMARK(FigSharding)
+    ->ArgNames({"algo", "shards"})
+    ->ArgsProduct({{1, 2}, {1, 2, 4, 8}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

@@ -17,6 +17,10 @@
 #                       figure (default: none); figures the filter does not
 #                       match are skipped before the merge (the real Google
 #                       Benchmark emits no JSON at all on a no-match filter)
+#   CKNN_BENCH_ONLY     comma-separated figure names (e.g. fig_sharding):
+#                       run only those and merge them into the existing
+#                       BENCH_results.json (bench_merge.py --append) instead
+#                       of rebuilding it from scratch
 #   CKNN_FORCE_BENCHMARK_SHIM / CKNN_REQUIRE_SYSTEM_BENCHMARK (and the
 #   GTest equivalents) are passed through to CMake with stale-cache
 #   protection; see scripts/configure_common.sh.
@@ -28,6 +32,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 scale="${CKNN_BENCH_SCALE:-quick}"
 out="${CKNN_BENCH_OUT:-${repo_root}/BENCH_results.json}"
 filter="${CKNN_BENCH_FILTER:-}"
+only="${CKNN_BENCH_ONLY:-}"
 raw_dir="${build_dir}/bench_json"
 
 case "${scale}" in
@@ -54,7 +59,27 @@ figures=(
   fig17b_network_size
   fig18_memory
   fig19_brinkhoff
+  fig_sharding
 )
+
+merge_args=()
+if [[ -n "${only}" ]]; then
+  selected=()
+  IFS=',' read -ra wanted <<< "${only}"
+  for name in "${wanted[@]}"; do
+    found=0
+    for figure in "${figures[@]}"; do
+      [[ "${figure}" == "${name}" ]] && found=1
+    done
+    if [[ ${found} -eq 0 ]]; then
+      echo "bench.sh: unknown figure '${name}' in CKNN_BENCH_ONLY" >&2
+      exit 1
+    fi
+    selected+=("${name}")
+  done
+  figures=("${selected[@]}")
+  merge_args+=(--append)
+fi
 
 # shellcheck source=scripts/configure_common.sh
 source "${repo_root}/scripts/configure_common.sh"
@@ -89,5 +114,8 @@ if [[ ${#json_files[@]} -eq 0 ]]; then
   exit 1
 fi
 
+# ${arr[@]+...} guard: expanding an empty array under `set -u` is an
+# unbound-variable error on bash < 4.4 (macOS /bin/bash).
 python3 "${repo_root}/scripts/bench_merge.py" \
-  --out "${out}" --scale "${scale}" --seed 42 "${json_files[@]}"
+  --out "${out}" --scale "${scale}" --seed 42 \
+  ${merge_args[@]+"${merge_args[@]}"} "${json_files[@]}"

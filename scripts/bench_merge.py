@@ -102,12 +102,39 @@ def main(argv):
                         help="capture scale (smoke|quick|paper)")
     parser.add_argument("--seed", type=int, default=42,
                         help="workload master seed the suite ran with")
+    parser.add_argument("--append", action="store_true",
+                        help="merge into an existing --out file: records of "
+                             "re-captured figures are replaced, records of "
+                             "other figures are kept (scale and seed must "
+                             "match; skipped_entries becomes cumulative)")
     parser.add_argument("inputs", nargs="+", help="per-figure JSON files")
     ns = parser.parse_args(argv)
 
     results = []
     skipped = 0
     seen = {}
+    if ns.append and os.path.exists(ns.out):
+        try:
+            with open(ns.out, encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError) as exc:
+            fail(f"{ns.out}: cannot append to malformed results file: {exc}")
+        if existing.get("scale") != ns.scale or existing.get("seed") != ns.seed:
+            fail(f"{ns.out}: append scale/seed mismatch: file has "
+                 f"{existing.get('scale')}/{existing.get('seed')}, run is "
+                 f"{ns.scale}/{ns.seed}")
+        recaptured = {figure_of(path) for path in ns.inputs}
+        for record in existing.get("results", []):
+            figure = record.get("figure")
+            if figure in recaptured:
+                continue  # Replaced by this run.
+            results.append(record)
+            seen.setdefault(figure, ns.out)
+        for figure in existing.get("figures", []):
+            # Keep even figures whose entries all skipped (no records).
+            if figure not in recaptured:
+                seen.setdefault(figure, ns.out)
+        skipped = int(existing.get("skipped_entries", 0))
     for path in ns.inputs:
         figure = figure_of(path)
         if figure in seen:

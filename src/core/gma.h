@@ -54,6 +54,9 @@ class Gma : public Monitor {
   std::size_t NumQueries() const override { return queries_.size(); }
   std::size_t MemoryBytes() const override;
   std::string_view name() const override { return "GMA"; }
+  void set_object_table_externally_applied(bool on) override {
+    engine_.set_external_object_table(on);
+  }
 
   const SequenceTable& sequences() const { return st_; }
   /// Number of currently active (monitored) intersection nodes.

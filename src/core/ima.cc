@@ -324,13 +324,11 @@ void ImaEngine::ApplyObjectUpdate(const ObjectUpdate& update) {
       }
     });
   }
-  // Mutate the shared object table (Fig. 10 line 17).
-  if (update.old_pos.has_value() && update.new_pos.has_value()) {
-    CKNN_CHECK(objects_->Move(update.id, *update.new_pos).ok());
-  } else if (update.old_pos.has_value()) {
-    CKNN_CHECK(objects_->Remove(update.id).ok());
-  } else if (update.new_pos.has_value()) {
-    CKNN_CHECK(objects_->Insert(update.id, *update.new_pos).ok());
+  // Mutate the shared object table (Fig. 10 line 17) — unless the caller
+  // already did (sharded mode; routing above/below never reads the table,
+  // so the apply point is free to move before the whole batch).
+  if (!external_object_table_) {
+    CKNN_CHECK(objects_->Apply(update).ok());
   }
   if (update.new_pos.has_value()) {
     ForEachInfluenced(update.new_pos->edge, [&](QueryId, Entry* entry) {

@@ -128,6 +128,11 @@ class ImaEngine {
   void set_use_influence_filter(bool on) { use_influence_filter_ = on; }
   /// @}
 
+  /// Shared-table mode (see Monitor::set_object_table_externally_applied):
+  /// on, the engine routes object updates through its structures but does
+  /// not mutate the object table — the caller already applied them.
+  void set_external_object_table(bool on) { external_object_table_ = on; }
+
  private:
   struct Entry {
     ExpansionSource source;
@@ -207,6 +212,7 @@ class ImaEngine {
   Stats stats_;
   bool use_tree_reuse_ = true;
   bool use_influence_filter_ = true;
+  bool external_object_table_ = false;
 };
 
 /// \brief IMA — the incremental monitoring algorithm (Section 4) as a
@@ -223,6 +229,9 @@ class Ima : public Monitor {
   std::size_t NumQueries() const override { return engine_.NumQueries(); }
   std::size_t MemoryBytes() const override { return engine_.MemoryBytes(); }
   std::string_view name() const override { return "IMA"; }
+  void set_object_table_externally_applied(bool on) override {
+    engine_.set_external_object_table(on);
+  }
 
   ImaEngine& engine() { return engine_; }
   const ImaEngine& engine() const { return engine_; }

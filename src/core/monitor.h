@@ -10,6 +10,25 @@
 
 namespace cknn {
 
+/// Monitoring algorithm selection.
+enum class Algorithm {
+  kIma,  ///< Incremental monitoring (Section 4).
+  kGma,  ///< Group monitoring over sequences (Section 5).
+  kOvh,  ///< Overhaul baseline: recompute everything each timestamp.
+};
+
+inline const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kIma:
+      return "IMA";
+    case Algorithm::kGma:
+      return "GMA";
+    case Algorithm::kOvh:
+      return "OVH";
+  }
+  return "?";
+}
+
 /// \brief Interface of a continuous k-NN monitoring algorithm (IMA, GMA, or
 /// the OVH baseline).
 ///
@@ -22,7 +41,11 @@ class Monitor {
   virtual ~Monitor() = default;
 
   /// Processes one timestamp worth of updates. The batch must contain at
-  /// most one update per object, query, and edge (the server aggregates).
+  /// most one update per object and edge, and at most one per query —
+  /// except that a terminate may be immediately followed by an install of
+  /// the same id (a within-timestamp re-installation; the server's
+  /// aggregation emits the pair in that order, and every algorithm
+  /// processes terminations before installations).
   virtual Status ProcessTimestamp(const UpdateBatch& batch) = 0;
 
   /// Current k-NN set of a registered query, in (distance, id) order.
@@ -38,6 +61,16 @@ class Monitor {
 
   /// Algorithm name for reports ("IMA", "GMA", "OVH").
   virtual std::string_view name() const = 0;
+
+  /// \brief Shared-table mode for sharded deployments (src/core/sharding.h).
+  ///
+  /// When on, the caller applies the batch's *object* updates to the shared
+  /// `ObjectTable` exactly once before `ProcessTimestamp` runs, and the
+  /// monitor must not apply them again — it only routes them through its
+  /// own maintenance structures. Edge-weight updates are still applied by
+  /// the monitor (each shard maintains the weights of its own network
+  /// copy). Off by default: a standalone monitor owns its tables.
+  virtual void set_object_table_externally_applied(bool on) { (void)on; }
 };
 
 }  // namespace cknn

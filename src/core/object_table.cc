@@ -40,6 +40,15 @@ Status ObjectTable::Move(ObjectId id, const NetworkPoint& new_pos) {
   return Status::OK();
 }
 
+Status ObjectTable::Apply(const ObjectUpdate& update) {
+  if (update.old_pos.has_value() && update.new_pos.has_value()) {
+    return Move(update.id, *update.new_pos);
+  }
+  if (update.old_pos.has_value()) return Remove(update.id);
+  if (update.new_pos.has_value()) return Insert(update.id, *update.new_pos);
+  return Status::OK();
+}
+
 Result<NetworkPoint> ObjectTable::Position(ObjectId id) const {
   auto it = positions_.find(id);
   if (it == positions_.end()) return Status::NotFound("unknown object id");

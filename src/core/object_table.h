@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/updates.h"
 #include "src/graph/network_point.h"
 #include "src/graph/road_network.h"
 #include "src/graph/types.h"
@@ -38,6 +39,11 @@ class ObjectTable {
 
   /// Moves an existing object. NotFound if absent.
   Status Move(ObjectId id, const NetworkPoint& new_pos);
+
+  /// Applies one location update: old+new = Move, old only = Remove,
+  /// new only = Insert, neither = no-op. The single dispatch shared by the
+  /// server's table stage and the standalone monitors.
+  Status Apply(const ObjectUpdate& update);
 
   /// Current position of an object.
   Result<NetworkPoint> Position(ObjectId id) const;

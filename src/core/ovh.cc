@@ -6,14 +6,11 @@
 namespace cknn {
 
 Status Ovh::ProcessTimestamp(const UpdateBatch& batch) {
-  // Apply updates to the shared tables; no result maintenance state exists.
-  for (const ObjectUpdate& u : batch.objects) {
-    if (u.old_pos.has_value() && u.new_pos.has_value()) {
-      CKNN_RETURN_NOT_OK(objects_->Move(u.id, *u.new_pos));
-    } else if (u.old_pos.has_value()) {
-      CKNN_RETURN_NOT_OK(objects_->Remove(u.id));
-    } else if (u.new_pos.has_value()) {
-      CKNN_RETURN_NOT_OK(objects_->Insert(u.id, *u.new_pos));
+  // Apply updates to the shared tables (unless the caller maintains the
+  // object table — sharded mode); no result maintenance state exists.
+  if (!external_object_table_) {
+    for (const ObjectUpdate& u : batch.objects) {
+      CKNN_RETURN_NOT_OK(objects_->Apply(u));
     }
   }
   for (const EdgeUpdate& u : batch.edges) {

@@ -27,6 +27,9 @@ class Ovh : public Monitor {
   std::size_t NumQueries() const override { return queries_.size(); }
   std::size_t MemoryBytes() const override;
   std::string_view name() const override { return "OVH"; }
+  void set_object_table_externally_applied(bool on) override {
+    external_object_table_ = on;
+  }
 
  private:
   struct UserQuery {
@@ -38,6 +41,7 @@ class Ovh : public Monitor {
   RoadNetwork* net_;
   ObjectTable* objects_;
   std::unordered_map<QueryId, UserQuery> queries_;
+  bool external_object_table_ = false;
 };
 
 }  // namespace cknn

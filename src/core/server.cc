@@ -1,33 +1,29 @@
 #include "src/core/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
-#include "src/core/gma.h"
-#include "src/core/ima.h"
-#include "src/core/ovh.h"
 #include "src/util/macros.h"
 
 namespace cknn {
-
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kIma:
-      return "IMA";
-    case Algorithm::kGma:
-      return "GMA";
-    case Algorithm::kOvh:
-      return "OVH";
-  }
-  return "?";
-}
 
 namespace {
 
 std::unique_ptr<PmrQuadtree> BuildSpatialIndex(const RoadNetwork& net) {
   Rect box = net.BoundingBox();
-  // Pad so border segments survive floating-point containment checks.
-  const double pad = 1e-9 + 1e-3 * std::max(box.Width(), box.Height());
+  // Pad so border segments survive floating-point containment checks. The
+  // extent-proportional term covers ordinary networks; the absolute floor
+  // keeps zero-extent workspaces (single point, coincident degenerate
+  // edges) from collapsing into a box too thin to subdivide or search, and
+  // is scaled with the coordinate magnitude so it cannot be absorbed by
+  // floating-point rounding far from the origin.
+  const double extent = std::max(box.Width(), box.Height());
+  const double magnitude =
+      std::max(std::max(std::abs(box.min_x), std::abs(box.max_x)),
+               std::max(std::abs(box.min_y), std::abs(box.max_y)));
+  const double pad =
+      std::max(1e-3 * extent, std::max(1e-6, 1e-7 * magnitude));
   box.min_x -= pad;
   box.min_y -= pad;
   box.max_x += pad;
@@ -39,28 +35,15 @@ std::unique_ptr<PmrQuadtree> BuildSpatialIndex(const RoadNetwork& net) {
   return tree;
 }
 
-std::unique_ptr<Monitor> MakeMonitor(Algorithm algorithm, RoadNetwork* net,
-                                     ObjectTable* objects) {
-  switch (algorithm) {
-    case Algorithm::kIma:
-      return std::make_unique<Ima>(net, objects);
-    case Algorithm::kGma:
-      return std::make_unique<Gma>(net, objects);
-    case Algorithm::kOvh:
-      return std::make_unique<Ovh>(net, objects);
-  }
-  CKNN_CHECK(false);
-  return nullptr;
-}
-
 }  // namespace
 
-MonitoringServer::MonitoringServer(RoadNetwork network, Algorithm algorithm)
+MonitoringServer::MonitoringServer(RoadNetwork network, Algorithm algorithm,
+                                   int num_shards)
     : network_(std::move(network)),
       objects_(network_.NumEdges()),
       spatial_index_(BuildSpatialIndex(network_)),
       algorithm_(algorithm),
-      monitor_(MakeMonitor(algorithm, &network_, &objects_)) {}
+      shards_(&network_, &objects_, algorithm, num_shards) {}
 
 UpdateBatch MonitoringServer::AggregateBatch(const UpdateBatch& batch) {
   UpdateBatch out;
@@ -85,41 +68,88 @@ UpdateBatch MonitoringServer::AggregateBatch(const UpdateBatch& batch) {
                        }),
         out.objects.end());
   }
-  // Queries: collapse install/move/terminate chains.
+  // Queries: fold each id's install/move/terminate chain into its net
+  // effect. A chain whose first update is kInstall presumes the query is
+  // new to the system; one starting with kMove/kTerminate presumes it is
+  // already registered. A registered query that terminates and re-installs
+  // within the timestamp cannot collapse into a single update (a bare
+  // install would collide with the still-registered id), so it is emitted
+  // as a kTerminate immediately followed by a kInstall — the one sanctioned
+  // exception to "one update per entity" (see Monitor::ProcessTimestamp):
+  // every algorithm processes terminations before installations.
   {
-    std::unordered_map<QueryId, std::size_t> index;
-    std::vector<bool> drop;
+    struct Fold {
+      bool began_alive = false;  ///< First update was a move/terminate.
+      bool died = false;         ///< Terminated while began_alive.
+      bool alive = false;        ///< Net state after the chain.
+      /// An install arrived while the query was alive — invalid sequential
+      /// input. Emitted as an install so the algorithms surface the same
+      /// AlreadyExists error a sequential replay would.
+      bool reinstalled_alive = false;
+      NetworkPoint pos;
+      int k = 1;
+    };
+    std::vector<QueryId> order;
+    std::unordered_map<QueryId, Fold> folds;
     for (const QueryUpdate& u : batch.queries) {
-      auto it = index.find(u.id);
-      if (it == index.end()) {
-        index.emplace(u.id, out.queries.size());
-        out.queries.push_back(u);
-        drop.push_back(false);
-        continue;
+      auto it = folds.find(u.id);
+      if (it == folds.end()) {
+        order.push_back(u.id);
+        it = folds.emplace(u.id, Fold{}).first;
+        Fold& f = it->second;
+        f.began_alive = u.kind != QueryUpdate::Kind::kInstall;
+        f.alive = u.kind == QueryUpdate::Kind::kMove;  // Refined below.
       }
-      QueryUpdate& acc = out.queries[it->second];
+      Fold& f = it->second;
       switch (u.kind) {
         case QueryUpdate::Kind::kMove:
-          acc.pos = u.pos;  // Keep the original kind (install stays install).
+          // A move of a dead-and-not-reinstalled query is invalid input;
+          // as before, it only updates the remembered position.
+          f.pos = u.pos;
           break;
         case QueryUpdate::Kind::kTerminate:
-          if (acc.kind == QueryUpdate::Kind::kInstall) {
-            drop[it->second] = true;  // Installed and gone: net no-op.
-          } else {
-            acc.kind = QueryUpdate::Kind::kTerminate;
-          }
+          f.alive = false;
+          if (f.began_alive) f.died = true;
           break;
         case QueryUpdate::Kind::kInstall:
-          acc = u;  // Re-install after terminate.
-          drop[it->second] = false;
+          if (f.alive) f.reinstalled_alive = true;
+          f.alive = true;
+          f.pos = u.pos;
+          f.k = u.k;
           break;
       }
     }
-    UpdateBatch filtered;
-    for (std::size_t i = 0; i < out.queries.size(); ++i) {
-      if (!drop[i]) filtered.queries.push_back(out.queries[i]);
+    for (QueryId id : order) {
+      const Fold& f = folds.at(id);
+      const QueryUpdate install{id, QueryUpdate::Kind::kInstall, f.pos, f.k};
+      const QueryUpdate terminate{id, QueryUpdate::Kind::kTerminate,
+                                  NetworkPoint{}, 0};
+      if (!f.began_alive) {
+        // Appeared within the tick: a single install, or nothing if it
+        // also terminated (net no-op). A duplicate install while alive is
+        // invalid input — emit it twice so validation rejects the batch
+        // (AlreadyExists) like a sequential replay would.
+        if (f.alive) {
+          out.queries.push_back(install);
+          if (f.reinstalled_alive) out.queries.push_back(install);
+        }
+        continue;
+      }
+      if (!f.alive) {
+        out.queries.push_back(terminate);
+      } else if (f.died) {
+        out.queries.push_back(terminate);
+        out.queries.push_back(install);
+        if (f.reinstalled_alive) out.queries.push_back(install);
+      } else if (f.reinstalled_alive) {
+        // e.g. [move, install]: invalid input; keep the install so the
+        // batch is rejected (AlreadyExists) like a sequential replay.
+        out.queries.push_back(install);
+      } else {
+        out.queries.push_back(
+            QueryUpdate{id, QueryUpdate::Kind::kMove, f.pos, 0});
+      }
     }
-    out.queries = std::move(filtered.queries);
   }
   // Edges: last weight wins (the paper aggregates weight changes into one
   // overall change per timestamp).
@@ -139,9 +169,10 @@ UpdateBatch MonitoringServer::AggregateBatch(const UpdateBatch& batch) {
 }
 
 Status MonitoringServer::Tick(const UpdateBatch& batch) {
+  // Stage 1: aggregate once (Section 4.5 preprocessing).
   const UpdateBatch aggregated = AggregateBatch(batch);
-  // Validate object updates against the table before the algorithms mutate
-  // shared state (the engines CKNN_CHECK internally).
+  // Stage 2: validate against the shared tables before anything mutates
+  // state (the engines CKNN_CHECK internally).
   for (const ObjectUpdate& u : aggregated.objects) {
     if (u.old_pos.has_value()) {
       auto pos = objects_.Position(u.id);
@@ -165,7 +196,56 @@ Status MonitoringServer::Tick(const UpdateBatch& batch) {
       return Status::InvalidArgument("negative edge weight");
     }
   }
-  CKNN_RETURN_NOT_OK(monitor_->ProcessTimestamp(aggregated));
+  // Query updates are validated here too — before stage 3 — so a batch a
+  // shard would reject cannot leave the shared table mutated but unrouted
+  // (the monitors' own error returns for these cases are unreachable
+  // through the server). `overlay` tracks registration changes made
+  // earlier in this batch (e.g. a terminate→install pair).
+  {
+    std::unordered_map<QueryId, bool> overlay;
+    const auto registered = [&](QueryId id) {
+      auto it = overlay.find(id);
+      return it != overlay.end() ? it->second : shards_.HasQuery(id);
+    };
+    for (const QueryUpdate& u : aggregated.queries) {
+      switch (u.kind) {
+        case QueryUpdate::Kind::kTerminate:
+          if (!registered(u.id)) {
+            return Status::NotFound("terminate for unknown query");
+          }
+          overlay[u.id] = false;
+          break;
+        case QueryUpdate::Kind::kMove:
+          if (!registered(u.id)) {
+            return Status::NotFound("move for unknown query");
+          }
+          if (u.pos.edge >= network_.NumEdges()) {
+            return Status::InvalidArgument("query move onto unknown edge");
+          }
+          break;
+        case QueryUpdate::Kind::kInstall:
+          if (registered(u.id)) {
+            return Status::AlreadyExists("query id already monitored");
+          }
+          if (u.k < 1) return Status::InvalidArgument("k must be >= 1");
+          if (u.pos.edge >= network_.NumEdges()) {
+            return Status::InvalidArgument("query position on unknown edge");
+          }
+          overlay[u.id] = true;
+          break;
+      }
+    }
+  }
+  // Stage 3: apply object updates to the shared table exactly once. The
+  // shards run in shared-table mode and only route these updates through
+  // their maintenance structures; during the parallel phase the table is
+  // read-only.
+  for (const ObjectUpdate& u : aggregated.objects) {
+    CKNN_CHECK(objects_.Apply(u).ok());
+  }
+  // Stages 4+5: per-shard maintenance (parallel when num_shards > 1),
+  // statuses merged in shard order.
+  CKNN_RETURN_NOT_OK(shards_.ProcessTimestamp(aggregated));
   ++timestamp_;
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 
 #include "src/core/monitor.h"
 #include "src/core/object_table.h"
+#include "src/core/sharding.h"
 #include "src/core/updates.h"
 #include "src/graph/road_network.h"
 #include "src/spatial/pmr_quadtree.h"
@@ -14,29 +15,34 @@
 
 namespace cknn {
 
-/// Monitoring algorithm selection.
-enum class Algorithm {
-  kIma,  ///< Incremental monitoring (Section 4).
-  kGma,  ///< Group monitoring over sequences (Section 5).
-  kOvh,  ///< Overhaul baseline: recompute everything each timestamp.
-};
-
-const char* AlgorithmName(Algorithm algorithm);
-
 /// \brief The central monitoring server of Section 3: owns the road
 /// network, the spatial index *SI* (PMR quadtree over the edges), the
-/// object table, and one monitoring algorithm.
+/// object table, and the monitored queries — partitioned across one or
+/// more worker shards (see src/core/sharding.h and docs/sharding.md).
 ///
-/// Per timestamp, clients feed the server one `UpdateBatch`; the server
-/// pre-aggregates multiple updates per entity (Section 4.5's preprocessing
-/// step) and hands the batch to the algorithm, which maintains every
-/// registered query's k-NN set. Positions may be given directly as
-/// `NetworkPoint`s or as raw coordinates snapped through the spatial index.
+/// Per timestamp, clients feed the server one `UpdateBatch`; `Tick` runs a
+/// deterministic pipeline:
+///  1. aggregate the batch once (Section 4.5's preprocessing step),
+///  2. validate it against the shared tables,
+///  3. apply the object updates to the shared object table,
+///  4. broadcast object/edge updates — and route query updates — to the
+///     shards, which run their per-shard maintenance in parallel,
+///  5. merge shard statuses/metrics in shard order.
+/// With the default single shard this degenerates to the serial algorithm
+/// of the paper; with `num_shards > 1` per-query results are identical
+/// (same bytes) for IMA/OVH and identical within the conformance distance
+/// tolerance for GMA, whose active-node grouping is shard-local
+/// (docs/sharding.md).
+///
+/// Positions may be given directly as `NetworkPoint`s or as raw
+/// coordinates snapped through the spatial index.
 class MonitoringServer {
  public:
   /// Takes ownership of the network. The network topology is fixed for the
   /// lifetime of the server; weights change through edge updates.
-  MonitoringServer(RoadNetwork network, Algorithm algorithm);
+  /// `num_shards >= 1` selects the worker-shard count (1 = serial).
+  MonitoringServer(RoadNetwork network, Algorithm algorithm,
+                   int num_shards = 1);
 
   MonitoringServer(const MonitoringServer&) = delete;
   MonitoringServer& operator=(const MonitoringServer&) = delete;
@@ -60,24 +66,38 @@ class MonitoringServer {
   /// PMR quadtree (how coordinate-only location updates are interpreted).
   Result<NetworkPoint> Snap(const Point& p) const;
 
-  /// Current k-NN set of a query, nullptr if unknown.
+  /// Current k-NN set of a query, nullptr if unknown. Routed to the
+  /// query's owning shard.
   const std::vector<Neighbor>* ResultOf(QueryId id) const {
-    return monitor_->ResultOf(id);
+    return shards_.ResultOf(id);
   }
 
   const RoadNetwork& network() const { return network_; }
   const ObjectTable& objects() const { return objects_; }
   const PmrQuadtree& spatial_index() const { return *spatial_index_; }
-  Monitor& monitor() { return *monitor_; }
-  const Monitor& monitor() const { return *monitor_; }
   Algorithm algorithm() const { return algorithm_; }
   std::uint64_t timestamp() const { return timestamp_; }
 
-  /// Monitoring-structure bytes (Figure 18's quantity).
-  std::size_t MonitorMemoryBytes() const { return monitor_->MemoryBytes(); }
+  /// Shard 0's monitor — with the default single shard, *the* monitor.
+  /// (Kept for diagnostics and tests that reach into engine internals.)
+  Monitor& monitor() { return shards_.monitor(0); }
+  const Monitor& monitor() const { return shards_.monitor(0); }
+
+  int num_shards() const { return shards_.num_shards(); }
+  ShardSet& shards() { return shards_; }
+  const ShardSet& shards() const { return shards_; }
+
+  /// Registered queries across all shards.
+  std::size_t NumQueries() const { return shards_.NumQueries(); }
+
+  /// Monitoring-structure bytes (Figure 18's quantity), summed over the
+  /// shards in shard order.
+  std::size_t MonitorMemoryBytes() const { return shards_.MemoryBytes(); }
 
   /// Collapses multiple updates per object/query/edge into at most one, as
-  /// required by the algorithms (Section 4.5). Exposed for testing.
+  /// required by the algorithms (Section 4.5) — except that a terminated
+  /// and re-installed query collapses to a terminate immediately followed
+  /// by an install (see Monitor::ProcessTimestamp). Exposed for testing.
   static UpdateBatch AggregateBatch(const UpdateBatch& batch);
 
  private:
@@ -85,7 +105,7 @@ class MonitoringServer {
   ObjectTable objects_;
   std::unique_ptr<PmrQuadtree> spatial_index_;
   Algorithm algorithm_;
-  std::unique_ptr<Monitor> monitor_;
+  ShardSet shards_;
   std::uint64_t timestamp_ = 0;
 };
 

@@ -1,0 +1,106 @@
+#ifndef CKNN_CORE_SHARDING_H_
+#define CKNN_CORE_SHARDING_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/core/monitor.h"
+#include "src/core/object_table.h"
+#include "src/core/updates.h"
+#include "src/graph/road_network.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace cknn {
+
+/// \brief Sharded update-processing backend of the monitoring server
+/// (see docs/sharding.md).
+///
+/// The monitored queries are partitioned across `num_shards` shards by
+/// `ShardOf(id) == id % num_shards`. Each shard owns a full monitoring
+/// engine (IMA, GMA, or OVH) for its queries over
+///  * the *shared* object table — mutated exactly once per tick by the
+///    server before the shards run, read-only during the parallel phase
+///    (the engines run in shared-table mode,
+///    `Monitor::set_object_table_externally_applied`), and
+///  * its *own copy* of the road network — every shard applies every
+///    edge-weight update to its copy, so all copies carry identical
+///    weights at every timestamp without cross-shard synchronization.
+///    Shard 0 monitors the server's primary network in place.
+///
+/// Per tick the server aggregates the batch once, `Partition` fans the
+/// query updates out to their owning shards (object and edge updates are
+/// broadcast), the shards run their maintenance in parallel on a fixed
+/// thread pool, and statuses/metrics are merged in shard order — so the
+/// outcome is deterministic and per-query results are identical for every
+/// shard count, including `num_shards == 1`, which runs inline without a
+/// pool.
+class ShardSet {
+ public:
+  /// \param primary_network the server's network; shard 0 monitors it in
+  ///        place, shards 1..N-1 monitor their own clones of it. Must
+  ///        outlive the shard set.
+  /// \param objects the shared object table, mutated only by the caller
+  ///        (between ticks / before ProcessTimestamp). Must outlive the
+  ///        shard set.
+  ShardSet(RoadNetwork* primary_network, ObjectTable* objects,
+           Algorithm algorithm, int num_shards);
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Owning shard of a query id (stable, id-based partition).
+  int ShardOf(QueryId id) const {
+    return static_cast<int>(id % shards_.size());
+  }
+
+  /// Runs one timestamp of (already aggregated and validated) updates
+  /// through every shard — in parallel when more than one shard exists —
+  /// and returns the first non-OK shard status in shard order. The
+  /// caller has already applied the batch's object updates to the shared
+  /// table.
+  Status ProcessTimestamp(const UpdateBatch& aggregated);
+
+  /// Result of a query, routed to its owning shard.
+  const std::vector<Neighbor>* ResultOf(QueryId id) const {
+    return shards_[ShardOf(id)].monitor->ResultOf(id);
+  }
+
+  /// Whether a query is currently registered (in its owning shard).
+  bool HasQuery(QueryId id) const { return ResultOf(id) != nullptr; }
+
+  /// Registered queries across all shards.
+  std::size_t NumQueries() const;
+
+  /// Monitoring-structure bytes summed over the shards (shard order, so
+  /// the sum is reproducible).
+  std::size_t MemoryBytes() const;
+
+  Monitor& monitor(int shard) { return *shards_[shard].monitor; }
+  const Monitor& monitor(int shard) const { return *shards_[shard].monitor; }
+
+ private:
+  struct Shard {
+    /// Clone of the primary network (nullptr for shard 0).
+    std::unique_ptr<RoadNetwork> network;
+    std::unique_ptr<Monitor> monitor;
+    /// Per-tick scratch: this shard's slice of the aggregated batch.
+    UpdateBatch sub;
+    Status status;
+  };
+
+  /// Splits `aggregated` into the per-shard `sub` batches.
+  void Partition(const UpdateBatch& aggregated);
+
+  std::vector<Shard> shards_;
+  /// Workers for the parallel phase (num_shards - 1 of them; the calling
+  /// thread runs the remaining shard). nullptr for a single shard.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_CORE_SHARDING_H_

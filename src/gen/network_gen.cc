@@ -139,18 +139,4 @@ RoadNetwork GenerateOldenburgLike(std::uint64_t seed) {
   return GenerateRoadNetwork(config);
 }
 
-RoadNetwork CloneNetwork(const RoadNetwork& net) {
-  RoadNetwork out;
-  for (NodeId n = 0; n < net.NumNodes(); ++n) {
-    out.AddNode(net.NodePosition(n));
-  }
-  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
-    const RoadNetwork::Edge& ed = net.edge(e);
-    auto added = out.AddEdge(ed.u, ed.v, ed.length);
-    CKNN_CHECK(added.ok());
-    CKNN_CHECK(out.SetWeight(*added, ed.weight).ok());
-  }
-  return out;
-}
-
 }  // namespace cknn

@@ -40,9 +40,8 @@ RoadNetwork GenerateRoadNetwork(const NetworkGenConfig& config);
 /// (6105 nodes / 7035 edges).
 RoadNetwork GenerateOldenburgLike(std::uint64_t seed);
 
-/// Deep copy of a network (the experiment harness replays identical
-/// workloads against every algorithm on identical networks).
-RoadNetwork CloneNetwork(const RoadNetwork& net);
+// CloneNetwork lives in src/graph/road_network.h (pulled in above); it
+// used to be declared here.
 
 }  // namespace cknn
 

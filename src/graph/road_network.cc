@@ -102,4 +102,18 @@ std::size_t RoadNetwork::MemoryBytes() const {
   return bytes;
 }
 
+RoadNetwork CloneNetwork(const RoadNetwork& net) {
+  RoadNetwork out;
+  for (NodeId n = 0; n < net.NumNodes(); ++n) {
+    out.AddNode(net.NodePosition(n));
+  }
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    const RoadNetwork::Edge& ed = net.edge(e);
+    auto added = out.AddEdge(ed.u, ed.v, ed.length);
+    CKNN_CHECK(added.ok());
+    CKNN_CHECK(out.SetWeight(*added, ed.weight).ok());
+  }
+  return out;
+}
+
 }  // namespace cknn

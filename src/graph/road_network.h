@@ -95,6 +95,11 @@ class RoadNetwork {
   std::vector<std::vector<Incidence>> adjacency_;
 };
 
+/// Deep copy of a network, including its current dynamic weights (used by
+/// the experiment harness to replay identical workloads against every
+/// algorithm, and by the sharded server for per-shard network copies).
+RoadNetwork CloneNetwork(const RoadNetwork& net);
+
 }  // namespace cknn
 
 #endif  // CKNN_GRAPH_ROAD_NETWORK_H_

@@ -126,12 +126,13 @@ Result<ConformanceReport> RunLockstep(
 }
 
 std::vector<std::unique_ptr<MonitoringServer>> BuildLockstepServers(
-    const RoadNetwork& network, const std::vector<Algorithm>& algorithms) {
+    const RoadNetwork& network, const std::vector<Algorithm>& algorithms,
+    int shards) {
   std::vector<std::unique_ptr<MonitoringServer>> servers;
   servers.reserve(algorithms.size());
   for (const Algorithm algo : algorithms) {
-    servers.push_back(
-        std::make_unique<MonitoringServer>(CloneNetwork(network), algo));
+    servers.push_back(std::make_unique<MonitoringServer>(
+        CloneNetwork(network), algo, shards));
   }
   return servers;
 }
@@ -143,7 +144,7 @@ Result<ConformanceReport> CheckTraceConformance(
         "trace conformance needs at least two algorithms");
   }
   const std::vector<std::unique_ptr<MonitoringServer>> servers =
-      BuildLockstepServers(trace.network, options.algorithms);
+      BuildLockstepServers(trace.network, options.algorithms, options.shards);
   std::vector<MonitoringServer*> ptrs;
   ptrs.reserve(servers.size());
   for (const auto& server : servers) ptrs.push_back(server.get());

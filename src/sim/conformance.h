@@ -23,6 +23,8 @@ struct ConformanceOptions {
   /// legitimately differ between algorithms under exact distance ties, so
   /// equality is asserted on the sorted distance multisets.
   double tolerance = 1e-7;
+  /// Worker shards of every server built for the check (1 = serial).
+  int shards = 1;
 };
 
 /// \brief First point where two algorithms disagreed.
@@ -61,11 +63,12 @@ Result<ConformanceReport> RunLockstep(
     const std::vector<MonitoringServer*>& servers, WorkloadSource* source,
     int steps, double tolerance);
 
-/// Builds one monitoring server per algorithm, each on its own clone of
-/// `network` — the lockstep setup shared by `CheckTraceConformance` and
-/// the CLI's generated-conformance mode.
+/// Builds one monitoring server per algorithm (each with `shards` worker
+/// shards), each on its own clone of `network` — the lockstep setup shared
+/// by `CheckTraceConformance` and the CLI's generated-conformance mode.
 std::vector<std::unique_ptr<MonitoringServer>> BuildLockstepServers(
-    const RoadNetwork& network, const std::vector<Algorithm>& algorithms);
+    const RoadNetwork& network, const std::vector<Algorithm>& algorithms,
+    int shards = 1);
 
 /// \brief The differential oracle of this repo: replays `trace` through
 /// every algorithm in `options.algorithms` and asserts per-timestamp

@@ -11,7 +11,7 @@ namespace cknn {
 
 RunMetrics RunExperiment(Algorithm algorithm, const ExperimentSpec& spec) {
   RoadNetwork net = GenerateRoadNetwork(spec.network);
-  MonitoringServer server(std::move(net), algorithm);
+  MonitoringServer server(std::move(net), algorithm, spec.shards);
   Workload workload(&server.network(), &server.spatial_index(),
                     spec.workload);
   SimulationOptions options;
@@ -23,8 +23,8 @@ RunMetrics RunExperiment(Algorithm algorithm, const ExperimentSpec& spec) {
 RunMetrics RunBrinkhoffExperiment(Algorithm algorithm,
                                   const RoadNetwork& base_network,
                                   const BrinkhoffWorkload::Config& config,
-                                  int timestamps) {
-  MonitoringServer server(CloneNetwork(base_network), algorithm);
+                                  int timestamps, int shards) {
+  MonitoringServer server(CloneNetwork(base_network), algorithm, shards);
   BrinkhoffWorkload workload(&server.network(), config);
   SimulationOptions options;
   options.timestamps = timestamps;
@@ -73,7 +73,7 @@ Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
                                          const ExperimentSpec& spec,
                                          const std::string& trace_path) {
   RoadNetwork net = GenerateRoadNetwork(spec.network);
-  MonitoringServer server(std::move(net), algorithm);
+  MonitoringServer server(std::move(net), algorithm, spec.shards);
   Result<TraceWriter> writer = TraceWriter::Open(
       trace_path, ExperimentTraceMeta(spec), server.network());
   if (!writer.ok()) return writer.status();
@@ -90,8 +90,8 @@ Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
 }
 
 Result<RunMetrics> RunTraceReplay(Algorithm algorithm, const Trace& trace,
-                                  bool measure_memory) {
-  MonitoringServer server(CloneNetwork(trace.network), algorithm);
+                                  bool measure_memory, int shards) {
+  MonitoringServer server(CloneNetwork(trace.network), algorithm, shards);
   TraceWorkloadSource source(&trace);
   {
     const Status st = server.Tick(source.Initial());

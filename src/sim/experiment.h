@@ -22,6 +22,10 @@ struct ExperimentSpec {
   WorkloadConfig workload;
   int timestamps = 100;
   bool measure_memory = false;
+  /// Worker shards of the monitoring server (1 = the paper's serial
+  /// algorithm; see docs/sharding.md). Does not affect the update stream
+  /// or the per-query results, only how maintenance is executed.
+  int shards = 1;
 };
 
 /// Runs one algorithm on one spec and returns its run metrics.
@@ -32,7 +36,7 @@ RunMetrics RunExperiment(Algorithm algorithm, const ExperimentSpec& spec);
 RunMetrics RunBrinkhoffExperiment(Algorithm algorithm,
                                   const RoadNetwork& base_network,
                                   const BrinkhoffWorkload::Config& config,
-                                  int timestamps);
+                                  int timestamps, int shards = 1);
 
 /// Self-describing trace-header metadata for a spec: everything needed to
 /// regenerate the workload from scratch (the network itself is embedded in
@@ -53,7 +57,7 @@ Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
 /// recorded against a different network state) surface as error Status
 /// instead of aborting.
 Result<RunMetrics> RunTraceReplay(Algorithm algorithm, const Trace& trace,
-                                  bool measure_memory);
+                                  bool measure_memory, int shards = 1);
 
 /// \brief Paper-style series table: one row per x-value, one column per
 /// series (typically OVH / IMA / GMA), printed as an aligned text table.

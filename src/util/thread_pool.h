@@ -1,0 +1,133 @@
+#ifndef CKNN_UTIL_THREAD_POOL_H_
+#define CKNN_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+/// \brief Small fixed pool of worker threads for fork/join parallelism.
+///
+/// `RunAll` hands a task vector to the workers *and* the calling thread
+/// (tasks are claimed through a shared index, so a pool of `n` workers
+/// executes a batch with `n + 1` threads) and blocks until every task
+/// finished. Tasks must not throw and must handle their own synchronization
+/// for any state shared between them; the pool only guarantees that all
+/// writes made by the tasks are visible to the caller when `RunAll`
+/// returns.
+///
+/// The workers are started once and parked between batches, so per-tick
+/// dispatch cost is a mutex hand-off, not thread creation.
+class ThreadPool {
+ public:
+  /// Starts `num_workers` parked worker threads (0 is allowed: RunAll then
+  /// simply executes every task on the calling thread).
+  explicit ThreadPool(int num_workers) {
+    CKNN_CHECK(num_workers >= 0);
+    workers_.reserve(static_cast<std::size_t>(num_workers));
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Runs every task in `tasks` to completion. Safe to call repeatedly;
+  /// not reentrant (one batch at a time).
+  void RunAll(const std::vector<std::function<void()>>& tasks) {
+    if (tasks.empty()) return;
+    // Claim state lives in a per-batch heap block shared with the workers:
+    // a straggler that wakes up late (or is preempted between batches)
+    // still holds *its* batch, whose index counter is exhausted, so it can
+    // never claim into a newer batch or touch a task vector that has been
+    // destroyed. Task claims with i < size happen only while this call is
+    // still blocked in the wait below (pending > 0), when `tasks` is alive.
+    auto batch = std::make_shared<Batch>();
+    batch->tasks = &tasks;
+    batch->size = tasks.size();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      CKNN_CHECK(!running_);  // Not reentrant.
+      running_ = true;
+      current_ = batch;
+      pending_ = tasks.size();
+      ++generation_;
+    }
+    wake_.notify_all();
+    DrainTasks(*batch);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    current_.reset();
+    running_ = false;
+  }
+
+ private:
+  struct Batch {
+    const std::vector<std::function<void()>>* tasks = nullptr;
+    std::size_t size = 0;
+    std::atomic<std::size_t> next{0};
+  };
+
+  /// Claims and runs tasks from `batch` until its index is exhausted.
+  void DrainTasks(Batch& batch) {
+    while (true) {
+      const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.size) return;
+      (*batch.tasks)[i]();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_.notify_all();
+    }
+  }
+
+  void WorkerLoop() {
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        batch = current_;
+      }
+      if (batch != nullptr) DrainTasks(*batch);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Batch> current_;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool running_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_UTIL_THREAD_POOL_H_

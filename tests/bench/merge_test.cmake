@@ -131,4 +131,49 @@ run_merge(duplicate FALSE
   "${WORK_DIR}/fig_good_b.json" "${WORK_DIR}/dup/fig_good_b.json")
 expect_contains(duplicate "duplicate figure name" "${err}")
 
+# ------------------------------------------------------------- append mode --
+# Re-capture fig_good_b into the happy-path file: fig_good_a records are
+# kept, fig_good_b records are replaced by the new capture.
+file(WRITE "${WORK_DIR}/fig_good_b_recapture/fig_good_b.json" [=[
+{
+  "benchmarks": [
+    {
+      "name": "FigB/algo:1/Q_thousands:1/iterations:1/manual_time",
+      "run_type": "iteration", "iterations": 1,
+      "real_time": 1.0, "cpu_time": 2.0, "time_unit": "ms",
+      "sec_per_ts": 0.009, "mem_kb": 99.0, "label": "IMA"
+    }
+  ]
+}
+]=])
+execute_process(
+  COMMAND ${PYTHON3} ${MERGE_SCRIPT}
+    --out ${WORK_DIR}/happy_merged.json --scale quick --seed 42 --append
+    "${WORK_DIR}/fig_good_b_recapture/fig_good_b.json"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "append: merge failed (${code})\n${out}\n${err}")
+endif()
+file(READ "${WORK_DIR}/happy_merged.json" appended)
+expect_contains(append_keeps_other_figures
+  "\"figure\": \"fig_good_a\"" "${appended}")
+expect_contains(append_replaces_recaptured
+  "\"sec_per_ts\": 0.009" "${appended}")
+string(FIND "${appended}" "\"sec_per_ts\": 0.003" old_pos)
+if(NOT old_pos EQUAL -1)
+  message(FATAL_ERROR
+    "append: stale fig_good_b record survived the re-capture:\n${appended}")
+endif()
+
+# Appending a capture with a different scale must fail loudly.
+execute_process(
+  COMMAND ${PYTHON3} ${MERGE_SCRIPT}
+    --out ${WORK_DIR}/happy_merged.json --scale paper --seed 42 --append
+    "${WORK_DIR}/fig_good_b_recapture/fig_good_b.json"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0)
+  message(FATAL_ERROR "append with mismatched scale succeeded\n${out}\n${err}")
+endif()
+expect_contains(append_scale_mismatch "scale/seed mismatch" "${err}")
+
 message(STATUS "bench_merge tests OK")

@@ -334,6 +334,70 @@ TEST(ImaEngineTest, SetKGrowsAndShrinks) {
   EXPECT_EQ(engine.KOf(0), 1);
 }
 
+TEST(ImaEngineTest, SetKMidStreamContinuesFromTheLiveFrontier) {
+  // Regression for the growing-k path (issue 4): after a stream of object
+  // moves and weight changes has reshaped the expansion tree — including
+  // the lazy shrink that prunes the tree down to 1.3x the bound — growing
+  // and shrinking k must continue from the live frontier and land exactly
+  // where a freshly built engine with the same k lands.
+  RoadNetwork net = testing::MakeGrid(6);
+  const std::size_t num_edges = net.NumEdges();
+  ObjectTable objects(net.NumEdges());
+  Rng rng(2024);
+  std::vector<NetworkPoint> pos(14);
+  for (ObjectId i = 0; i < pos.size(); ++i) {
+    pos[i] = NetworkPoint{static_cast<EdgeId>(rng.NextIndex(num_edges)),
+                          rng.NextDouble()};
+    ASSERT_TRUE(objects.Insert(i, pos[i]).ok());
+  }
+  ImaEngine engine(&net, &objects);
+  const NetworkPoint query{0, 0.5};
+  ASSERT_TRUE(engine.AddQuery(0, ExpansionSource::AtPoint(query), 3).ok());
+
+  const int ks[] = {3, 7, 2, 12, 1, 5};
+  for (int round = 0; round < 6; ++round) {
+    // A few object moves and weight wobbles between k changes.
+    std::vector<ObjectUpdate> object_updates;
+    for (int m = 0; m < 3; ++m) {
+      const ObjectId id = static_cast<ObjectId>(rng.NextIndex(pos.size()));
+      const NetworkPoint to{static_cast<EdgeId>(rng.NextIndex(num_edges)),
+                            rng.NextDouble()};
+      bool already = false;  // One update per object per batch.
+      for (const ObjectUpdate& u : object_updates) {
+        already |= u.id == id;
+      }
+      if (already) continue;
+      object_updates.push_back(ObjectUpdate{id, pos[id], to});
+      pos[id] = to;
+    }
+    std::vector<EdgeUpdate> edge_updates;
+    const EdgeId e = static_cast<EdgeId>(rng.NextIndex(num_edges));
+    edge_updates.push_back(
+        EdgeUpdate{e, net.edge(e).weight * (rng.NextBool(0.5) ? 1.3 : 0.7)});
+    engine.ProcessUpdates(object_updates, edge_updates, {});
+
+    const int k = ks[round];
+    ASSERT_TRUE(engine.SetK(0, k).ok());
+    ASSERT_TRUE(engine.CheckInvariants().ok())
+        << "round " << round << ": "
+        << engine.CheckInvariants().ToString();
+
+    // Cross-check against an engine built from scratch on the same tables.
+    ImaEngine fresh(&net, &objects);
+    ASSERT_TRUE(fresh.AddQuery(0, ExpansionSource::AtPoint(query), k).ok());
+    const std::vector<Neighbor>* incremental = engine.ResultOf(0);
+    const std::vector<Neighbor>* scratch = fresh.ResultOf(0);
+    ASSERT_NE(incremental, nullptr);
+    ASSERT_NE(scratch, nullptr);
+    EXPECT_TRUE(*incremental == *scratch)
+        << "round " << round << " k=" << k << ": incremental result ("
+        << incremental->size() << " neighbors) diverged from scratch ("
+        << scratch->size() << " neighbors)";
+    EXPECT_DOUBLE_EQ(engine.BoundOf(0), fresh.BoundOf(0))
+        << "round " << round << " k=" << k;
+  }
+}
+
 TEST(ImaEngineTest, NodeAnchoredQuery) {
   RoadNetwork net = testing::MakeGrid(4);
   ObjectTable objects(net.NumEdges());

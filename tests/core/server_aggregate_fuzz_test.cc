@@ -1,0 +1,215 @@
+// Differential fuzz for Section 4.5 preprocessing: replaying a randomly
+// generated update batch one-update-per-tick ("raw") must leave the server
+// in the same observable state as submitting the whole batch in a single
+// aggregated tick — for every algorithm, and for arbitrary per-entity
+// chains (move-after-move, appear-then-move, terminate-then-reinstall,
+// install-move-terminate, repeated weight updates, ...). This is the test
+// that falsified the pre-fix collapse rules, which dropped the terminate
+// of a terminate→reinstall chain and re-installed a still-registered id.
+//
+// Runs under the `fuzz` label; seeds via CKNN_FUZZ_SEED, iteration budget
+// via CKNN_FUZZ_SCALE (tests/fuzz_util.h).
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/server.h"
+#include "src/util/rng.h"
+#include "tests/fuzz_util.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+constexpr ObjectId kNumObjectIds = 12;
+constexpr QueryId kNumQueryIds = 8;
+
+/// Ground truth the generator maintains so every chained update is valid
+/// sequential input (old positions match, moves only touch live entities).
+struct Model {
+  std::map<ObjectId, NetworkPoint> objects;
+  struct Query {
+    NetworkPoint pos;
+    int k = 1;
+  };
+  std::map<QueryId, Query> queries;
+};
+
+NetworkPoint RandomPoint(Rng* rng, std::size_t num_edges) {
+  return NetworkPoint{static_cast<EdgeId>(rng->NextIndex(num_edges)),
+                      rng->NextDouble()};
+}
+
+/// One random, sequentially valid update; appends it to `batch` and folds
+/// it into `model`.
+void AppendRandomUpdate(Rng* rng, std::size_t num_edges, Model* model,
+                        UpdateBatch* batch) {
+  switch (rng->NextIndex(3)) {
+    case 0: {  // Object update.
+      const ObjectId id = static_cast<ObjectId>(rng->NextIndex(kNumObjectIds));
+      auto it = model->objects.find(id);
+      if (it == model->objects.end()) {  // Appear.
+        const NetworkPoint pos = RandomPoint(rng, num_edges);
+        batch->objects.push_back(ObjectUpdate{id, std::nullopt, pos});
+        model->objects.emplace(id, pos);
+      } else if (rng->NextBool(0.25)) {  // Disappear.
+        batch->objects.push_back(ObjectUpdate{id, it->second, std::nullopt});
+        model->objects.erase(it);
+      } else {  // Move.
+        const NetworkPoint pos = RandomPoint(rng, num_edges);
+        batch->objects.push_back(ObjectUpdate{id, it->second, pos});
+        it->second = pos;
+      }
+      break;
+    }
+    case 1: {  // Query update.
+      const QueryId id = static_cast<QueryId>(rng->NextIndex(kNumQueryIds));
+      auto it = model->queries.find(id);
+      if (it == model->queries.end()) {  // Install.
+        Model::Query q{RandomPoint(rng, num_edges),
+                       1 + static_cast<int>(rng->NextIndex(4))};
+        batch->queries.push_back(
+            QueryUpdate{id, QueryUpdate::Kind::kInstall, q.pos, q.k});
+        model->queries.emplace(id, q);
+      } else if (rng->NextBool(0.3)) {  // Terminate.
+        batch->queries.push_back(
+            QueryUpdate{id, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+        model->queries.erase(it);
+      } else {  // Move.
+        const NetworkPoint pos = RandomPoint(rng, num_edges);
+        batch->queries.push_back(
+            QueryUpdate{id, QueryUpdate::Kind::kMove, pos, 0});
+        it->second.pos = pos;
+      }
+      break;
+    }
+    default: {  // Edge-weight update.
+      batch->edges.push_back(
+          EdgeUpdate{static_cast<EdgeId>(rng->NextIndex(num_edges)),
+                     rng->Uniform(0.1, 5.0)});
+      break;
+    }
+  }
+}
+
+/// Every query of `model` must expose identical results on both servers.
+void ExpectSameObservableState(const Model& model, const MonitoringServer& a,
+                               const MonitoringServer& b) {
+  ASSERT_EQ(a.NumQueries(), model.queries.size());
+  ASSERT_EQ(b.NumQueries(), model.queries.size());
+  ASSERT_EQ(a.objects().size(), model.objects.size());
+  ASSERT_EQ(b.objects().size(), model.objects.size());
+  for (const auto& [id, pos] : model.objects) {
+    ASSERT_TRUE(a.objects().Position(id).ok());
+    EXPECT_EQ(a.objects().Position(id).value(), pos);
+    EXPECT_EQ(b.objects().Position(id).value(), pos);
+  }
+  for (const auto& [id, q] : model.queries) {
+    (void)q;
+    SCOPED_TRACE("query " + std::to_string(id));
+    const std::vector<Neighbor>* ra = a.ResultOf(id);
+    const std::vector<Neighbor>* rb = b.ResultOf(id);
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    // The raw replay takes different incremental-maintenance paths (one
+    // tick per update), so distances may differ by accumulated rounding —
+    // compare with the same relative tolerance the engine's invariant
+    // checker uses. The neighbor id multiset must match exactly.
+    ASSERT_EQ(ra->size(), rb->size());
+    std::vector<ObjectId> ids_a, ids_b;
+    for (std::size_t r = 0; r < ra->size(); ++r) {
+      const double da = (*ra)[r].distance;
+      const double db = (*rb)[r].distance;
+      EXPECT_LE(std::abs(da - db), 1e-9 * (1.0 + std::abs(da)))
+          << "rank " << r << ": object " << (*ra)[r].id << " at " << da
+          << " vs object " << (*rb)[r].id << " at " << db;
+      ids_a.push_back((*ra)[r].id);
+      ids_b.push_back((*rb)[r].id);
+    }
+    std::sort(ids_a.begin(), ids_a.end());
+    std::sort(ids_b.begin(), ids_b.end());
+    EXPECT_EQ(ids_a, ids_b) << "neighbor id multiset divergence";
+  }
+  for (EdgeId e = 0; e < a.network().NumEdges(); ++e) {
+    ASSERT_DOUBLE_EQ(a.network().edge(e).weight, b.network().edge(e).weight);
+  }
+}
+
+class AggregateFuzzTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AggregateFuzzTest, RawReplayEqualsAggregatedReplay) {
+  const int cases = testing::FuzzIterations(6, 60);
+  for (int c = 0; c < cases; ++c) {
+    const std::uint64_t seed = testing::FuzzSeed(3000 + c);
+    SCOPED_TRACE("case " + std::to_string(c) + " seed " +
+                 std::to_string(seed));
+    Rng rng(seed);
+    // Shared starting state: a grid with a few objects and queries.
+    RoadNetwork grid = testing::MakeGrid(4);
+    const std::size_t num_edges = grid.NumEdges();
+    MonitoringServer raw(testing::MakeGrid(4), GetParam());
+    MonitoringServer aggregated(std::move(grid), GetParam());
+    Model model;
+    {
+      UpdateBatch setup;
+      for (ObjectId id = 0; id < 4; ++id) {
+        const NetworkPoint pos = RandomPoint(&rng, num_edges);
+        setup.objects.push_back(ObjectUpdate{id, std::nullopt, pos});
+        model.objects.emplace(id, pos);
+      }
+      for (QueryId id = 0; id < 3; ++id) {
+        Model::Query q{RandomPoint(&rng, num_edges),
+                       1 + static_cast<int>(rng.NextIndex(3))};
+        setup.queries.push_back(
+            QueryUpdate{id, QueryUpdate::Kind::kInstall, q.pos, q.k});
+        model.queries.emplace(id, q);
+      }
+      ASSERT_TRUE(raw.Tick(setup).ok());
+      ASSERT_TRUE(aggregated.Tick(setup).ok());
+    }
+    // One dense batch with long per-entity chains (few ids, many updates).
+    UpdateBatch batch;
+    const int updates = 6 + static_cast<int>(rng.NextIndex(20));
+    for (int u = 0; u < updates; ++u) {
+      AppendRandomUpdate(&rng, num_edges, &model, &batch);
+    }
+    // Raw: one mini-tick per update, in order.
+    for (const ObjectUpdate& u : batch.objects) {
+      // Interleaving order matters only per entity; replay streams in the
+      // generated per-kind order, queries after objects, edges last —
+      // the same relative order aggregation preserves.
+      UpdateBatch one;
+      one.objects.push_back(u);
+      ASSERT_TRUE(raw.Tick(one).ok());
+    }
+    for (const QueryUpdate& u : batch.queries) {
+      UpdateBatch one;
+      one.queries.push_back(u);
+      ASSERT_TRUE(raw.Tick(one).ok());
+    }
+    for (const EdgeUpdate& u : batch.edges) {
+      UpdateBatch one;
+      one.edges.push_back(u);
+      ASSERT_TRUE(raw.Tick(one).ok());
+    }
+    // Aggregated: the whole batch in a single tick.
+    ASSERT_TRUE(aggregated.Tick(batch).ok());
+    ExpectSameObservableState(model, raw, aggregated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, AggregateFuzzTest,
+                         ::testing::Values(Algorithm::kIma, Algorithm::kGma,
+                                           Algorithm::kOvh),
+                         [](const ::testing::TestParamInfo<Algorithm>& info) {
+                           return std::string(AlgorithmName(info.param));
+                         });
+
+}  // namespace
+}  // namespace cknn

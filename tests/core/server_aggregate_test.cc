@@ -144,6 +144,133 @@ TEST_P(TickAggregationTest, InstallMoveTerminateWithinOneTickIsANoOp) {
   EXPECT_EQ(server->monitor().NumQueries(), queries_before);
 }
 
+TEST_P(TickAggregationTest, TerminateThenReinstallKeepsTheQueryAlive) {
+  // Regression: the pre-fix collapse rules folded terminate→install into a
+  // bare install of a still-registered id, which every algorithm rejects
+  // with AlreadyExists. The net effect must be a re-installation.
+  auto chained = MakeServer();
+  auto sequential = MakeServer();
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kInstall, NetworkPoint{6, 0.5}, 1});
+  ASSERT_TRUE(chained->Tick(batch).ok());
+
+  ASSERT_TRUE(sequential->TerminateQuery(0).ok());
+  ASSERT_TRUE(sequential->InstallQuery(0, NetworkPoint{6, 0.5}, 1).ok());
+  ExpectSameResult(*chained, *sequential);
+  EXPECT_EQ(chained->NumQueries(), 1u);
+}
+
+TEST_P(TickAggregationTest, MoveTerminateReinstallMoveCollapses) {
+  // The "move-after-reinstall" chain of the issue: the final state is a
+  // fresh installation at the last position with the reinstall's k.
+  auto chained = MakeServer();
+  auto sequential = MakeServer();
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{8, 0.5}, 0});
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kInstall, NetworkPoint{3, 0.25}, 1});
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{12, 0.75}, 0});
+  ASSERT_TRUE(chained->Tick(batch).ok());
+
+  ASSERT_TRUE(
+      sequential->MoveQuery(0, NetworkPoint{8, 0.5}).ok());
+  ASSERT_TRUE(sequential->TerminateQuery(0).ok());
+  ASSERT_TRUE(sequential->InstallQuery(0, NetworkPoint{3, 0.25}, 1).ok());
+  ASSERT_TRUE(sequential->MoveQuery(0, NetworkPoint{12, 0.75}).ok());
+  ExpectSameResult(*chained, *sequential);
+}
+
+TEST_P(TickAggregationTest, TerminateReinstallTerminateIsATerminate) {
+  // Regression: the pre-fix rules dropped this chain entirely (treating it
+  // as a no-op), leaving the original query registered.
+  auto server = MakeServer();
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kInstall, NetworkPoint{6, 0.5}, 2});
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  ASSERT_TRUE(server->Tick(batch).ok());
+  EXPECT_EQ(server->ResultOf(0), nullptr);
+  EXPECT_EQ(server->NumQueries(), 0u);
+}
+
+TEST(AggregateBatchTest, TerminateReinstallEmitsTerminateThenInstall) {
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{4, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  batch.queries.push_back(
+      QueryUpdate{4, QueryUpdate::Kind::kInstall, NetworkPoint{1, 0.5}, 3});
+  batch.queries.push_back(
+      QueryUpdate{4, QueryUpdate::Kind::kMove, NetworkPoint{2, 0.25}, 0});
+  const UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  ASSERT_EQ(out.queries.size(), 2u);
+  EXPECT_EQ(out.queries[0].kind, QueryUpdate::Kind::kTerminate);
+  EXPECT_EQ(out.queries[0].id, 4u);
+  EXPECT_EQ(out.queries[1].kind, QueryUpdate::Kind::kInstall);
+  EXPECT_EQ(out.queries[1].id, 4u);
+  EXPECT_EQ(out.queries[1].pos, (NetworkPoint{2, 0.25}));
+  EXPECT_EQ(out.queries[1].k, 3);
+}
+
+TEST_P(TickAggregationTest, InstallOfAliveQueryStillSurfacesAlreadyExists) {
+  // [move, install] of a registered query is invalid sequential input; the
+  // collapse must not quietly turn it into a move (losing the install's k
+  // and the error) — the algorithms reject it like a sequential replay.
+  auto server = MakeServer();
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{8, 0.5}, 0});
+  batch.queries.push_back(
+      QueryUpdate{0, QueryUpdate::Kind::kInstall, NetworkPoint{3, 0.25}, 5});
+  EXPECT_TRUE(server->Tick(batch).IsAlreadyExists());
+}
+
+TEST_P(TickAggregationTest, DuplicateInstallOfNewQuerySurfacesAlreadyExists) {
+  // [install, install] of a within-tick-new id is invalid sequential input
+  // (the second install would be rejected); the batch is rejected whole.
+  auto server = MakeServer();
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{5, QueryUpdate::Kind::kInstall, NetworkPoint{1, 0.5}, 1});
+  batch.queries.push_back(
+      QueryUpdate{5, QueryUpdate::Kind::kInstall, NetworkPoint{3, 0.25}, 5});
+  EXPECT_TRUE(server->Tick(batch).IsAlreadyExists());
+  EXPECT_EQ(server->ResultOf(5), nullptr);
+}
+
+TEST(AggregateBatchTest, MoveChainStaysASingleMove) {
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{1, QueryUpdate::Kind::kMove, NetworkPoint{1, 0.5}, 0});
+  batch.queries.push_back(
+      QueryUpdate{1, QueryUpdate::Kind::kMove, NetworkPoint{2, 0.5}, 0});
+  const UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  ASSERT_EQ(out.queries.size(), 1u);
+  EXPECT_EQ(out.queries[0].kind, QueryUpdate::Kind::kMove);
+  EXPECT_EQ(out.queries[0].pos, (NetworkPoint{2, 0.5}));
+}
+
+TEST(AggregateBatchTest, InstallTerminateCancelsOut) {
+  UpdateBatch batch;
+  batch.queries.push_back(
+      QueryUpdate{9, QueryUpdate::Kind::kInstall, NetworkPoint{1, 0.5}, 2});
+  batch.queries.push_back(
+      QueryUpdate{9, QueryUpdate::Kind::kMove, NetworkPoint{2, 0.5}, 0});
+  batch.queries.push_back(
+      QueryUpdate{9, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  const UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  EXPECT_TRUE(out.queries.empty());
+}
+
 TEST_P(TickAggregationTest, MixedEntitiesAggregateIndependently) {
   auto chained = MakeServer();
   auto collapsed = MakeServer();

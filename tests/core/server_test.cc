@@ -49,6 +49,54 @@ TEST(ServerTest, ValidationRejectsBadUpdates) {
   UpdateBatch neg;
   neg.edges.push_back(EdgeUpdate{0, -2.0});
   EXPECT_TRUE(server.Tick(neg).IsInvalidArgument());
+  // Query updates are validated too.
+  UpdateBatch term;
+  term.queries.push_back(
+      QueryUpdate{7, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+  EXPECT_TRUE(server.Tick(term).IsNotFound());
+  UpdateBatch mv;
+  mv.queries.push_back(
+      QueryUpdate{7, QueryUpdate::Kind::kMove, NetworkPoint{0, 0.5}, 0});
+  EXPECT_TRUE(server.Tick(mv).IsNotFound());
+  UpdateBatch bad_k;
+  bad_k.queries.push_back(
+      QueryUpdate{7, QueryUpdate::Kind::kInstall, NetworkPoint{0, 0.5}, 0});
+  EXPECT_TRUE(server.Tick(bad_k).IsInvalidArgument());
+  UpdateBatch bad_edge;
+  bad_edge.queries.push_back(
+      QueryUpdate{7, QueryUpdate::Kind::kInstall, NetworkPoint{999, 0.5}, 1});
+  EXPECT_TRUE(server.Tick(bad_edge).IsInvalidArgument());
+}
+
+TEST(ServerTest, RejectedBatchLeavesTheServerConsistent) {
+  // Regression: a batch mixing valid object updates with an invalid query
+  // update used to apply the object updates to the shared table before the
+  // shard rejected the batch, leaving the engines' known sets pointing at
+  // table state they never saw (a later rebuild hit a CKNN_CHECK). The
+  // whole batch must be rejected untouched, and the server must keep
+  // working afterwards.
+  for (const Algorithm algo :
+       {Algorithm::kIma, Algorithm::kGma, Algorithm::kOvh}) {
+    SCOPED_TRACE(AlgorithmName(algo));
+    MonitoringServer server(testing::MakeGrid(4), algo);
+    ASSERT_TRUE(server.AddObject(1, NetworkPoint{0, 0.5}).ok());
+    ASSERT_TRUE(server.InstallQuery(0, NetworkPoint{0, 0.1}, 1).ok());
+    UpdateBatch mixed;
+    mixed.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{0, 0.5}, std::nullopt});  // Valid.
+    mixed.queries.push_back(  // Invalid: query 9 was never installed.
+        QueryUpdate{9, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+    EXPECT_TRUE(server.Tick(mixed).IsNotFound());
+    // The valid half must not have been applied.
+    EXPECT_TRUE(server.objects().Contains(1));
+    // The server still ticks and maintains results afterwards.
+    ASSERT_TRUE(server.MoveObject(1, NetworkPoint{5, 0.25}).ok());
+    ASSERT_TRUE(server.UpdateEdgeWeight(0, 2.0).ok());
+    const auto* result = server.ResultOf(0);
+    ASSERT_NE(result, nullptr);
+    ASSERT_EQ(result->size(), 1u);
+    EXPECT_EQ((*result)[0].id, 1u);
+  }
 }
 
 TEST(ServerTest, AggregateMergesObjectUpdates) {

@@ -121,5 +121,79 @@ TEST(SnapTest, DegenerateZeroLengthEdgeIsSnappable) {
   EXPECT_EQ((*result)[0].id, 0u);
 }
 
+TEST(SnapTest, ZeroExtentNetworkSnapsFromAnywhere) {
+  // Every node coincides: the workspace bounding box has zero width and
+  // height, so the spatial index lives entirely off the absolute pad floor
+  // (regression: a ~1e-9 extent-proportional pad made snaps unreliable).
+  RoadNetwork net;
+  const NodeId a = net.AddNode(Point{3.0, 7.0});
+  const NodeId b = net.AddNode(Point{3.0, 7.0});
+  auto e = net.AddEdge(a, b, /*length_override=*/2.0);
+  ASSERT_TRUE(e.ok());
+  MonitoringServer server(std::move(net), Algorithm::kOvh);
+  for (const Point p : {Point{3.0, 7.0}, Point{2.5, 7.5}, Point{-40.0, 12.0},
+                        Point{1e6, -1e6}}) {
+    const auto snapped = server.Snap(p);
+    ASSERT_TRUE(snapped.ok()) << "point " << p.x << "," << p.y << ": "
+                              << snapped.status().ToString();
+    EXPECT_EQ(snapped->edge, e.value());
+    EXPECT_NEAR(Distance(ToEuclidean(server.network(), *snapped),
+                         Point{3.0, 7.0}),
+                0.0, 1e-12);
+  }
+  // The degenerate workspace still hosts a working monitoring setup.
+  ASSERT_TRUE(server.AddObject(0, NetworkPoint{e.value(), 0.75}).ok());
+  ASSERT_TRUE(server.InstallQuery(0, NetworkPoint{e.value(), 0.0}, 1).ok());
+  ASSERT_NE(server.ResultOf(0), nullptr);
+  ASSERT_EQ(server.ResultOf(0)->size(), 1u);
+}
+
+TEST(SnapTest, ZeroExtentNetworkFarFromTheOriginSnaps) {
+  // Same degeneracy at a large coordinate magnitude: a fixed absolute pad
+  // (say 1e-9) would be absorbed by floating-point rounding at 1e8, giving
+  // the quadtree an exactly zero-extent workspace. The pad floor scales
+  // with the magnitude.
+  RoadNetwork net;
+  const NodeId a = net.AddNode(Point{1e8, -1e8});
+  const NodeId b = net.AddNode(Point{1e8, -1e8});
+  auto e = net.AddEdge(a, b, /*length_override=*/1.0);
+  ASSERT_TRUE(e.ok());
+  MonitoringServer server(std::move(net), Algorithm::kOvh);
+  EXPECT_GT(server.spatial_index().bounds().Width(), 0.0);
+  const auto snapped = server.Snap(Point{1e8 + 5.0, -1e8 + 2.0});
+  ASSERT_TRUE(snapped.ok()) << snapped.status().ToString();
+  EXPECT_EQ(snapped->edge, e.value());
+}
+
+TEST(SnapTest, AllCollinearDegenerateEdgesSnap) {
+  // Several zero-length edges strung along one horizontal line: the
+  // bounding box has positive width but exactly zero height. Snaps from
+  // above/below must land on the nearest coincident pair.
+  RoadNetwork net;
+  std::vector<EdgeId> edges;
+  for (int i = 0; i < 3; ++i) {
+    const double x = 2.0 * i;
+    const NodeId a = net.AddNode(Point{x, 5.0});
+    const NodeId b = net.AddNode(Point{x, 5.0});
+    auto e = net.AddEdge(a, b, /*length_override=*/1.0);
+    ASSERT_TRUE(e.ok());
+    edges.push_back(e.value());
+  }
+  // Chain the pairs so the network is connected (zero-length links would
+  // collide with the coincident pairs, so connect consecutive pairs).
+  ASSERT_TRUE(net.AddEdge(1, 2).ok());
+  ASSERT_TRUE(net.AddEdge(3, 4).ok());
+  MonitoringServer server(std::move(net), Algorithm::kOvh);
+  for (const Point p : {Point{2.1, 9.0}, Point{4.4, -3.0}, Point{-7.0, 5.0},
+                        Point{0.0, 5.0}}) {
+    const auto snapped = server.Snap(p);
+    ASSERT_TRUE(snapped.ok()) << "point " << p.x << "," << p.y << ": "
+                              << snapped.status().ToString();
+    EXPECT_NEAR(Distance(ToEuclidean(server.network(), *snapped), p),
+                BruteForceSnapDistance(server.network(), p), 1e-9)
+        << "point " << p.x << "," << p.y;
+  }
+}
+
 }  // namespace
 }  // namespace cknn

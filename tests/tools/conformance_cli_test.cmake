@@ -53,6 +53,13 @@ foreach(i RANGE 1 3)
     --replay=${trace} --conformance)
 endforeach()
 
+# The sharded server must replay the same traces in lockstep agreement at
+# every shard count (the determinism guarantee of docs/sharding.md).
+foreach(shards 2 8)
+  expect_conformance_ok(replay_scenario_1_shards_${shards}
+    --replay=${WORK_DIR}/scenario_1.trace --conformance --shards=${shards})
+endforeach()
+
 # A corrupted trace must be rejected, not replayed as if nothing happened.
 set(corrupt "${WORK_DIR}/corrupt.trace")
 file(READ "${WORK_DIR}/scenario_1.trace" intact)

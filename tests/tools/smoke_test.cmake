@@ -71,6 +71,24 @@ expect_usage_error(replay_with_generator_flag --replay=a.trace --edges=100)
 expect_usage_error(replay_with_seed --replay=a.trace --seed=3)
 expect_usage_error(conformance_with_algo --conformance --algo=ima)
 expect_usage_error(conformance_with_memory --conformance --memory)
+expect_usage_error(zero_shards --shards=0)
+expect_usage_error(bare_shards --shards)
+
+# A sharded run must work end to end (exit 0; result agreement with the
+# serial default is enforced by shard_determinism_test and the
+# conformance CLI --shards legs).
+execute_process(
+  COMMAND ${CKNN_SIM}
+    --algo=ima --shards=4 --edges=200 --objects=300 --queries=20
+    --k=4 --timestamps=5 --seed=7
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR
+    "sharded cknn_sim run exited ${code}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+message(STATUS "cknn_sim sharded_run OK (${code})")
 
 # Replay of a missing trace must fail cleanly (a read error, not usage).
 execute_process(

@@ -69,6 +69,9 @@ void PrintUsage() {
       "  --uniform-queries     place queries uniformly (default Gaussian)\n"
       "  --gaussian-objects    place objects Gaussian (default uniform)\n"
       "  --memory              report monitoring memory\n"
+      "  --shards=N            worker shards of the monitoring server\n"
+      "                        (default 1 = serial; results are independent\n"
+      "                        of the shard count — see docs/sharding.md)\n"
       "  --seed=N              master seed (default 42)\n"
       "  --record=FILE         record the generated workload as a trace\n"
       "  --replay=FILE         replay a recorded trace (the network and\n"
@@ -265,6 +268,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
     } else if (ParseFlag(argv[i], "--gaussian-objects", &v)) {
       if (!RejectValue("--gaussian-objects", v)) return false;
       opt->spec.workload.object_distribution = Distribution::kGaussian;
+    } else if (ParseFlag(argv[i], "--shards", &v)) {
+      if (!ParsePositiveInt("--shards", v, &opt->spec.shards)) return false;
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       if (!ParseCount("--seed", v, &opt->spec.workload.seed)) return false;
       opt->spec.network.seed = opt->spec.workload.seed ^ 0x9E37;
@@ -372,19 +377,22 @@ int RunReplayModes(const Options& opt) {
   if (opt.conformance) {
     std::fprintf(stderr, "checking conformance on %s (%zu ticks)...\n",
                  opt.replay_path.c_str(), trace->batches.size());
-    return PrintConformance(CheckTraceConformance(*trace));
+    ConformanceOptions conf;
+    conf.shards = opt.spec.shards;
+    return PrintConformance(CheckTraceConformance(*trace, conf));
   }
   if (opt.compare) {
     return PrintComparisonTable(
         "Algorithm comparison (replay)", opt.memory, [&](Algorithm algo) {
           std::fprintf(stderr, "replaying %s...\n", AlgorithmName(algo));
-          return RunTraceReplay(algo, *trace, opt.memory);
+          return RunTraceReplay(algo, *trace, opt.memory, opt.spec.shards);
         });
   }
   std::fprintf(stderr, "replaying %s on %s (%zu edges, %zu ticks)...\n",
                AlgorithmName(opt.algo), opt.replay_path.c_str(),
                trace->network.NumEdges(), trace->batches.size());
-  Result<RunMetrics> metrics = RunTraceReplay(opt.algo, *trace, opt.memory);
+  Result<RunMetrics> metrics =
+      RunTraceReplay(opt.algo, *trace, opt.memory, opt.spec.shards);
   if (!metrics.ok()) {
     std::fprintf(stderr, "replay failed: %s\n",
                  metrics.status().ToString().c_str());
@@ -399,7 +407,8 @@ int RunReplayModes(const Options& opt) {
 int RunGeneratedConformance(const Options& opt) {
   const RoadNetwork net = GenerateRoadNetwork(opt.spec.network);
   const std::vector<std::unique_ptr<MonitoringServer>> servers =
-      BuildLockstepServers(net, ConformanceOptions{}.algorithms);
+      BuildLockstepServers(net, ConformanceOptions{}.algorithms,
+                           opt.spec.shards);
   std::vector<MonitoringServer*> ptrs;
   ptrs.reserve(servers.size());
   for (const auto& server : servers) ptrs.push_back(server.get());
