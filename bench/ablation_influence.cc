@@ -26,6 +26,7 @@ void AblationInfluence(benchmark::State& state) {
     state.SetIterationTime(metrics.AvgSeconds());
     state.counters["sec_per_ts"] = metrics.AvgSeconds();
     state.counters["max_sec"] = metrics.MaxSeconds();
+    state.counters["cpu_sec_per_ts"] = metrics.AvgCpuSeconds();
     const auto& stats = dynamic_cast<Ima&>(server.monitor()).engine().stats();
     state.counters["updates_ignored"] =
         static_cast<double>(stats.updates_ignored);

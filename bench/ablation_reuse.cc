@@ -26,6 +26,7 @@ void AblationReuse(benchmark::State& state) {
     state.SetIterationTime(metrics.AvgSeconds());
     state.counters["sec_per_ts"] = metrics.AvgSeconds();
     state.counters["max_sec"] = metrics.MaxSeconds();
+    state.counters["cpu_sec_per_ts"] = metrics.AvgCpuSeconds();
     const auto& stats = dynamic_cast<Ima&>(server.monitor()).engine().stats();
     state.counters["full_recomputes"] =
         static_cast<double>(stats.full_recomputes);

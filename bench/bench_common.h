@@ -117,6 +117,7 @@ inline void RunAndReport(benchmark::State& state, Algorithm algorithm,
     state.SetIterationTime(metrics.AvgSeconds());
     state.counters["sec_per_ts"] = metrics.AvgSeconds();
     state.counters["max_sec"] = metrics.MaxSeconds();
+    state.counters["cpu_sec_per_ts"] = metrics.AvgCpuSeconds();
     if (spec.measure_memory) {
       state.counters["mem_kb"] = metrics.AvgMemoryKb();
     }

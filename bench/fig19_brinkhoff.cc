@@ -33,6 +33,7 @@ void ReportBrinkhoff(benchmark::State& state, Algorithm algorithm,
     state.SetIterationTime(metrics.AvgSeconds());
     state.counters["sec_per_ts"] = metrics.AvgSeconds();
     state.counters["max_sec"] = metrics.MaxSeconds();
+    state.counters["cpu_sec_per_ts"] = metrics.AvgCpuSeconds();
   }
   state.SetLabel(AlgorithmName(algorithm));
 }

@@ -2,7 +2,8 @@
 # Benchmark capture pipeline: configure + build the bench/ targets, run
 # every figure at the current scale with JSON output, and merge the
 # per-figure files into a single BENCH_results.json (schema: {figure, algo,
-# sec_per_ts, max_sec, mem_kb, scale, seed}; see scripts/bench_merge.py).
+# sec_per_ts, max_sec, cpu_sec_per_ts, mem_kb, scale, seed}; see
+# scripts/bench_merge.py).
 #
 #   scripts/bench.sh                          # quick scale (default)
 #   CKNN_BENCH_SCALE=paper scripts/bench.sh   # the paper's Table-2 scale
@@ -59,6 +60,7 @@ figures=(
   fig17b_network_size
   fig18_memory
   fig19_brinkhoff
+  fig_pipeline
   fig_sharding
 )
 

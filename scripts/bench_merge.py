@@ -11,9 +11,12 @@ name is the file's basename without the ``.json`` suffix (a leading
 ``bench_`` is stripped). Every successful benchmark entry becomes one
 record with the schema
 
-    {figure, algo, sec_per_ts, max_sec, mem_kb, scale, seed}
+    {figure, algo, sec_per_ts, max_sec, cpu_sec_per_ts, mem_kb, scale, seed}
 
-plus ``name``/``args`` for traceability. The merge fails loudly — nonzero
+plus ``name``/``args`` for traceability. ``sec_per_ts`` is wall time;
+``cpu_sec_per_ts`` is process CPU time (all threads), recorded separately
+so sharded/pipelined figures do not conflate the two (null for captures
+made before the counter existed). The merge fails loudly — nonzero
 exit, message on stderr — on malformed input, a duplicate figure name, or
 an entry missing the mandatory ``sec_per_ts`` counter, so a broken capture
 cannot masquerade as a recorded result. Entries that skipped with an error
@@ -160,6 +163,7 @@ def main(argv):
                 "algo": entry.get("label", "<unlabeled>"),
                 "sec_per_ts": entry["sec_per_ts"],
                 "max_sec": entry.get("max_sec"),
+                "cpu_sec_per_ts": entry.get("cpu_sec_per_ts"),
                 "mem_kb": entry.get("mem_kb"),
                 "scale": ns.scale,
                 "seed": ns.seed,
@@ -175,8 +179,8 @@ def main(argv):
 
     results.sort(key=lambda r: (r["figure"], r["name"]))
     document = {
-        "schema": ["figure", "algo", "sec_per_ts", "max_sec", "mem_kb",
-                   "scale", "seed"],
+        "schema": ["figure", "algo", "sec_per_ts", "max_sec",
+                   "cpu_sec_per_ts", "mem_kb", "scale", "seed"],
         "scale": ns.scale,
         "seed": ns.seed,
         "figures": sorted(seen),

@@ -34,22 +34,49 @@ namespace cknn {
 /// tolerance for GMA, whose active-node grouping is shard-local
 /// (docs/sharding.md).
 ///
+/// With `pipeline_depth == 2` the server additionally exposes asynchronous
+/// ingest (`SubmitBatch`/`Drain`, docs/pipeline.md): stages 1–2 of tick
+/// t+1 run on the submitting thread while the shards maintain tick t on
+/// the pool workers, with a strict apply barrier (stage 3 waits for the
+/// in-flight tick) keeping every result byte-identical to serial
+/// execution. `pipeline_depth == 1` is the serial degenerate case, where
+/// `SubmitBatch` is `Tick`.
+///
 /// Positions may be given directly as `NetworkPoint`s or as raw
 /// coordinates snapped through the spatial index.
 class MonitoringServer {
  public:
   /// Takes ownership of the network. The network topology is fixed for the
   /// lifetime of the server; weights change through edge updates.
-  /// `num_shards >= 1` selects the worker-shard count (1 = serial).
+  /// `num_shards >= 1` selects the worker-shard count (1 = serial);
+  /// `pipeline_depth` in {1, 2} selects synchronous ticks or
+  /// double-buffered asynchronous ingest.
   MonitoringServer(RoadNetwork network, Algorithm algorithm,
-                   int num_shards = 1);
+                   int num_shards = 1, int pipeline_depth = 1);
 
   MonitoringServer(const MonitoringServer&) = delete;
   MonitoringServer& operator=(const MonitoringServer&) = delete;
 
   /// Processes one timestamp of updates (aggregating duplicates per
-  /// entity) and advances the clock.
+  /// entity) and advances the clock. Equivalent to `SubmitBatch` followed
+  /// by `Drain`, at every pipeline depth.
   Status Tick(const UpdateBatch& batch);
+
+  /// Submits one timestamp of updates. At depth 1 this is `Tick`. At
+  /// depth 2 it aggregates and validates the batch on the calling thread
+  /// — overlapping the in-flight tick's shard maintenance — then waits
+  /// for that tick (the apply barrier), applies the object updates, and
+  /// starts this tick's maintenance detached before returning. Validation
+  /// errors are reported synchronously and leave the server exactly as if
+  /// the call had not been made (any in-flight tick keeps running).
+  Status SubmitBatch(const UpdateBatch& batch);
+
+  /// Blocks until no tick is in flight. Must be called (or implied via
+  /// `Tick`) before reading results, metrics, or tables.
+  Status Drain();
+
+  /// Whether a submitted tick is still being maintained by the shards.
+  bool InFlight() const { return shards_.InFlight(); }
 
   /// \name Convenience single-entity operations (each runs a mini-tick).
   /// @{
@@ -67,7 +94,7 @@ class MonitoringServer {
   Result<NetworkPoint> Snap(const Point& p) const;
 
   /// Current k-NN set of a query, nullptr if unknown. Routed to the
-  /// query's owning shard.
+  /// query's owning shard. Requires a drained server.
   const std::vector<Neighbor>* ResultOf(QueryId id) const {
     return shards_.ResultOf(id);
   }
@@ -77,6 +104,7 @@ class MonitoringServer {
   const PmrQuadtree& spatial_index() const { return *spatial_index_; }
   Algorithm algorithm() const { return algorithm_; }
   std::uint64_t timestamp() const { return timestamp_; }
+  int pipeline_depth() const { return pipeline_depth_; }
 
   /// Shard 0's monitor — with the default single shard, *the* monitor.
   /// (Kept for diagnostics and tests that reach into engine internals.)
@@ -87,24 +115,61 @@ class MonitoringServer {
   ShardSet& shards() { return shards_; }
   const ShardSet& shards() const { return shards_; }
 
-  /// Registered queries across all shards.
+  /// Registered queries across all shards. Requires a drained server.
   std::size_t NumQueries() const { return shards_.NumQueries(); }
 
   /// Monitoring-structure bytes (Figure 18's quantity), summed over the
-  /// shards in shard order.
+  /// shards in shard order. Requires a drained server.
   std::size_t MonitorMemoryBytes() const { return shards_.MemoryBytes(); }
 
   /// Collapses multiple updates per object/query/edge into at most one, as
   /// required by the algorithms (Section 4.5) — except that a terminated
   /// and re-installed query collapses to a terminate immediately followed
-  /// by an install (see Monitor::ProcessTimestamp). Exposed for testing.
+  /// by an install (see Monitor::ProcessTimestamp), that an object
+  /// chain whose intermediate old positions are inconsistent is emitted
+  /// raw in full, and that a chain which appears and disappears within
+  /// the timestamp folds to a retained {nullopt, nullopt} slot — both so
+  /// stage-2 validation rejects the batch the same way a sequential
+  /// replay would (the server strips the validated no-op slots before
+  /// routing). Exposed for testing.
   static UpdateBatch AggregateBatch(const UpdateBatch& batch);
 
  private:
+  /// \name The three independent aggregation folds (`AggregateBatch` runs
+  /// them serially; the pipelined prepare fans them out on the shard
+  /// pool). Each reads one stream of `batch` and writes one stream of the
+  /// output.
+  /// @{
+  static void AggregateObjects(const UpdateBatch& batch,
+                               std::vector<ObjectUpdate>* out);
+  static void AggregateQueries(const UpdateBatch& batch,
+                               std::vector<QueryUpdate>* out);
+  static void AggregateEdges(const UpdateBatch& batch,
+                             std::vector<EdgeUpdate>* out);
+  /// @}
+
+  /// AggregateBatch with the folds fanned out across the shard pool
+  /// (falls back to the serial folds when there is no pool).
+  UpdateBatch AggregateOverlapped(const UpdateBatch& batch);
+
+  /// Stage 2: validates an aggregated batch against the shared tables
+  /// (with per-entity overlays for within-batch chains) without mutating
+  /// anything. Safe to run while a detached tick is in flight: it reads
+  /// only the object table (read-only during the parallel phase), the
+  /// network topology, and the shard set's caller-side query registry.
+  Status ValidateAggregated(const UpdateBatch& aggregated) const;
+
+  /// Stage 3: applies the batch's object updates to the shared table.
+  void ApplyObjectUpdates(const UpdateBatch& aggregated);
+
+  /// The depth-1 synchronous pipeline (stages 1–5 in one call).
+  Status SerialTick(const UpdateBatch& batch);
+
   RoadNetwork network_;
   ObjectTable objects_;
   std::unique_ptr<PmrQuadtree> spatial_index_;
   Algorithm algorithm_;
+  int pipeline_depth_;
   ShardSet shards_;
   std::uint64_t timestamp_ = 0;
 };

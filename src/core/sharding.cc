@@ -29,7 +29,7 @@ std::unique_ptr<Monitor> MakeMonitor(Algorithm algorithm, RoadNetwork* net,
 }  // namespace
 
 ShardSet::ShardSet(RoadNetwork* primary_network, ObjectTable* objects,
-                   Algorithm algorithm, int num_shards) {
+                   Algorithm algorithm, int num_shards, bool pipelined) {
   CKNN_CHECK(primary_network != nullptr);
   CKNN_CHECK(objects != nullptr);
   CKNN_CHECK(num_shards >= 1);
@@ -45,7 +45,15 @@ ShardSet::ShardSet(RoadNetwork* primary_network, ObjectTable* objects,
     shard.monitor = MakeMonitor(algorithm, net, objects);
     shard.monitor->set_object_table_externally_applied(true);
   }
-  if (num_shards > 1) pool_ = std::make_unique<ThreadPool>(num_shards - 1);
+  // In pipelined mode every shard must be runnable off the submitting
+  // thread, so the pool holds one worker per shard; in blocking mode the
+  // caller participates and `num_shards - 1` workers suffice.
+  const int workers = pipelined ? num_shards : num_shards - 1;
+  if (workers > 0) pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+ShardSet::~ShardSet() {
+  if (in_flight_) (void)WaitProcessTimestamp();
 }
 
 void ShardSet::Partition(const UpdateBatch& aggregated) {
@@ -68,9 +76,37 @@ void ShardSet::Partition(const UpdateBatch& aggregated) {
   }
 }
 
+void ShardSet::UpdateRegistry(const UpdateBatch& aggregated) {
+  for (const QueryUpdate& u : aggregated.queries) {
+    switch (u.kind) {
+      case QueryUpdate::Kind::kInstall:
+        registered_.insert(u.id);
+        break;
+      case QueryUpdate::Kind::kTerminate:
+        registered_.erase(u.id);
+        break;
+      case QueryUpdate::Kind::kMove:
+        break;
+    }
+  }
+}
+
+Status ShardSet::MergeStatuses() const {
+  // Merge in shard order: the first failing shard wins deterministically,
+  // regardless of which thread finished when.
+  for (const Shard& shard : shards_) {
+    if (!shard.status.ok()) return shard.status;
+  }
+  return Status::OK();
+}
+
 Status ShardSet::ProcessTimestamp(const UpdateBatch& aggregated) {
+  CKNN_CHECK(!in_flight_);
+  UpdateRegistry(aggregated);
   if (shards_.size() == 1) {
-    // Single shard: today's serial path, no partition copies, no pool.
+    // Single shard: the serial path, no partition copies, no pool
+    // hand-off even when one exists (pipelined single-shard sets fall
+    // back to it through Begin/Wait instead).
     return shards_[0].monitor->ProcessTimestamp(aggregated);
   }
   Partition(aggregated);
@@ -82,21 +118,41 @@ Status ShardSet::ProcessTimestamp(const UpdateBatch& aggregated) {
     });
   }
   pool_->RunAll(tasks);
-  // Merge in shard order: the first failing shard wins deterministically,
-  // regardless of which thread finished when.
-  for (const Shard& shard : shards_) {
-    if (!shard.status.ok()) return shard.status;
+  return MergeStatuses();
+}
+
+void ShardSet::BeginProcessTimestamp(const UpdateBatch& aggregated) {
+  CKNN_CHECK(!in_flight_);
+  CKNN_CHECK(pool_ != nullptr);  // Requires pipelined construction.
+  UpdateRegistry(aggregated);
+  Partition(aggregated);
+  detached_tasks_.clear();
+  detached_tasks_.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    detached_tasks_.push_back([&shard] {
+      shard.status = shard.monitor->ProcessTimestamp(shard.sub);
+    });
   }
-  return Status::OK();
+  in_flight_ = true;
+  pool_->Begin(detached_tasks_);
+}
+
+Status ShardSet::WaitProcessTimestamp() {
+  CKNN_CHECK(in_flight_);
+  pool_->Wait();
+  in_flight_ = false;
+  return MergeStatuses();
 }
 
 std::size_t ShardSet::NumQueries() const {
+  CKNN_CHECK(!in_flight_);
   std::size_t n = 0;
   for (const Shard& shard : shards_) n += shard.monitor->NumQueries();
   return n;
 }
 
 std::size_t ShardSet::MemoryBytes() const {
+  CKNN_CHECK(!in_flight_);
   std::size_t bytes = 0;
   for (const Shard& shard : shards_) bytes += shard.monitor->MemoryBytes();
   return bytes;

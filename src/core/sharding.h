@@ -2,20 +2,23 @@
 #define CKNN_CORE_SHARDING_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/monitor.h"
 #include "src/core/object_table.h"
 #include "src/core/updates.h"
 #include "src/graph/road_network.h"
+#include "src/util/macros.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
 
 namespace cknn {
 
 /// \brief Sharded update-processing backend of the monitoring server
-/// (see docs/sharding.md).
+/// (see docs/sharding.md and docs/pipeline.md).
 ///
 /// The monitored queries are partitioned across `num_shards` shards by
 /// `ShardOf(id) == id % num_shards`. Each shard owns a full monitoring
@@ -36,6 +39,15 @@ namespace cknn {
 /// outcome is deterministic and per-query results are identical for every
 /// shard count, including `num_shards == 1`, which runs inline without a
 /// pool.
+///
+/// Two execution modes:
+///  * blocking (`ProcessTimestamp`) — the classic fork/join tick;
+///  * detached (`BeginProcessTimestamp` / `WaitProcessTimestamp`) — the
+///    shard maintenance runs on pool workers while the calling thread is
+///    free to prepare the next tick (the server's pipelined ingest). Only
+///    available when the set was built with `pipelined = true`, which
+///    sizes the pool at `num_shards` workers instead of `num_shards - 1`
+///    so every shard can run in the background.
 class ShardSet {
  public:
   /// \param primary_network the server's network; shard 0 monitors it in
@@ -44,11 +56,18 @@ class ShardSet {
   /// \param objects the shared object table, mutated only by the caller
   ///        (between ticks / before ProcessTimestamp). Must outlive the
   ///        shard set.
+  /// \param pipelined reserve a pool worker per shard so
+  ///        `BeginProcessTimestamp` can run every shard detached from the
+  ///        calling thread.
   ShardSet(RoadNetwork* primary_network, ObjectTable* objects,
-           Algorithm algorithm, int num_shards);
+           Algorithm algorithm, int num_shards, bool pipelined = false);
 
   ShardSet(const ShardSet&) = delete;
   ShardSet& operator=(const ShardSet&) = delete;
+
+  /// Waits out any still-in-flight detached tick before the engines are
+  /// torn down (the tasks reference shard state).
+  ~ShardSet();
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
@@ -64,13 +83,34 @@ class ShardSet {
   /// table.
   Status ProcessTimestamp(const UpdateBatch& aggregated);
 
+  /// Starts one timestamp detached: partitions `aggregated` (copied into
+  /// per-shard scratch, so the argument only needs to live through this
+  /// call) and hands the shard tasks to the pool workers. Requires
+  /// pipelined construction and no tick already in flight.
+  void BeginProcessTimestamp(const UpdateBatch& aggregated);
+
+  /// Blocks until the detached tick finished (helping drain unstarted
+  /// shards) and returns the first non-OK shard status in shard order.
+  Status WaitProcessTimestamp();
+
+  /// Whether a detached tick is currently in flight. While true, engine
+  /// state (results, registries, shard networks) must not be read.
+  bool InFlight() const { return in_flight_; }
+
   /// Result of a query, routed to its owning shard.
   const std::vector<Neighbor>* ResultOf(QueryId id) const {
+    CKNN_CHECK(!in_flight_);
     return shards_[ShardOf(id)].monitor->ResultOf(id);
   }
 
-  /// Whether a query is currently registered (in its owning shard).
-  bool HasQuery(QueryId id) const { return ResultOf(id) != nullptr; }
+  /// Whether a query is registered, according to the caller-side registry
+  /// — the same answer as probing the owning engine for every validated
+  /// update stream, but safe to consult while a detached tick is mutating
+  /// the engines (the registry is folded on the calling thread when a
+  /// tick is submitted).
+  bool IsRegistered(QueryId id) const {
+    return registered_.count(id) != 0;
+  }
 
   /// Registered queries across all shards.
   std::size_t NumQueries() const;
@@ -81,6 +121,11 @@ class ShardSet {
 
   Monitor& monitor(int shard) { return *shards_[shard].monitor; }
   const Monitor& monitor(int shard) const { return *shards_[shard].monitor; }
+
+  /// The worker pool (nullptr for a serial, non-pipelined single shard).
+  /// Exposed so the server can overlap its aggregation folds with a
+  /// detached tick (`ThreadPool::RunAll` composes with `Begin`/`Wait`).
+  ThreadPool* pool() { return pool_.get(); }
 
  private:
   struct Shard {
@@ -95,9 +140,24 @@ class ShardSet {
   /// Splits `aggregated` into the per-shard `sub` batches.
   void Partition(const UpdateBatch& aggregated);
 
+  /// Folds the batch's install/terminate updates into `registered_`
+  /// (called on the submitting thread, before the shards run).
+  void UpdateRegistry(const UpdateBatch& aggregated);
+
+  /// First non-OK shard status in shard order.
+  Status MergeStatuses() const;
+
   std::vector<Shard> shards_;
-  /// Workers for the parallel phase (num_shards - 1 of them; the calling
-  /// thread runs the remaining shard). nullptr for a single shard.
+  /// Query ids registered after every tick submitted so far; mirrors the
+  /// engines' registries for validated input (see IsRegistered).
+  std::unordered_set<QueryId> registered_;
+  /// Per-tick task closures of the detached mode; must outlive the pool
+  /// batch, so they live here rather than on the Begin caller's stack.
+  std::vector<std::function<void()>> detached_tasks_;
+  bool in_flight_ = false;
+  /// Workers for the parallel phase: `num_shards - 1` blocking-mode
+  /// workers (the calling thread runs the remaining shard), or
+  /// `num_shards` in pipelined mode. nullptr for a serial single shard.
   std::unique_ptr<ThreadPool> pool_;
 };
 

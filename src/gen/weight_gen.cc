@@ -6,25 +6,62 @@
 
 namespace cknn {
 
-std::vector<EdgeUpdate> GenerateWeightUpdates(const RoadNetwork& net,
-                                              double edge_agility,
-                                              double magnitude, Rng* rng) {
+namespace {
+
+/// Shared draw loop: `previous(e)` yields the weight an update multiplies,
+/// `emitted(e, w)` observes the new value.
+template <typename Previous, typename Emitted>
+std::vector<EdgeUpdate> GenerateImpl(std::size_t num_edges,
+                                     double edge_agility, double magnitude,
+                                     Rng* rng, Previous previous,
+                                     Emitted emitted) {
   CKNN_CHECK(edge_agility >= 0.0 && edge_agility <= 1.0);
   CKNN_CHECK(magnitude >= 0.0 && magnitude < 1.0);
   const std::size_t count = static_cast<std::size_t>(
-      edge_agility * static_cast<double>(net.NumEdges()));
+      edge_agility * static_cast<double>(num_edges));
   std::vector<EdgeUpdate> out;
   out.reserve(count);
   std::unordered_set<EdgeId> chosen;
   chosen.reserve(count * 2);
   while (chosen.size() < count) {
-    const EdgeId e = static_cast<EdgeId>(rng->NextIndex(net.NumEdges()));
+    const EdgeId e = static_cast<EdgeId>(rng->NextIndex(num_edges));
     if (!chosen.insert(e).second) continue;
     const double factor = rng->NextBool(0.5) ? 1.0 + magnitude
                                              : 1.0 - magnitude;
-    out.push_back(EdgeUpdate{e, net.edge(e).weight * factor});
+    const double next = previous(e) * factor;
+    out.push_back(EdgeUpdate{e, next});
+    emitted(e, next);
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<EdgeUpdate> GenerateWeightUpdates(const RoadNetwork& net,
+                                              double edge_agility,
+                                              double magnitude, Rng* rng) {
+  return GenerateImpl(
+      net.NumEdges(), edge_agility, magnitude, rng,
+      [&net](EdgeId e) { return net.edge(e).weight; }, [](EdgeId, double) {});
+}
+
+std::vector<EdgeUpdate> GenerateWeightUpdates(std::vector<double>* weights,
+                                              double edge_agility,
+                                              double magnitude, Rng* rng) {
+  CKNN_CHECK(weights != nullptr);
+  return GenerateImpl(
+      weights->size(), edge_agility, magnitude, rng,
+      [weights](EdgeId e) { return (*weights)[e]; },
+      [weights](EdgeId e, double w) { (*weights)[e] = w; });
+}
+
+std::vector<double> EdgeWeights(const RoadNetwork& net) {
+  std::vector<double> weights;
+  weights.reserve(net.NumEdges());
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    weights.push_back(net.edge(e).weight);
+  }
+  return weights;
 }
 
 }  // namespace cknn

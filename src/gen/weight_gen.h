@@ -13,10 +13,25 @@ namespace cknn {
 /// `edge_agility` of the edges receives a weight update that increases or
 /// decreases the weight by `magnitude` (10% in the paper) over its previous
 /// value. Edges are drawn without replacement; at most one update per edge
-/// per timestamp.
+/// per timestamp. Reads the previous values from the live network.
 std::vector<EdgeUpdate> GenerateWeightUpdates(const RoadNetwork& net,
                                               double edge_agility,
                                               double magnitude, Rng* rng);
+
+/// Same traffic model over a caller-owned weight vector (one entry per
+/// edge), read and updated in place. The workload generators use this
+/// shadow instead of the live network, so a batch can be generated while
+/// a pipelined server's shards are still applying the previous one to
+/// their network copies (docs/pipeline.md) — the emitted values are
+/// bit-identical as long as the server receives every weight change from
+/// this generator, which is how every driver uses it.
+std::vector<EdgeUpdate> GenerateWeightUpdates(std::vector<double>* weights,
+                                              double edge_agility,
+                                              double magnitude, Rng* rng);
+
+/// Snapshot of the network's current per-edge weights — the shadow's
+/// initial state.
+std::vector<double> EdgeWeights(const RoadNetwork& net);
 
 }  // namespace cknn
 

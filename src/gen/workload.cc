@@ -16,6 +16,7 @@ Workload::Workload(const RoadNetwork* net, const PmrQuadtree* spatial_index,
   CKNN_CHECK(net_ != nullptr);
   CKNN_CHECK(spatial_index_ != nullptr);
   CKNN_CHECK(config_.k >= 1);
+  weights_ = EdgeWeights(*net_);
 }
 
 UpdateBatch Workload::Initial() {
@@ -69,8 +70,10 @@ UpdateBatch Workload::Step() {
                                         QueryUpdate::Kind::kMove, new_pos,
                                         0});
   }
-  // Edges: f_edg of the edges fluctuate by ±magnitude.
-  batch.edges = GenerateWeightUpdates(*net_, config_.edge_agility,
+  // Edges: f_edg of the edges fluctuate by ±magnitude, tracked through
+  // the shadow so generation never reads the live (possibly in-flight)
+  // network weights.
+  batch.edges = GenerateWeightUpdates(&weights_, config_.edge_agility,
                                       config_.weight_magnitude, &rng_);
   return batch;
 }
@@ -80,14 +83,15 @@ BrinkhoffWorkload::BrinkhoffWorkload(const RoadNetwork* net,
     : net_(net),
       config_(config),
       rng_(config.generator.seed ^ 0xABCDEF1234567ULL),
-      objects_(net,
+      route_net_(CloneNetwork(*net)),
+      objects_(&route_net_,
                [&] {
                  BrinkhoffGenerator::Config c = config.generator;
                  c.num_entities = config.num_objects;
                  return c;
                }(),
                /*first_id=*/0),
-      queries_(net,
+      queries_(&route_net_,
                [&] {
                  BrinkhoffGenerator::Config c = config.generator;
                  c.num_entities = config.num_queries;
@@ -96,6 +100,7 @@ BrinkhoffWorkload::BrinkhoffWorkload(const RoadNetwork* net,
                }(),
                /*first_id=*/0) {
   CKNN_CHECK(config_.k >= 1);
+  weights_ = EdgeWeights(*net_);
 }
 
 UpdateBatch BrinkhoffWorkload::Convert(
@@ -129,8 +134,13 @@ UpdateBatch BrinkhoffWorkload::Initial() {
 UpdateBatch BrinkhoffWorkload::Step() {
   UpdateBatch batch = Convert(objects_.Step(), queries_.Step());
   if (config_.edge_agility > 0.0) {
-    batch.edges = GenerateWeightUpdates(*net_, config_.edge_agility,
+    batch.edges = GenerateWeightUpdates(&weights_, config_.edge_agility,
                                         config_.weight_magnitude, &rng_);
+    // Keep the private routing network in step with the emitted updates,
+    // mirroring what the server applies to the live one.
+    for (const EdgeUpdate& u : batch.edges) {
+      CKNN_CHECK(route_net_.SetWeight(u.edge, u.new_weight).ok());
+    }
   }
   return batch;
 }

@@ -72,6 +72,11 @@ class Workload : public WorkloadSource {
   WorkloadConfig config_;
   Rng rng_;
   double avg_edge_length_;
+  /// Shadow of the network's edge weights, advanced by the updates this
+  /// workload emits. Generation reads only the shadow (plus immutable
+  /// topology/geometry), so it can overlap a pipelined server's in-flight
+  /// maintenance, which mutates the live weights (docs/pipeline.md).
+  std::vector<double> weights_;
   std::vector<NetworkPoint> object_pos_;
   std::vector<NetworkPoint> query_pos_;
 };
@@ -102,6 +107,14 @@ class BrinkhoffWorkload : public WorkloadSource {
   const RoadNetwork* net_;
   Config config_;
   Rng rng_;
+  /// Shadow of the edge weights (see Workload::weights_).
+  std::vector<double> weights_;
+  /// Private clone the generators plan routes on: Brinkhoff routing runs
+  /// shortest-path searches over edge *weights*, which on the live
+  /// network a pipelined server's shard 0 mutates mid-flight. The clone
+  /// is advanced with the weight updates this workload emits, so routes
+  /// see exactly the weights a serial run would — at any pipeline depth.
+  RoadNetwork route_net_;
   BrinkhoffGenerator objects_;
   BrinkhoffGenerator queries_;
 };

@@ -127,12 +127,12 @@ Result<ConformanceReport> RunLockstep(
 
 std::vector<std::unique_ptr<MonitoringServer>> BuildLockstepServers(
     const RoadNetwork& network, const std::vector<Algorithm>& algorithms,
-    int shards) {
+    int shards, int pipeline_depth) {
   std::vector<std::unique_ptr<MonitoringServer>> servers;
   servers.reserve(algorithms.size());
   for (const Algorithm algo : algorithms) {
     servers.push_back(std::make_unique<MonitoringServer>(
-        CloneNetwork(network), algo, shards));
+        CloneNetwork(network), algo, shards, pipeline_depth));
   }
   return servers;
 }
@@ -144,7 +144,8 @@ Result<ConformanceReport> CheckTraceConformance(
         "trace conformance needs at least two algorithms");
   }
   const std::vector<std::unique_ptr<MonitoringServer>> servers =
-      BuildLockstepServers(trace.network, options.algorithms, options.shards);
+      BuildLockstepServers(trace.network, options.algorithms, options.shards,
+                           options.pipeline_depth);
   std::vector<MonitoringServer*> ptrs;
   ptrs.reserve(servers.size());
   for (const auto& server : servers) ptrs.push_back(server.get());

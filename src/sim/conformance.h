@@ -25,6 +25,10 @@ struct ConformanceOptions {
   double tolerance = 1e-7;
   /// Worker shards of every server built for the check (1 = serial).
   int shards = 1;
+  /// Ingest pipeline depth of every server built for the check (1 =
+  /// synchronous ticks, 2 = asynchronous ingest; the lockstep loop drains
+  /// after every tick, so the comparison stays per-timestamp).
+  int pipeline_depth = 1;
 };
 
 /// \brief First point where two algorithms disagreed.
@@ -64,11 +68,12 @@ Result<ConformanceReport> RunLockstep(
     int steps, double tolerance);
 
 /// Builds one monitoring server per algorithm (each with `shards` worker
-/// shards), each on its own clone of `network` — the lockstep setup shared
-/// by `CheckTraceConformance` and the CLI's generated-conformance mode.
+/// shards and `pipeline_depth` ingest depth), each on its own clone of
+/// `network` — the lockstep setup shared by `CheckTraceConformance` and
+/// the CLI's generated-conformance mode.
 std::vector<std::unique_ptr<MonitoringServer>> BuildLockstepServers(
     const RoadNetwork& network, const std::vector<Algorithm>& algorithms,
-    int shards = 1);
+    int shards = 1, int pipeline_depth = 1);
 
 /// \brief The differential oracle of this repo: replays `trace` through
 /// every algorithm in `options.algorithms` and asserts per-timestamp

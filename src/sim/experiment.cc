@@ -11,7 +11,8 @@ namespace cknn {
 
 RunMetrics RunExperiment(Algorithm algorithm, const ExperimentSpec& spec) {
   RoadNetwork net = GenerateRoadNetwork(spec.network);
-  MonitoringServer server(std::move(net), algorithm, spec.shards);
+  MonitoringServer server(std::move(net), algorithm, spec.shards,
+                          spec.pipeline_depth);
   Workload workload(&server.network(), &server.spatial_index(),
                     spec.workload);
   SimulationOptions options;
@@ -23,8 +24,10 @@ RunMetrics RunExperiment(Algorithm algorithm, const ExperimentSpec& spec) {
 RunMetrics RunBrinkhoffExperiment(Algorithm algorithm,
                                   const RoadNetwork& base_network,
                                   const BrinkhoffWorkload::Config& config,
-                                  int timestamps, int shards) {
-  MonitoringServer server(CloneNetwork(base_network), algorithm, shards);
+                                  int timestamps, int shards,
+                                  int pipeline_depth) {
+  MonitoringServer server(CloneNetwork(base_network), algorithm, shards,
+                          pipeline_depth);
   BrinkhoffWorkload workload(&server.network(), config);
   SimulationOptions options;
   options.timestamps = timestamps;
@@ -73,7 +76,8 @@ Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
                                          const ExperimentSpec& spec,
                                          const std::string& trace_path) {
   RoadNetwork net = GenerateRoadNetwork(spec.network);
-  MonitoringServer server(std::move(net), algorithm, spec.shards);
+  MonitoringServer server(std::move(net), algorithm, spec.shards,
+                          spec.pipeline_depth);
   Result<TraceWriter> writer = TraceWriter::Open(
       trace_path, ExperimentTraceMeta(spec), server.network());
   if (!writer.ok()) return writer.status();
@@ -90,8 +94,10 @@ Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
 }
 
 Result<RunMetrics> RunTraceReplay(Algorithm algorithm, const Trace& trace,
-                                  bool measure_memory, int shards) {
-  MonitoringServer server(CloneNetwork(trace.network), algorithm, shards);
+                                  bool measure_memory, int shards,
+                                  int pipeline_depth) {
+  MonitoringServer server(CloneNetwork(trace.network), algorithm, shards,
+                          pipeline_depth);
   TraceWorkloadSource source(&trace);
   {
     const Status st = server.Tick(source.Initial());
@@ -105,12 +111,23 @@ Result<RunMetrics> RunTraceReplay(Algorithm algorithm, const Trace& trace,
   RunMetrics metrics;
   const int steps = source.NumSteps();
   metrics.steps.reserve(static_cast<std::size_t>(steps));
+  // Same CPU-window convention as RunSimulation: per-submit windows at
+  // depth 1, contiguous windows (decode + submit) at depth >= 2, where
+  // the in-flight tick burns CPU while the next batch is decoded.
+  const bool pipelined = server.pipeline_depth() > 1;
+  CpuStopwatch cpu;
   for (int ts = 0; ts < steps; ++ts) {
+    // On a pipelined server the batch is pulled from the trace while the
+    // previous tick's maintenance is still running.
     const UpdateBatch batch = source.Step();
-    Stopwatch watch;
-    const Status st = server.Tick(batch);
+    if (!pipelined) cpu.Reset();
+    Stopwatch wall;
+    const Status st = server.SubmitBatch(batch);
+    if (measure_memory && st.ok()) CKNN_CHECK(server.Drain().ok());
     TimestepMetrics step;
-    step.seconds = watch.ElapsedSeconds();
+    step.seconds = wall.ElapsedSeconds();
+    step.cpu_seconds = cpu.ElapsedSeconds();
+    cpu.Reset();
     if (!st.ok()) {
       return Status::FailedPrecondition("replay tick " +
                                         std::to_string(ts + 1) +
@@ -118,6 +135,15 @@ Result<RunMetrics> RunTraceReplay(Algorithm algorithm, const Trace& trace,
     }
     if (measure_memory) step.memory_bytes = server.MonitorMemoryBytes();
     metrics.steps.push_back(step);
+  }
+  {
+    Stopwatch wall;
+    cpu.Reset();
+    CKNN_CHECK(server.Drain().ok());
+    if (!metrics.steps.empty()) {
+      metrics.steps.back().seconds += wall.ElapsedSeconds();
+      metrics.steps.back().cpu_seconds += cpu.ElapsedSeconds();
+    }
   }
   return metrics;
 }

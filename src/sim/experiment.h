@@ -26,6 +26,10 @@ struct ExperimentSpec {
   /// algorithm; see docs/sharding.md). Does not affect the update stream
   /// or the per-query results, only how maintenance is executed.
   int shards = 1;
+  /// Ingest pipeline depth of the monitoring server (1 = synchronous
+  /// ticks, 2 = double-buffered asynchronous ingest; docs/pipeline.md).
+  /// Like `shards`, an execution detail: results are identical.
+  int pipeline_depth = 1;
 };
 
 /// Runs one algorithm on one spec and returns its run metrics.
@@ -36,7 +40,8 @@ RunMetrics RunExperiment(Algorithm algorithm, const ExperimentSpec& spec);
 RunMetrics RunBrinkhoffExperiment(Algorithm algorithm,
                                   const RoadNetwork& base_network,
                                   const BrinkhoffWorkload::Config& config,
-                                  int timestamps, int shards = 1);
+                                  int timestamps, int shards = 1,
+                                  int pipeline_depth = 1);
 
 /// Self-describing trace-header metadata for a spec: everything needed to
 /// regenerate the workload from scratch (the network itself is embedded in
@@ -52,12 +57,16 @@ Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
                                          const std::string& trace_path);
 
 /// Replays a recorded trace against one algorithm on a clone of the
-/// trace's network, timing each tick. The horizon is the trace's own.
-/// Unlike the generator paths, semantically invalid batches (a trace
-/// recorded against a different network state) surface as error Status
-/// instead of aborting.
+/// trace's network, timing each tick (wall + process CPU). The horizon is
+/// the trace's own. Unlike the generator paths, semantically invalid
+/// batches (a trace recorded against a different network state) surface
+/// as error Status instead of aborting — the pipelined submit validates
+/// synchronously, so tick attribution is exact at every depth. With
+/// `pipeline_depth == 2` the next batch is decoded from the trace while
+/// the server maintains the current one.
 Result<RunMetrics> RunTraceReplay(Algorithm algorithm, const Trace& trace,
-                                  bool measure_memory, int shards = 1);
+                                  bool measure_memory, int shards = 1,
+                                  int pipeline_depth = 1);
 
 /// \brief Paper-style series table: one row per x-value, one column per
 /// series (typically OVH / IMA / GMA), printed as an aligned text table.

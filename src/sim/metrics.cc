@@ -21,6 +21,24 @@ double RunMetrics::MaxSeconds() const {
   return best;
 }
 
+double RunMetrics::TotalCpuSeconds() const {
+  double total = 0.0;
+  for (const TimestepMetrics& m : steps) total += m.cpu_seconds;
+  return total;
+}
+
+double RunMetrics::AvgCpuSeconds() const {
+  return steps.empty()
+             ? 0.0
+             : TotalCpuSeconds() / static_cast<double>(steps.size());
+}
+
+double RunMetrics::MaxCpuSeconds() const {
+  double best = 0.0;
+  for (const TimestepMetrics& m : steps) best = std::max(best, m.cpu_seconds);
+  return best;
+}
+
 double RunMetrics::AvgMemoryKb() const {
   if (steps.empty()) return 0.0;
   double total = 0.0;

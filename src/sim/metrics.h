@@ -6,10 +6,22 @@
 
 namespace cknn {
 
-/// Measurements of one simulated timestamp.
+/// Measurements of one simulated timestamp. Wall and CPU time are recorded
+/// separately: on a serial single-shard run they coincide, but a sharded
+/// tick burns CPU on several cores per wall second, and a pipelined tick's
+/// submit window overlaps the previous tick's maintenance — conflating the
+/// two silently misreports both (the y-axis of Figures 13–19 is per-tick
+/// *elapsed* cost, which is the wall number).
 struct TimestepMetrics {
-  double seconds = 0.0;            ///< CPU time spent in Tick().
-  std::size_t memory_bytes = 0;    ///< Monitoring-structure bytes after it.
+  double seconds = 0.0;      ///< Wall-clock time of the tick's window.
+  /// Process CPU time (all threads) in the step's CPU window. At pipeline
+  /// depth 1 the window is the submit call (== the wall window); at depth
+  /// >= 2 the windows are contiguous across steps — they include the
+  /// generation/decode gap, where the in-flight tick's maintenance burns
+  /// CPU — so the run total is complete (it then also counts the
+  /// driver-side generation CPU).
+  double cpu_seconds = 0.0;
+  std::size_t memory_bytes = 0;  ///< Monitoring-structure bytes after it.
 };
 
 /// Measurements of a whole monitoring run (the per-figure data points).
@@ -17,9 +29,13 @@ struct RunMetrics {
   std::vector<TimestepMetrics> steps;
 
   double TotalSeconds() const;
-  /// Mean per-timestamp CPU time — the y-axis of Figures 13-17 and 19.
+  /// Mean per-timestamp wall time — the y-axis of Figures 13-17 and 19.
   double AvgSeconds() const;
   double MaxSeconds() const;
+  double TotalCpuSeconds() const;
+  /// Mean per-timestamp process CPU time (all threads).
+  double AvgCpuSeconds() const;
+  double MaxCpuSeconds() const;
   /// Mean monitoring memory in KBytes — the y-axis of Figure 18.
   double AvgMemoryKb() const;
 };

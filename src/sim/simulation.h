@@ -11,13 +11,19 @@ struct SimulationOptions {
   /// Monitoring horizon; the paper runs queries for 100 timestamps.
   int timestamps = 100;
   /// Collect Monitor::MemoryBytes() after each timestamp (Figure 18).
+  /// Forces a per-tick drain on pipelined servers (the monitoring
+  /// structures can only be walked while no tick is in flight).
   bool measure_memory = false;
 };
 
 /// \brief Drives one monitoring run: installs the workload's initial
 /// objects/queries (untimed setup), then feeds `timestamps` update batches
-/// to the server, timing each `Tick` — the per-timestamp CPU cost the
-/// paper reports.
+/// to the server, timing each submission (wall and process-CPU time, see
+/// src/sim/metrics.h). On a depth-1 server each submission is a full
+/// serial `Tick`; on a pipelined server (pipeline_depth 2) the next
+/// batch's generation and preparation overlap the in-flight tick's shard
+/// maintenance, and the final drain's cost is folded into the last step so
+/// the totals cover all server work.
 RunMetrics RunSimulation(MonitoringServer* server, WorkloadSource* workload,
                          const SimulationOptions& options);
 

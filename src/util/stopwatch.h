@@ -3,10 +3,18 @@
 
 #include <chrono>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#else
+#include <ctime>
+#endif
+
 namespace cknn {
 
-/// \brief Monotonic wall-clock stopwatch used for the per-timestamp CPU-time
-/// measurements of the experimental section.
+/// \brief Monotonic wall-clock stopwatch. On a serial single-shard run the
+/// elapsed wall time equals the CPU time spent, but on sharded or
+/// pipelined runs it does not — pair with `CpuStopwatch` when both views
+/// are wanted (src/sim/metrics.h records them separately).
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
@@ -25,6 +33,32 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// \brief Process-CPU-time stopwatch: seconds of CPU consumed by *all*
+/// threads of this process inside the measurement window. On POSIX it
+/// reads CLOCK_PROCESS_CPUTIME_ID; elsewhere it falls back to
+/// std::clock(), which on non-POSIX platforms may approximate wall time.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(__unix__) || defined(__APPLE__)
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+#else
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
+  }
+
+  double start_;
 };
 
 }  // namespace cknn

@@ -1,10 +1,10 @@
 #ifndef CKNN_UTIL_THREAD_POOL_H_
 #define CKNN_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -15,22 +15,33 @@
 
 namespace cknn {
 
-/// \brief Small fixed pool of worker threads for fork/join parallelism.
+/// \brief Small fixed pool of worker threads for fork/join parallelism,
+/// with an optional second, overlappable stage.
 ///
-/// `RunAll` hands a task vector to the workers *and* the calling thread
-/// (tasks are claimed through a shared index, so a pool of `n` workers
-/// executes a batch with `n + 1` threads) and blocks until every task
-/// finished. Tasks must not throw and must handle their own synchronization
-/// for any state shared between them; the pool only guarantees that all
-/// writes made by the tasks are visible to the caller when `RunAll`
-/// returns.
+/// Two submission modes share the same claim machinery:
 ///
-/// The workers are started once and parked between batches, so per-tick
-/// dispatch cost is a mutex hand-off, not thread creation.
+///  * `RunAll(tasks)` — classic fork/join: the workers *and* the calling
+///    thread claim tasks through a shared index, and the call blocks until
+///    every task finished.
+///  * `Begin(tasks)` / `Wait()` — a detached batch: `Begin` hands the tasks
+///    to the workers and returns immediately; the caller is free to do
+///    other work (including issuing `RunAll` calls on this same pool, which
+///    overlap the detached batch) and later calls `Wait`, where it helps
+///    drain whatever is still unclaimed and blocks until the batch
+///    finished. At most one detached batch may be in flight, and `Begin`/
+///    `Wait` must be called from one owning thread.
+///
+/// Tasks must not throw and must handle their own synchronization for any
+/// state shared between them; the pool guarantees that all writes made by a
+/// batch's tasks are visible to the thread that completed its
+/// `RunAll`/`Wait`. Task vectors must stay alive until that completion.
+///
+/// The workers are started once and parked between batches, so per-batch
+/// dispatch cost is a mutex hand-off, not thread creation. A pool of 0
+/// workers is allowed: `RunAll` runs everything on the calling thread, and
+/// a `Begin` batch runs entirely inside `Wait`.
 class ThreadPool {
  public:
-  /// Starts `num_workers` parked worker threads (0 is allowed: RunAll then
-  /// simply executes every task on the calling thread).
   explicit ThreadPool(int num_workers) {
     CKNN_CHECK(num_workers >= 0);
     workers_.reserve(static_cast<std::size_t>(num_workers));
@@ -42,6 +53,12 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Joins the workers. A `Begin` batch MUST be `Wait`ed before the pool
+  /// — or the batch's task vector — is destroyed: parked workers exit
+  /// without claiming, but a worker already draining the batch keeps
+  /// claiming and running its tasks while the destructor joins, so
+  /// dropping the vector early is a use-after-free. (ShardSet complies:
+  /// its destructor Waits any in-flight tick first.)
   ~ThreadPool() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -53,41 +70,67 @@ class ThreadPool {
 
   std::size_t num_workers() const { return workers_.size(); }
 
-  /// Runs every task in `tasks` to completion. Safe to call repeatedly;
-  /// not reentrant (one batch at a time).
+  /// Runs every task in `tasks` to completion, the calling thread
+  /// participating. Safe to call repeatedly and concurrently with an
+  /// in-flight `Begin` batch (the two overlap on the same workers).
   void RunAll(const std::vector<std::function<void()>>& tasks) {
-    if (tasks.empty()) return;
-    // Claim state lives in a per-batch heap block shared with the workers:
-    // a straggler that wakes up late (or is preempted between batches)
-    // still holds *its* batch, whose index counter is exhausted, so it can
-    // never claim into a newer batch or touch a task vector that has been
-    // destroyed. Task claims with i < size happen only while this call is
-    // still blocked in the wait below (pending > 0), when `tasks` is alive.
-    auto batch = std::make_shared<Batch>();
-    batch->tasks = &tasks;
-    batch->size = tasks.size();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      CKNN_CHECK(!running_);  // Not reentrant.
-      running_ = true;
-      current_ = batch;
-      pending_ = tasks.size();
-      ++generation_;
-    }
-    wake_.notify_all();
-    DrainTasks(*batch);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [this] { return pending_ == 0; });
-    current_.reset();
-    running_ = false;
+    std::shared_ptr<Batch> batch = Enqueue(tasks);
+    if (batch != nullptr) Finish(std::move(batch));
+  }
+
+  /// Starts a detached batch: the workers begin claiming immediately, the
+  /// caller returns. `tasks` must outlive the matching `Wait()`.
+  void Begin(const std::vector<std::function<void()>>& tasks) {
+    CKNN_CHECK(detached_ == nullptr);
+    detached_ = Enqueue(tasks);
+  }
+
+  /// Blocks until the detached batch finished, helping drain unclaimed
+  /// tasks. A `Wait` without a preceding `Begin` (or after a `Begin` of an
+  /// empty task vector) is a no-op.
+  void Wait() {
+    if (detached_ == nullptr) return;
+    std::shared_ptr<Batch> batch = std::move(detached_);
+    detached_ = nullptr;
+    Finish(std::move(batch));
   }
 
  private:
   struct Batch {
     const std::vector<std::function<void()>>* tasks = nullptr;
     std::size_t size = 0;
+    /// Claim index. May grow past `size`; claims with i >= size are no-ops,
+    /// so a straggler that wakes up holding an exhausted batch can never
+    /// touch a task vector that has been destroyed (claims with i < size
+    /// happen only while the batch's completer is still blocked in
+    /// `Finish`, when the vector is alive).
     std::atomic<std::size_t> next{0};
+    std::size_t pending = 0;  ///< Unfinished tasks; guarded by mu_.
   };
+
+  std::shared_ptr<Batch> Enqueue(
+      const std::vector<std::function<void()>>& tasks) {
+    if (tasks.empty()) return nullptr;
+    auto batch = std::make_shared<Batch>();
+    batch->tasks = &tasks;
+    batch->size = tasks.size();
+    batch->pending = tasks.size();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.push_back(batch);
+    }
+    wake_.notify_all();
+    return batch;
+  }
+
+  /// Drains `batch` on the calling thread, waits for stragglers, and
+  /// retires it from the active list.
+  void Finish(std::shared_ptr<Batch> batch) {
+    DrainTasks(*batch);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return batch->pending == 0; });
+    active_.erase(std::find(active_.begin(), active_.end(), batch));
+  }
 
   /// Claims and runs tasks from `batch` until its index is exhausted.
   void DrainTasks(Batch& batch) {
@@ -96,24 +139,31 @@ class ThreadPool {
       if (i >= batch.size) return;
       (*batch.tasks)[i]();
       std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_.notify_all();
+      if (--batch.pending == 0) done_.notify_all();
     }
   }
 
+  /// First active batch with unclaimed tasks, nullptr if none. mu_ held.
+  std::shared_ptr<Batch> ClaimableLocked() {
+    for (const std::shared_ptr<Batch>& batch : active_) {
+      if (batch->next.load(std::memory_order_relaxed) < batch->size) {
+        return batch;
+      }
+    }
+    return nullptr;
+  }
+
   void WorkerLoop() {
-    std::uint64_t seen_generation = 0;
     while (true) {
       std::shared_ptr<Batch> batch;
       {
         std::unique_lock<std::mutex> lock(mu_);
         wake_.wait(lock, [&] {
-          return shutdown_ || generation_ != seen_generation;
+          return shutdown_ || (batch = ClaimableLocked()) != nullptr;
         });
-        if (shutdown_) return;
-        seen_generation = generation_;
-        batch = current_;
+        if (batch == nullptr) return;  // Shutdown.
       }
-      if (batch != nullptr) DrainTasks(*batch);
+      DrainTasks(*batch);
     }
   }
 
@@ -121,10 +171,10 @@ class ThreadPool {
   std::condition_variable wake_;
   std::condition_variable done_;
   std::vector<std::thread> workers_;
-  std::shared_ptr<Batch> current_;
-  std::size_t pending_ = 0;
-  std::uint64_t generation_ = 0;
-  bool running_ = false;
+  /// Batches with tasks that may still be unclaimed or running.
+  std::vector<std::shared_ptr<Batch>> active_;
+  /// The in-flight Begin batch (touched only by the owning thread).
+  std::shared_ptr<Batch> detached_;
   bool shutdown_ = false;
 };
 

@@ -56,7 +56,8 @@ file(WRITE "${WORK_DIR}/fig_good_a.json" [=[
       "name": "FigA/algo:2/N_thousands:10/iterations:1/manual_time",
       "run_type": "iteration", "iterations": 1,
       "real_time": 0.5, "cpu_time": 1.0, "time_unit": "ms",
-      "sec_per_ts": 0.0005, "max_sec": 0.001, "label": "GMA"
+      "sec_per_ts": 0.0005, "max_sec": 0.001, "cpu_sec_per_ts": 0.0015,
+      "label": "GMA"
     },
     {
       "name": "FigALarge/algo:0/iterations:1/manual_time",
@@ -114,6 +115,10 @@ expect_contains(happy "\"seed\": 42" "${merged}")
 # The errored paper-scale-only entry is skipped, not recorded.
 expect_contains(happy "\"skipped_entries\": 1" "${merged}")
 expect_contains(happy "\"N_thousands\": 10" "${merged}")
+# The wall/CPU split: recorded when present, null when the capture
+# predates the counter (fig_good_b has none).
+expect_contains(happy "\"cpu_sec_per_ts\": 0.0015" "${merged}")
+expect_contains(happy "\"cpu_sec_per_ts\": null" "${merged}")
 
 # -------------------------------------------------- malformed figure JSON --
 run_merge(malformed FALSE "${WORK_DIR}/fig_malformed.json")

@@ -204,6 +204,96 @@ TEST_P(AggregateFuzzTest, RawReplayEqualsAggregatedReplay) {
   }
 }
 
+TEST_P(AggregateFuzzTest, InvalidObjectChainsRejectBothWays) {
+  // Differential rejection: a batch whose object chain is sequentially
+  // invalid (an old position that contradicts the running chain) must be
+  // rejected by the aggregated single-tick path with the same status
+  // category the raw one-update-per-tick replay hits — not laundered into
+  // a plausible folded update (the pre-fix fold rewrote only new_pos, so
+  // insert@p1 -> move(p999 -> p2) collapsed into a valid insert@p2).
+  const int cases = testing::FuzzIterations(6, 60);
+  for (int c = 0; c < cases; ++c) {
+    const std::uint64_t seed = testing::FuzzSeed(4000 + c);
+    SCOPED_TRACE("case " + std::to_string(c) + " seed " +
+                 std::to_string(seed));
+    Rng rng(seed);
+    RoadNetwork grid = testing::MakeGrid(4);
+    const std::size_t num_edges = grid.NumEdges();
+    MonitoringServer raw(testing::MakeGrid(4), GetParam());
+    MonitoringServer aggregated(std::move(grid), GetParam());
+    Model model;
+    {
+      UpdateBatch setup;
+      for (ObjectId id = 0; id < 5; ++id) {
+        const NetworkPoint pos = RandomPoint(&rng, num_edges);
+        setup.objects.push_back(ObjectUpdate{id, std::nullopt, pos});
+        model.objects.emplace(id, pos);
+      }
+      ASSERT_TRUE(raw.Tick(setup).ok());
+      ASSERT_TRUE(aggregated.Tick(setup).ok());
+    }
+    // A valid chained prefix...
+    UpdateBatch batch;
+    const int updates = 3 + static_cast<int>(rng.NextIndex(10));
+    for (int u = 0; u < updates; ++u) {
+      AppendRandomUpdate(&rng, num_edges, &model, &batch);
+    }
+    // ...then exactly one corrupted object update appended at the end.
+    switch (rng.NextIndex(3)) {
+      case 0: {  // Move with an old position that matches nothing.
+        const ObjectId id = model.objects.empty()
+                                ? ObjectId{0}
+                                : model.objects.begin()->first;
+        NetworkPoint wrong = RandomPoint(&rng, num_edges);
+        wrong.t = 2.0 + rng.NextDouble();  // Guaranteed mismatch: t > 1.
+        batch.objects.push_back(
+            ObjectUpdate{id, wrong, RandomPoint(&rng, num_edges)});
+        break;
+      }
+      case 1: {  // Insert of an object that is (or becomes) present.
+        ObjectId id = kNumObjectIds;  // Outside the generator's id space.
+        if (!model.objects.empty()) id = model.objects.begin()->first;
+        if (model.objects.count(id) == 0) {
+          // Everything died within the batch; make the target present.
+          const NetworkPoint pos = RandomPoint(&rng, num_edges);
+          batch.objects.push_back(ObjectUpdate{id, std::nullopt, pos});
+          model.objects.emplace(id, pos);
+        }
+        batch.objects.push_back(
+            ObjectUpdate{id, std::nullopt, RandomPoint(&rng, num_edges)});
+        break;
+      }
+      default: {  // Move of an object that does not exist.
+        const ObjectId id = kNumObjectIds + 7;  // Never used by the model.
+        batch.objects.push_back(ObjectUpdate{id, RandomPoint(&rng, num_edges),
+                                             RandomPoint(&rng, num_edges)});
+        break;
+      }
+    }
+    // Aggregated: the whole batch must be rejected in one tick.
+    const Status agg_status = aggregated.Tick(batch);
+    ASSERT_FALSE(agg_status.ok());
+    // Raw: every prefix update replays fine; the corrupted one rejects
+    // with the same status category.
+    Status raw_status = Status::OK();
+    for (std::size_t i = 0; i < batch.objects.size(); ++i) {
+      UpdateBatch one;
+      one.objects.push_back(batch.objects[i]);
+      const Status st = raw.Tick(one);
+      if (i + 1 < batch.objects.size()) {
+        ASSERT_TRUE(st.ok()) << "prefix update " << i << ": "
+                             << st.ToString();
+      } else {
+        raw_status = st;
+      }
+    }
+    ASSERT_FALSE(raw_status.ok());
+    EXPECT_EQ(agg_status.code(), raw_status.code())
+        << "aggregated: " << agg_status.ToString()
+        << " raw: " << raw_status.ToString();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Algorithms, AggregateFuzzTest,
                          ::testing::Values(Algorithm::kIma, Algorithm::kGma,
                                            Algorithm::kOvh),

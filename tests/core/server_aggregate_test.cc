@@ -247,6 +247,51 @@ TEST_P(TickAggregationTest, DuplicateInstallOfNewQuerySurfacesAlreadyExists) {
   EXPECT_EQ(server->ResultOf(5), nullptr);
 }
 
+TEST(AggregateBatchTest, InconsistentObjectChainIsEmittedRawNotFolded) {
+  // insert@p1 -> move(old=p999 -> p2): the old position contradicts the
+  // running chain, so the fold must stop and emit the offending update
+  // verbatim (for stage-2 validation to reject) instead of laundering the
+  // pair into a single plausible insert@p2.
+  UpdateBatch batch;
+  batch.objects.push_back(ObjectUpdate{1, std::nullopt, NetworkPoint{0, 0.1}});
+  batch.objects.push_back(
+      ObjectUpdate{1, NetworkPoint{9, 0.9}, NetworkPoint{0, 0.2}});
+  const UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  ASSERT_EQ(out.objects.size(), 2u);
+  EXPECT_EQ(out.objects[0], batch.objects[0]);
+  EXPECT_EQ(out.objects[1], batch.objects[1]);
+}
+
+TEST(AggregateBatchTest, BrokenChainKeepsItsConsistentPrefixVerbatim) {
+  // insert -> delete -> inconsistent move: the prefix folds to a
+  // {nullopt, nullopt} no-op, but erasing it would delete the evidence
+  // the validator needs (the insert is where a sequential replay fails
+  // if the id already exists) — the whole chain must come out raw.
+  UpdateBatch batch;
+  batch.objects.push_back(ObjectUpdate{1, std::nullopt, NetworkPoint{0, 0.1}});
+  batch.objects.push_back(ObjectUpdate{1, NetworkPoint{0, 0.1}, std::nullopt});
+  batch.objects.push_back(
+      ObjectUpdate{1, NetworkPoint{9, 0.9}, NetworkPoint{0, 0.2}});
+  const UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  ASSERT_EQ(out.objects.size(), 3u);
+  EXPECT_EQ(out.objects[0], batch.objects[0]);
+  EXPECT_EQ(out.objects[1], batch.objects[1]);
+  EXPECT_EQ(out.objects[2], batch.objects[2]);
+}
+
+TEST(AggregateBatchTest, NoOpObjectUpdateDoesNotPoisonTheChain) {
+  // An update with neither position is a no-op at any table state
+  // (ObjectTable::Apply); it must neither survive aggregation nor count
+  // as evidence that the object is absent.
+  UpdateBatch batch;
+  batch.objects.push_back(ObjectUpdate{1, std::nullopt, std::nullopt});
+  batch.objects.push_back(
+      ObjectUpdate{1, NetworkPoint{0, 0.5}, NetworkPoint{0, 0.75}});
+  const UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  ASSERT_EQ(out.objects.size(), 1u);
+  EXPECT_EQ(out.objects[0], batch.objects[1]);
+}
+
 TEST(AggregateBatchTest, MoveChainStaysASingleMove) {
   UpdateBatch batch;
   batch.queries.push_back(

@@ -1,10 +1,15 @@
 #include "src/core/server.h"
 
+#include <limits>
+
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
 
 namespace cknn {
 namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 TEST(ServerTest, ConvenienceLifecycle) {
   MonitoringServer server(testing::MakeGrid(4), Algorithm::kIma);
@@ -68,6 +73,141 @@ TEST(ServerTest, ValidationRejectsBadUpdates) {
   EXPECT_TRUE(server.Tick(bad_edge).IsInvalidArgument());
 }
 
+TEST(ServerTest, ValidationRejectsNonFiniteEdgeWeights) {
+  // Regression: `u.new_weight < 0.0` is false for NaN, so a NaN weight
+  // slid through stage-2 validation into every downstream `<` comparison.
+  MonitoringServer server(testing::MakeGrid(3), Algorithm::kOvh);
+  for (const double weight : {kNan, kInf, -kInf}) {
+    UpdateBatch batch;
+    batch.edges.push_back(EdgeUpdate{0, weight});
+    EXPECT_TRUE(server.Tick(batch).IsInvalidArgument()) << weight;
+  }
+  // Finite non-negative weights (including zero) stay accepted.
+  ASSERT_TRUE(server.UpdateEdgeWeight(0, 0.0).ok());
+  ASSERT_TRUE(server.UpdateEdgeWeight(0, 1.5).ok());
+}
+
+TEST(ServerTest, ValidationRejectsNonFiniteOrOutOfRangeOffsets) {
+  // Regression: NetworkPoint offsets were never range-checked, so a NaN
+  // or out-of-[0,1] fraction entered the object table / engines.
+  MonitoringServer server(testing::MakeGrid(3), Algorithm::kOvh);
+  ASSERT_TRUE(server.AddObject(1, NetworkPoint{0, 0.5}).ok());
+  ASSERT_TRUE(server.InstallQuery(0, NetworkPoint{0, 0.1}, 1).ok());
+  for (const double t : {kNan, kInf, -kInf, -0.25, 1.25}) {
+    SCOPED_TRACE(t);
+    // Appearing object.
+    UpdateBatch appear;
+    appear.objects.push_back(
+        ObjectUpdate{7, std::nullopt, NetworkPoint{0, t}});
+    EXPECT_TRUE(server.Tick(appear).IsInvalidArgument());
+    // Moving object (valid old position, bad target).
+    UpdateBatch move;
+    move.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{0, 0.5}, NetworkPoint{1, t}});
+    EXPECT_TRUE(server.Tick(move).IsInvalidArgument());
+    // Query install and move.
+    UpdateBatch install;
+    install.queries.push_back(
+        QueryUpdate{5, QueryUpdate::Kind::kInstall, NetworkPoint{0, t}, 1});
+    EXPECT_TRUE(server.Tick(install).IsInvalidArgument());
+    UpdateBatch qmove;
+    qmove.queries.push_back(
+        QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{0, t}, 0});
+    EXPECT_TRUE(server.Tick(qmove).IsInvalidArgument());
+  }
+  // Nothing leaked into the tables, and the boundary offsets stay legal.
+  EXPECT_FALSE(server.objects().Contains(7));
+  EXPECT_EQ(server.objects().Position(1).value(), (NetworkPoint{0, 0.5}));
+  ASSERT_TRUE(server.MoveObject(1, NetworkPoint{1, 0.0}).ok());
+  ASSERT_TRUE(server.MoveObject(1, NetworkPoint{1, 1.0}).ok());
+}
+
+TEST(ServerTest, AggregationDoesNotLaunderInconsistentObjectChains) {
+  // Regression: the object fold only rewrote new_pos, so an invalid chain
+  // like insert@p1 -> move(old=p999 -> p2) collapsed into a plausible
+  // insert@p2 that validation accepted, while a sequential replay of the
+  // same updates would reject the move. Both orders must reject now, with
+  // the same status category the sequential replay surfaces.
+  for (const Algorithm algo :
+       {Algorithm::kIma, Algorithm::kGma, Algorithm::kOvh}) {
+    SCOPED_TRACE(AlgorithmName(algo));
+    MonitoringServer server(testing::MakeGrid(4), algo);
+    ASSERT_TRUE(server.AddObject(1, NetworkPoint{0, 0.5}).ok());
+    // insert @ p1, then a move whose old position contradicts the chain.
+    UpdateBatch laundered;
+    laundered.objects.push_back(
+        ObjectUpdate{7, std::nullopt, NetworkPoint{0, 0.25}});
+    laundered.objects.push_back(
+        ObjectUpdate{7, NetworkPoint{9, 0.75}, NetworkPoint{1, 0.5}});
+    EXPECT_TRUE(server.Tick(laundered).IsInvalidArgument());
+    EXPECT_FALSE(server.objects().Contains(7));
+    // remove, then a move of the now-gone object: sequential NotFound.
+    UpdateBatch move_after_remove;
+    move_after_remove.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{0, 0.5}, std::nullopt});
+    move_after_remove.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{0, 0.5}, NetworkPoint{1, 0.5}});
+    EXPECT_TRUE(server.Tick(move_after_remove).IsNotFound());
+    EXPECT_TRUE(server.objects().Contains(1));  // Whole batch rejected.
+    // move, then an insert of the still-present object: AlreadyExists.
+    UpdateBatch insert_while_present;
+    insert_while_present.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{0, 0.5}, NetworkPoint{1, 0.5}});
+    insert_while_present.objects.push_back(
+        ObjectUpdate{1, std::nullopt, NetworkPoint{2, 0.5}});
+    EXPECT_TRUE(server.Tick(insert_while_present).IsAlreadyExists());
+    EXPECT_EQ(server.objects().Position(1).value(), (NetworkPoint{0, 0.5}));
+    // insert -> delete -> move(old=table pos) on an id the table already
+    // holds: the consistent insert+delete prefix folds to a no-op, and
+    // erasing that no-op slot used to delete the evidence — the leftover
+    // raw move matched the table and the batch was accepted, while a
+    // sequential replay rejects the stream at the *insert* with
+    // AlreadyExists. A broken chain must be emitted raw in full.
+    UpdateBatch erased_evidence;
+    erased_evidence.objects.push_back(
+        ObjectUpdate{1, std::nullopt, NetworkPoint{1, 0.5}});
+    erased_evidence.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{1, 0.5}, std::nullopt});
+    erased_evidence.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{0, 0.5}, NetworkPoint{2, 0.5}});
+    EXPECT_TRUE(server.Tick(erased_evidence).IsAlreadyExists());
+    EXPECT_EQ(server.objects().Position(1).value(), (NetworkPoint{0, 0.5}));
+    // A consistent chain still folds and applies.
+    UpdateBatch chained;
+    chained.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{0, 0.5}, NetworkPoint{1, 0.25}});
+    chained.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{1, 0.25}, NetworkPoint{2, 0.75}});
+    ASSERT_TRUE(server.Tick(chained).ok());
+    EXPECT_EQ(server.objects().Position(1).value(), (NetworkPoint{2, 0.75}));
+  }
+}
+
+TEST(ServerTest, ShardFailureAfterValidationAborts) {
+  // Stage-2 validation makes a stage-4 shard failure unreachable; were
+  // one to slip through, the shared table would already be mutated with
+  // the engines unrouted. That residual path is a CKNN_CHECK, not a
+  // Status pretending the server is still usable. Reproduced by
+  // desynchronizing the engine behind the server's back through the
+  // diagnostics accessor: terminate a query directly in the monitor, then
+  // feed the server a move for it — validation (whose registry still
+  // carries the query) passes, the engine rejects, the server aborts.
+  EXPECT_DEATH(
+      {
+        MonitoringServer server(testing::MakeGrid(3), Algorithm::kIma);
+        if (!server.InstallQuery(0, NetworkPoint{0, 0.5}, 1).ok()) return;
+        UpdateBatch terminate;
+        terminate.queries.push_back(QueryUpdate{
+            0, QueryUpdate::Kind::kTerminate, NetworkPoint{}, 0});
+        if (!server.monitor().ProcessTimestamp(terminate).ok()) return;
+        UpdateBatch move;
+        move.queries.push_back(
+            QueryUpdate{0, QueryUpdate::Kind::kMove, NetworkPoint{1, 0.5}, 0});
+        (void)server.Tick(move);
+      },
+      "CKNN_CHECK failed");
+}
+
 TEST(ServerTest, RejectedBatchLeavesTheServerConsistent) {
   // Regression: a batch mixing valid object updates with an invalid query
   // update used to apply the object updates to the shared table before the
@@ -111,11 +251,44 @@ TEST(ServerTest, AggregateMergesObjectUpdates) {
   EXPECT_DOUBLE_EQ(out.objects[0].new_pos->t, 0.3);
 }
 
-TEST(ServerTest, AggregateCancelsAppearDisappear) {
+TEST(ServerTest, AggregateCancelsAppearDisappearIntoARetainedNoOp) {
+  // The pair folds to a {nullopt, nullopt} slot that AggregateBatch keeps
+  // as evidence the chain began with an insert (validation rejects it
+  // when the id already exists); the server drops it after validation.
   UpdateBatch batch;
   batch.objects.push_back(ObjectUpdate{1, std::nullopt, NetworkPoint{0, 0.2}});
   batch.objects.push_back(ObjectUpdate{1, NetworkPoint{0, 0.2}, std::nullopt});
-  EXPECT_TRUE(MonitoringServer::AggregateBatch(batch).objects.empty());
+  const UpdateBatch out = MonitoringServer::AggregateBatch(batch);
+  ASSERT_EQ(out.objects.size(), 1u);
+  EXPECT_FALSE(out.objects[0].old_pos.has_value());
+  EXPECT_FALSE(out.objects[0].new_pos.has_value());
+}
+
+TEST(ServerTest, CancelledAppearanceOfAnExistingObjectStillRejects) {
+  // Regression: insert -> delete of an id the table already holds used to
+  // fold to a no-op that was erased before validation, silently accepting
+  // a batch whose first update a sequential replay rejects.
+  for (const Algorithm algo :
+       {Algorithm::kIma, Algorithm::kGma, Algorithm::kOvh}) {
+    SCOPED_TRACE(AlgorithmName(algo));
+    MonitoringServer server(testing::MakeGrid(3), algo);
+    ASSERT_TRUE(server.AddObject(1, NetworkPoint{0, 0.5}).ok());
+    UpdateBatch cancelled;
+    cancelled.objects.push_back(
+        ObjectUpdate{1, std::nullopt, NetworkPoint{1, 0.5}});
+    cancelled.objects.push_back(
+        ObjectUpdate{1, NetworkPoint{1, 0.5}, std::nullopt});
+    EXPECT_TRUE(server.Tick(cancelled).IsAlreadyExists());
+    EXPECT_EQ(server.objects().Position(1).value(), (NetworkPoint{0, 0.5}));
+    // On a fresh id the same pair is a net no-op the server accepts.
+    UpdateBatch fresh;
+    fresh.objects.push_back(
+        ObjectUpdate{7, std::nullopt, NetworkPoint{1, 0.5}});
+    fresh.objects.push_back(
+        ObjectUpdate{7, NetworkPoint{1, 0.5}, std::nullopt});
+    ASSERT_TRUE(server.Tick(fresh).ok());
+    EXPECT_FALSE(server.objects().Contains(7));
+  }
 }
 
 TEST(ServerTest, AggregateQueryChains) {

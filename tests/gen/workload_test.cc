@@ -85,6 +85,34 @@ TEST_F(WorkloadTest, DeterministicAcrossReplicas) {
   }
 }
 
+TEST_F(WorkloadTest, GenerationIsIndependentOfLiveNetworkWeights) {
+  // Regression for the pipelined-ingest overlap (docs/pipeline.md): the
+  // generator must be a pure function of its seed and the updates it
+  // emitted itself — never of the live network's weights, which a
+  // pipelined server's shard 0 mutates while the next batch is being
+  // generated. The weight chain is tracked through the workload's shadow:
+  // mutating the network mid-run must not change the stream.
+  WorkloadConfig cfg;
+  cfg.num_objects = 50;
+  cfg.num_queries = 5;
+  cfg.edge_agility = 0.3;
+  cfg.seed = 321;
+  RoadNetwork mutated = CloneNetwork(server_.network());
+  Workload reference(&server_.network(), &server_.spatial_index(), cfg);
+  Workload shadowed(&mutated, &server_.spatial_index(), cfg);
+  (void)reference.Initial();
+  (void)shadowed.Initial();
+  for (int ts = 0; ts < 4; ++ts) {
+    // Scribble over every live weight the shadowed workload could read.
+    for (EdgeId e = 0; e < mutated.NumEdges(); ++e) {
+      ASSERT_TRUE(mutated.SetWeight(e, 1e6 + static_cast<double>(e)).ok());
+    }
+    const UpdateBatch want = reference.Step();
+    const UpdateBatch got = shadowed.Step();
+    ASSERT_TRUE(want == got) << "tick " << ts;
+  }
+}
+
 TEST_F(WorkloadTest, ZeroAgilitiesFreezeEverything) {
   WorkloadConfig cfg;
   cfg.num_objects = 50;

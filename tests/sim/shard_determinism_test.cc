@@ -1,11 +1,15 @@
-// The sharding determinism guarantee (docs/sharding.md): replaying one
-// update stream through monitoring servers with different worker-shard
-// counts produces identical per-timestamp k-NN results and merged metrics
-// — byte-identical for IMA/OVH, identical within the conformance distance
-// tolerance for GMA (whose active-node grouping is shard-local) — the
-// parallel decomposition is an execution detail, never a semantic one.
-// Pinned on the committed golden trace at shards {1, 2, 8} and on a
-// randomized recorded scenario (fuzz_util seeds). Runs under the
+// The sharding determinism guarantee (docs/sharding.md, docs/pipeline.md):
+// replaying one update stream through monitoring servers with different
+// worker-shard counts AND ingest pipeline depths produces identical
+// per-timestamp k-NN results and merged metrics — byte-identical for
+// IMA/OVH, identical within the conformance distance tolerance for GMA
+// (whose active-node grouping is shard-local) — the parallel decomposition
+// and the ingest overlap are execution details, never semantic ones.
+// Pinned on the committed golden trace at shards {1, 2, 8} x pipeline
+// depth {1, 2} and on a randomized recorded scenario (fuzz_util seeds);
+// the pipelined servers are additionally fed the whole stream through
+// SubmitBatch with a single final Drain, so genuine multi-tick overlap is
+// exercised (and raced under the CI TSan lane). Runs under the
 // `conformance` CTest label.
 
 #include <memory>
@@ -25,6 +29,7 @@ namespace cknn {
 namespace {
 
 constexpr int kShardCounts[] = {1, 2, 8};
+constexpr int kPipelineDepths[] = {1, 2};
 
 std::string GoldenPath() {
   return std::string(CKNN_TEST_DATA_DIR) + "/golden.trace";
@@ -48,23 +53,33 @@ void UpdateLiveQueries(const UpdateBatch& batch, std::set<QueryId>* live) {
   }
 }
 
-/// Feeds `batches` to one server per shard count in lockstep and asserts
-/// equal results and merged metrics after every tick. For IMA and OVH the
-/// comparison is byte-exact (per-query maintenance is independent of
-/// co-resident queries). GMA's active-node grouping is shard-local — a
-/// sequence endpoint monitors max{q.k} over the *shard's* queries only, so
-/// a candidate's distance can be derived through a different (equally
-/// shortest) endpoint path and differ in the last ulps; its guarantee is
-/// the conformance tolerance (docs/sharding.md), asserted per rank.
+/// Feeds `batches` to one server per (shard count x pipeline depth)
+/// configuration in lockstep and asserts equal results and merged metrics
+/// after every tick. For IMA and OVH the comparison is byte-exact
+/// (per-query maintenance is independent of co-resident queries). GMA's
+/// active-node grouping is shard-local — a sequence endpoint monitors
+/// max{q.k} over the *shard's* queries only, so a candidate's distance can
+/// be derived through a different (equally shortest) endpoint path and
+/// differ in the last ulps; its guarantee is the conformance tolerance
+/// (docs/sharding.md), asserted per rank. Afterwards, one fully streamed
+/// pipelined server per shard count (SubmitBatch for every batch, a single
+/// Drain at the end — genuine multi-tick overlap) is compared against the
+/// serial baseline's final state.
 void ExpectShardCountInvariance(const RoadNetwork& network,
                                 Algorithm algorithm,
                                 const std::vector<UpdateBatch>& batches) {
   const bool exact = algorithm != Algorithm::kGma;
   std::vector<std::unique_ptr<MonitoringServer>> servers;
+  std::vector<std::string> configs;
   for (const int shards : kShardCounts) {
-    servers.push_back(std::make_unique<MonitoringServer>(
-        CloneNetwork(network), algorithm, shards));
-    EXPECT_EQ(servers.back()->num_shards(), shards);
+    for (const int depth : kPipelineDepths) {
+      servers.push_back(std::make_unique<MonitoringServer>(
+          CloneNetwork(network), algorithm, shards, depth));
+      EXPECT_EQ(servers.back()->num_shards(), shards);
+      EXPECT_EQ(servers.back()->pipeline_depth(), depth);
+      configs.push_back("shards=" + std::to_string(shards) +
+                        " depth=" + std::to_string(depth));
+    }
   }
   std::set<QueryId> live;
   for (std::size_t tick = 0; tick < batches.size(); ++tick) {
@@ -79,26 +94,8 @@ void ExpectShardCountInvariance(const RoadNetwork& network,
       ASSERT_NE(base, nullptr);
       for (std::size_t i = 1; i < servers.size(); ++i) {
         const std::vector<Neighbor>* other = servers[i]->ResultOf(q);
-        ASSERT_NE(other, nullptr)
-            << "shards=" << kShardCounts[i] << " lost the query";
-        if (exact) {
-          // Byte-identical: same ids, bit-equal distances, same order.
-          ASSERT_TRUE(*base == *other)
-              << "shards=" << kShardCounts[i]
-              << " diverged from shards=1 (result size " << base->size()
-              << " vs " << other->size() << ")";
-          continue;
-        }
-        ASSERT_EQ(base->size(), other->size())
-            << "shards=" << kShardCounts[i];
-        for (std::size_t rank = 0; rank < base->size(); ++rank) {
-          const double db = (*base)[rank].distance;
-          const double d_other = (*other)[rank].distance;
-          ASSERT_LE(std::abs(db - d_other), 1e-7 * (1.0 + std::abs(db)))
-              << "shards=" << kShardCounts[i] << " rank " << rank
-              << ": object " << (*base)[rank].id << " at " << db
-              << " vs object " << (*other)[rank].id << " at " << d_other;
-        }
+        ASSERT_NE(other, nullptr) << configs[i] << " lost the query";
+        testing::ExpectSameNeighbors(exact, *base, *other, configs[i]);
       }
     }
     // Merged metrics agree in lockstep too.
@@ -107,6 +104,29 @@ void ExpectShardCountInvariance(const RoadNetwork& network,
       EXPECT_EQ(servers[i]->timestamp(), servers[0]->timestamp());
     }
     EXPECT_EQ(servers[0]->NumQueries(), live.size());
+  }
+  // Streamed pipelined replay: no intermediate drains, so tick t+1's
+  // aggregation/validation really overlaps tick t's maintenance.
+  for (const int shards : kShardCounts) {
+    const std::string who =
+        "streamed shards=" + std::to_string(shards) + " depth=2";
+    SCOPED_TRACE(who);
+    MonitoringServer streamed(CloneNetwork(network), algorithm, shards,
+                              /*pipeline_depth=*/2);
+    for (const UpdateBatch& batch : batches) {
+      ASSERT_TRUE(streamed.SubmitBatch(batch).ok());
+    }
+    ASSERT_TRUE(streamed.Drain().ok());
+    EXPECT_EQ(streamed.timestamp(), servers[0]->timestamp());
+    EXPECT_EQ(streamed.NumQueries(), servers[0]->NumQueries());
+    for (const QueryId q : live) {
+      SCOPED_TRACE("query " + std::to_string(q));
+      const std::vector<Neighbor>* base = servers[0]->ResultOf(q);
+      const std::vector<Neighbor>* other = streamed.ResultOf(q);
+      ASSERT_NE(base, nullptr);
+      ASSERT_NE(other, nullptr) << who << " lost the query";
+      testing::ExpectSameNeighbors(exact, *base, *other, who);
+    }
   }
 }
 

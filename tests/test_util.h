@@ -17,6 +17,31 @@
 
 namespace cknn::testing {
 
+/// Per-query result comparison shared by the execution-invariance suites
+/// (shard_determinism_test, server_pipeline_test): byte-exact for
+/// IMA/OVH (`exact`), per-rank conformance tolerance (1e-7 relative,
+/// docs/sharding.md) for GMA, whose shard-local active-node grouping may
+/// derive a distance through a different equally-shortest path.
+inline void ExpectSameNeighbors(bool exact, const std::vector<Neighbor>& base,
+                                const std::vector<Neighbor>& other,
+                                const std::string& who) {
+  if (exact) {
+    // Byte-identical: same ids, bit-equal distances, same order.
+    ASSERT_TRUE(base == other)
+        << who << " diverged from the serial baseline (result size "
+        << base.size() << " vs " << other.size() << ")";
+    return;
+  }
+  ASSERT_EQ(base.size(), other.size()) << who;
+  for (std::size_t rank = 0; rank < base.size(); ++rank) {
+    const double db = base[rank].distance;
+    const double d_other = other[rank].distance;
+    ASSERT_LE(std::abs(db - d_other), 1e-7 * (1.0 + std::abs(db)))
+        << who << " rank " << rank << ": object " << base[rank].id << " at "
+        << db << " vs object " << other[rank].id << " at " << d_other;
+  }
+}
+
 /// Builds a g x g grid network with unit spacing (lengths == 1 on axis
 /// edges). Node (x, y) has id y * g + x.
 inline RoadNetwork MakeGrid(int g, double spacing = 1.0) {

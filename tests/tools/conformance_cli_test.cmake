@@ -60,6 +60,12 @@ foreach(shards 2 8)
     --replay=${WORK_DIR}/scenario_1.trace --conformance --shards=${shards})
 endforeach()
 
+# And with pipelined ingest on top (docs/pipeline.md): the asynchronous
+# SubmitBatch/Drain path must keep lockstep agreement too.
+expect_conformance_ok(replay_scenario_1_pipelined
+  --replay=${WORK_DIR}/scenario_1.trace --conformance --shards=2
+  --pipeline=2)
+
 # A corrupted trace must be rejected, not replayed as if nothing happened.
 set(corrupt "${WORK_DIR}/corrupt.trace")
 file(READ "${WORK_DIR}/scenario_1.trace" intact)

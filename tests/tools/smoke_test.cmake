@@ -73,6 +73,9 @@ expect_usage_error(conformance_with_algo --conformance --algo=ima)
 expect_usage_error(conformance_with_memory --conformance --memory)
 expect_usage_error(zero_shards --shards=0)
 expect_usage_error(bare_shards --shards)
+expect_usage_error(zero_pipeline --pipeline=0)
+expect_usage_error(bare_pipeline --pipeline)
+expect_usage_error(deep_pipeline --pipeline=3)
 
 # A sharded run must work end to end (exit 0; result agreement with the
 # serial default is enforced by shard_determinism_test and the
@@ -89,6 +92,27 @@ if(NOT code EQUAL 0)
     "sharded cknn_sim run exited ${code}\nstdout:\n${out}\nstderr:\n${err}")
 endif()
 message(STATUS "cknn_sim sharded_run OK (${code})")
+
+# A pipelined sharded run too (result agreement is enforced by
+# shard_determinism_test at shards {1,2,8} x pipeline depth {1,2}).
+execute_process(
+  COMMAND ${CKNN_SIM}
+    --algo=ima --shards=2 --pipeline=2 --edges=200 --objects=300
+    --queries=20 --k=4 --timestamps=5 --seed=7
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR
+    "pipelined cknn_sim run exited ${code}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+string(FIND "${out}" "wall" has_wall)
+string(FIND "${out}" "cpu" has_cpu)
+if(has_wall EQUAL -1 OR has_cpu EQUAL -1)
+  message(FATAL_ERROR
+    "pipelined run should report wall and cpu time per tick, got\n${out}")
+endif()
+message(STATUS "cknn_sim pipelined_run OK (${code})")
 
 # Replay of a missing trace must fail cleanly (a read error, not usage).
 execute_process(

@@ -149,8 +149,40 @@ TEST(TraceReplayTest, RecordedExperimentReplaysThroughEveryAlgorithm) {
     Result<RunMetrics> replayed = RunTraceReplay(algo, *trace, true);
     ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
     EXPECT_EQ(replayed->steps.size(), 6u);
+    // Pipelined replay: same trace, asynchronous ingest (the next batch
+    // is decoded while the previous tick computes).
+    Result<RunMetrics> pipelined = RunTraceReplay(
+        algo, *trace, /*measure_memory=*/false, /*shards=*/2,
+        /*pipeline_depth=*/2);
+    ASSERT_TRUE(pipelined.ok()) << pipelined.status().ToString();
+    EXPECT_EQ(pipelined->steps.size(), 6u);
   }
   std::remove(path.c_str());
+}
+
+TEST(TraceReplayTest, PipelinedReplayOfInconsistentTraceReportsStatus) {
+  // The pipelined submit validates synchronously, so a bad batch in the
+  // middle of a trace is attributed to its exact tick at depth 2 too.
+  Trace trace;
+  trace.network = GenerateRoadNetwork(NetworkGenConfig{.target_edges = 80});
+  UpdateBatch good;
+  good.objects.push_back(
+      ObjectUpdate{1, std::nullopt, NetworkPoint{0, 0.5}});
+  trace.batches.push_back(good);
+  UpdateBatch also_good;
+  also_good.objects.push_back(
+      ObjectUpdate{1, NetworkPoint{0, 0.5}, NetworkPoint{1, 0.25}});
+  trace.batches.push_back(also_good);
+  UpdateBatch bad;
+  bad.objects.push_back(  // Old position contradicts the table.
+      ObjectUpdate{1, NetworkPoint{0, 0.5}, NetworkPoint{2, 0.5}});
+  trace.batches.push_back(bad);
+  Result<RunMetrics> replayed =
+      RunTraceReplay(Algorithm::kOvh, trace, /*measure_memory=*/false,
+                     /*shards=*/1, /*pipeline_depth=*/2);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_NE(replayed.status().message().find("tick 2"), std::string::npos)
+      << replayed.status().ToString();
 }
 
 TEST(TraceReplayTest, ReplayOfInconsistentTraceReportsStatus) {

@@ -1,0 +1,157 @@
+// Stress suite for the two-stage thread pool (src/util/thread_pool.h):
+// repeated RunAll batches with interleaved empty batches, 0-worker pools,
+// destruction while parked, and the pipelined two-stage overlap
+// (Begin/Wait detached batches composed with concurrent RunAll calls).
+// Runs under the `threads` label, which the CI sanitize lane executes
+// with ThreadSanitizer — the interleaving cases exist primarily so TSan
+// can chew on them.
+
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/rng.h"
+#include "tests/fuzz_util.h"
+
+namespace cknn {
+namespace {
+
+std::vector<std::function<void()>> CountingTasks(std::size_t n,
+                                                 std::atomic<int>* counter) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back([counter] {
+      counter->fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  return tasks;
+}
+
+TEST(ThreadPoolTest, RepeatedRunAllWithInterleavedEmptyBatches) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  std::atomic<int> counter{0};
+  int expected = 0;
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = static_cast<std::size_t>(round % 7);
+    const auto tasks = CountingTasks(n, &counter);
+    pool.RunAll(tasks);  // Every 7th batch is empty.
+    expected += static_cast<int>(n);
+    ASSERT_EQ(counter.load(), expected) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsEverythingOnTheCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::atomic<int> counter{0};
+  pool.RunAll(CountingTasks(5, &counter));
+  EXPECT_EQ(counter.load(), 5);
+  // Begin defers everything to Wait on a 0-worker pool.
+  const auto detached = CountingTasks(4, &counter);
+  pool.Begin(detached);
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 9);
+}
+
+TEST(ThreadPoolTest, DestructionWhileParked) {
+  // Freshly built, never used.
+  { ThreadPool pool(4); }
+  // Used, then parked between batches.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    pool.RunAll(CountingTasks(16, &counter));
+  }
+  EXPECT_EQ(counter.load(), 16);
+  // A Begin that was Waited, then parked.
+  {
+    ThreadPool pool(2);
+    const auto tasks = CountingTasks(3, &counter);
+    pool.Begin(tasks);
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 19);
+}
+
+TEST(ThreadPoolTest, WaitWithoutBeginIsANoOp) {
+  ThreadPool pool(2);
+  pool.Wait();
+  std::atomic<int> counter{0};
+  const auto empty = CountingTasks(0, &counter);
+  pool.Begin(empty);  // Empty detached batch: nothing to run.
+  pool.Wait();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, PipelinedTwoStageOverlap) {
+  // Stage A (detached) and stage B (blocking RunAll) share the pool; B is
+  // issued while A is in flight — the server's pipelined tick shape. The
+  // writes of both stages must be visible after their respective joins.
+  ThreadPool pool(2);
+  std::atomic<int> stage_a{0};
+  std::atomic<int> stage_b{0};
+  for (int round = 0; round < 25; ++round) {
+    const auto detached = CountingTasks(4, &stage_a);
+    pool.Begin(detached);
+    // Overlapped blocking stage on the same pool, from the owner thread.
+    pool.RunAll(CountingTasks(3, &stage_b));
+    ASSERT_EQ(stage_b.load(), 3 * (round + 1));
+    pool.Wait();
+    ASSERT_EQ(stage_a.load(), 4 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, DetachedBatchesMakeProgressWithoutWait) {
+  // A detached batch must not require Wait() to start: with workers
+  // present it drains in the background while the owner is busy.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  const auto tasks = CountingTasks(8, &counter);
+  pool.Begin(tasks);
+  // Not asserted with a timeout (single-core hosts may legitimately not
+  // have scheduled the workers yet); Wait() is the contract.
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, RandomizedTwoStageStress) {
+  // Randomized interleaving of Begin/RunAll/Wait with varying batch sizes
+  // and worker counts; the accounting must stay exact. Seeded via
+  // CKNN_FUZZ_SEED, budget via CKNN_FUZZ_SCALE (tests/fuzz_util.h).
+  const int cases = testing::FuzzIterations(4, 16);
+  for (int c = 0; c < cases; ++c) {
+    const std::uint64_t seed = testing::FuzzSeed(8000 + c);
+    SCOPED_TRACE("case " + std::to_string(c) + " seed " +
+                 std::to_string(seed));
+    Rng rng(seed);
+    ThreadPool pool(static_cast<int>(rng.NextIndex(5)));  // 0..4 workers.
+    std::atomic<int> counter{0};
+    int expected = 0;
+    const int rounds = testing::FuzzIterations(20, 200);
+    for (int round = 0; round < rounds; ++round) {
+      const std::size_t detached_n = rng.NextIndex(6);
+      const auto detached = CountingTasks(detached_n, &counter);
+      pool.Begin(detached);
+      const int overlapped = static_cast<int>(rng.NextIndex(3));
+      for (int i = 0; i < overlapped; ++i) {
+        const std::size_t n = rng.NextIndex(5);
+        pool.RunAll(CountingTasks(n, &counter));
+        expected += static_cast<int>(n);
+      }
+      pool.Wait();
+      expected += static_cast<int>(detached_n);
+      ASSERT_EQ(counter.load(), expected) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cknn

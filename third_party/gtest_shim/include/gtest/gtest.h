@@ -72,6 +72,13 @@ constexpr bool kNonFatal = false;
 void ReportFailure(bool fatal, const char* file, int line,
                    const std::string& summary);
 
+/// Death-test driver: forks, runs `body` in the child with stderr
+/// captured, and returns true iff the child died (did not return from
+/// `body`) and its stderr contains `pattern` as a plain substring (the
+/// shim subset of gtest's regex matcher — keep patterns literal). On
+/// platforms without fork() the check is skipped (returns true).
+bool StatementDies(const std::function<void()>& body, const char* pattern);
+
 /// True once the current test has recorded a fatal failure (used to skip
 /// TestBody after a fatal failure in SetUp).
 bool CurrentTestHasFatalFailure();
@@ -466,6 +473,23 @@ inline int RUN_ALL_TESTS() { return ::testing::internal::RunAllTestsImpl(); }
 
 #define EXPECT_NEAR(a, b, tol) CKNN_GTEST_NEAR_(a, b, tol, CKNN_GTEST_NONFATAL_)
 #define ASSERT_NEAR(a, b, tol) CKNN_GTEST_NEAR_(a, b, tol, CKNN_GTEST_FATAL_)
+
+#define EXPECT_DEATH(stmt, pattern)                                       \
+  CKNN_GTEST_AMBIGUOUS_ELSE_BLOCKER_                                      \
+  if (::testing::internal::StatementDies([&]() { stmt; }, pattern))       \
+    ;                                                                     \
+  else                                                                    \
+    CKNN_GTEST_NONFATAL_(                                                 \
+        "Expected statement to die with stderr containing \"" pattern     \
+        "\": " #stmt)
+#define ASSERT_DEATH(stmt, pattern)                                       \
+  CKNN_GTEST_AMBIGUOUS_ELSE_BLOCKER_                                      \
+  if (::testing::internal::StatementDies([&]() { stmt; }, pattern))       \
+    ;                                                                     \
+  else                                                                    \
+    CKNN_GTEST_FATAL_(                                                    \
+        "Expected statement to die with stderr containing \"" pattern     \
+        "\": " #stmt)
 
 #define ADD_FAILURE() CKNN_GTEST_NONFATAL_("Failed")
 #define FAIL() CKNN_GTEST_FATAL_("Failed")

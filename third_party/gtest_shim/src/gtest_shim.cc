@@ -1,8 +1,15 @@
 #include "gtest/gtest.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#if !defined(_WIN32)
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 namespace testing {
 
@@ -236,6 +243,57 @@ int RunAllTestsImpl() {
   }
   std::fflush(stdout);
   return failed.empty() ? 0 : 1;
+}
+
+bool StatementDies(const std::function<void()>& body, const char* pattern) {
+#if defined(_WIN32)
+  (void)body;
+  (void)pattern;
+  return true;  // No fork(); treat the death check as skipped.
+#else
+  // Sentinel exit code the child uses iff `body` *returned*; any other
+  // termination (abort signal, different exit code) counts as death.
+  constexpr int kSurvived = 23;
+  std::fflush(nullptr);
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    dup2(fds[1], 2);  // Capture the child's stderr for pattern matching.
+    close(fds[0]);
+    close(fds[1]);
+    body();
+    std::fflush(nullptr);
+    _exit(kSurvived);
+  }
+  close(fds[1]);
+  std::string output;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = read(fds[0], buf, sizeof(buf));
+    if (n > 0) {
+      output.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    // Retry interrupted reads (CTest timeout machinery and profilers
+    // deliver signals); a truncated capture would spuriously fail the
+    // pattern match even though the child died as expected.
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  close(fds[0]);
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return false;
+  const bool died = !(WIFEXITED(status) && WEXITSTATUS(status) == kSurvived);
+  const bool matched = pattern == nullptr || *pattern == '\0' ||
+                       output.find(pattern) != std::string::npos;
+  return died && matched;
+#endif
 }
 
 }  // namespace internal

@@ -72,6 +72,11 @@ void PrintUsage() {
       "  --shards=N            worker shards of the monitoring server\n"
       "                        (default 1 = serial; results are independent\n"
       "                        of the shard count — see docs/sharding.md)\n"
+      "  --pipeline=D          ingest pipeline depth, 1 or 2 (default 1 =\n"
+      "                        synchronous ticks; 2 overlaps the next\n"
+      "                        tick's generation+aggregation+validation\n"
+      "                        with the current tick's maintenance —\n"
+      "                        results are identical, see docs/pipeline.md)\n"
       "  --seed=N              master seed (default 42)\n"
       "  --record=FILE         record the generated workload as a trace\n"
       "  --replay=FILE         replay a recorded trace (the network and\n"
@@ -270,6 +275,16 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->spec.workload.object_distribution = Distribution::kGaussian;
     } else if (ParseFlag(argv[i], "--shards", &v)) {
       if (!ParsePositiveInt("--shards", v, &opt->spec.shards)) return false;
+    } else if (ParseFlag(argv[i], "--pipeline", &v)) {
+      if (!ParsePositiveInt("--pipeline", v, &opt->spec.pipeline_depth)) {
+        return false;
+      }
+      if (opt->spec.pipeline_depth > 2) {
+        std::fprintf(stderr,
+                     "--pipeline depth must be 1 or 2 (double buffering)\n\n");
+        PrintUsage();
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       if (!ParseCount("--seed", v, &opt->spec.workload.seed)) return false;
       opt->spec.network.seed = opt->spec.workload.seed ^ 0x9E37;
@@ -317,15 +332,18 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
 
 void PrintRun(Algorithm algo, const RunMetrics& metrics, bool memory) {
   for (std::size_t ts = 0; ts < metrics.steps.size(); ++ts) {
-    std::printf("ts %4zu  cpu %.6fs", ts, metrics.steps[ts].seconds);
+    std::printf("ts %4zu  wall %.6fs  cpu %.6fs", ts,
+                metrics.steps[ts].seconds, metrics.steps[ts].cpu_seconds);
     if (memory) {
       std::printf("  mem %zu KB", metrics.steps[ts].memory_bytes / 1024);
     }
     std::printf("\n");
   }
-  std::printf("\n%s: avg %.6f s/ts, max %.6f s/ts over %zu timestamps\n",
-              AlgorithmName(algo), metrics.AvgSeconds(),
-              metrics.MaxSeconds(), metrics.steps.size());
+  std::printf(
+      "\n%s: avg %.6f s/ts wall (%.6f cpu), max %.6f s/ts wall "
+      "over %zu timestamps\n",
+      AlgorithmName(algo), metrics.AvgSeconds(), metrics.AvgCpuSeconds(),
+      metrics.MaxSeconds(), metrics.steps.size());
 }
 
 /// Runs `run(algo)` for OVH, IMA and GMA and prints the shared
@@ -336,6 +354,7 @@ int PrintComparisonTable(const std::string& title, bool memory, RunFn run) {
   SeriesTable table(title, "metric", {"OVH", "IMA", "GMA"}, "per-timestamp");
   std::vector<double> avg;
   std::vector<double> peak;
+  std::vector<double> cpu;
   std::vector<double> mem;
   for (Algorithm algo :
        {Algorithm::kOvh, Algorithm::kIma, Algorithm::kGma}) {
@@ -347,10 +366,12 @@ int PrintComparisonTable(const std::string& title, bool memory, RunFn run) {
     }
     avg.push_back(metrics->AvgSeconds());
     peak.push_back(metrics->MaxSeconds());
+    cpu.push_back(metrics->AvgCpuSeconds());
     mem.push_back(metrics->AvgMemoryKb());
   }
-  table.AddRow("avg CPU (s)", avg);
-  table.AddRow("max CPU (s)", peak);
+  table.AddRow("avg wall (s)", avg);
+  table.AddRow("max wall (s)", peak);
+  table.AddRow("avg cpu (s)", cpu);
   if (memory) table.AddRow("memory (KB)", mem);
   table.Print(std::cout);
   return 0;
@@ -379,20 +400,23 @@ int RunReplayModes(const Options& opt) {
                  opt.replay_path.c_str(), trace->batches.size());
     ConformanceOptions conf;
     conf.shards = opt.spec.shards;
+    conf.pipeline_depth = opt.spec.pipeline_depth;
     return PrintConformance(CheckTraceConformance(*trace, conf));
   }
   if (opt.compare) {
     return PrintComparisonTable(
         "Algorithm comparison (replay)", opt.memory, [&](Algorithm algo) {
           std::fprintf(stderr, "replaying %s...\n", AlgorithmName(algo));
-          return RunTraceReplay(algo, *trace, opt.memory, opt.spec.shards);
+          return RunTraceReplay(algo, *trace, opt.memory, opt.spec.shards,
+                                opt.spec.pipeline_depth);
         });
   }
   std::fprintf(stderr, "replaying %s on %s (%zu edges, %zu ticks)...\n",
                AlgorithmName(opt.algo), opt.replay_path.c_str(),
                trace->network.NumEdges(), trace->batches.size());
   Result<RunMetrics> metrics =
-      RunTraceReplay(opt.algo, *trace, opt.memory, opt.spec.shards);
+      RunTraceReplay(opt.algo, *trace, opt.memory, opt.spec.shards,
+                     opt.spec.pipeline_depth);
   if (!metrics.ok()) {
     std::fprintf(stderr, "replay failed: %s\n",
                  metrics.status().ToString().c_str());
@@ -408,7 +432,7 @@ int RunGeneratedConformance(const Options& opt) {
   const RoadNetwork net = GenerateRoadNetwork(opt.spec.network);
   const std::vector<std::unique_ptr<MonitoringServer>> servers =
       BuildLockstepServers(net, ConformanceOptions{}.algorithms,
-                           opt.spec.shards);
+                           opt.spec.shards, opt.spec.pipeline_depth);
   std::vector<MonitoringServer*> ptrs;
   ptrs.reserve(servers.size());
   for (const auto& server : servers) ptrs.push_back(server.get());
