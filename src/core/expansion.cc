@@ -1,9 +1,9 @@
 #include "src/core/expansion.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/util/macros.h"
-#include "src/util/mem.h"
 
 namespace cknn {
 
@@ -23,51 +23,76 @@ void ExpansionState::SetSourcePoint(const NetworkPoint& p) {
 }
 
 std::optional<double> ExpansionState::NodeDistance(NodeId n) const {
-  auto it = settled_.find(n);
-  if (it == settled_.end()) return std::nullopt;
-  return it->second.dist;
+  const Slot* s = settled_.Find(n);
+  if (s == nullptr) return std::nullopt;
+  return s->info.dist;
 }
 
 const ExpansionState::SettledInfo* ExpansionState::Info(NodeId n) const {
-  auto it = settled_.find(n);
-  return it == settled_.end() ? nullptr : &it->second;
+  const Slot* s = settled_.Find(n);
+  return s == nullptr ? nullptr : &s->info;
 }
 
 void ExpansionState::Settle(NodeId n, double dist, NodeId parent,
                             EdgeId via_edge) {
-  auto [it, inserted] = settled_.emplace(n, SettledInfo{dist, parent, via_edge});
-  (void)it;
-  CKNN_CHECK(inserted);
-  if (parent != kInvalidNode) children_[parent].push_back(n);
+  CKNN_CHECK(!settled_.Contains(n));
+  Slot& s = settled_[n];
+  s.info = SettledInfo{dist, parent, via_edge};
+  if (parent != kInvalidNode) {
+    // Slot pointers are stable across inserts (paged storage), so linking
+    // into the parent's child list after inserting `n` is safe.
+    Slot* ps = settled_.Find(parent);
+    CKNN_DCHECK(ps != nullptr);
+    s.next_sibling = ps->first_child;
+    ps->first_child = n;
+  }
   max_settled_dist_ = std::max(max_settled_dist_, dist);
 }
 
 void ExpansionState::DetachFromParent(NodeId n, NodeId parent) {
   if (parent == kInvalidNode) return;
-  auto it = children_.find(parent);
-  if (it == children_.end()) return;
-  auto pos = std::find(it->second.begin(), it->second.end(), n);
-  if (pos != it->second.end()) {
-    *pos = it->second.back();
-    it->second.pop_back();
+  Slot* ps = settled_.Find(parent);
+  if (ps == nullptr) return;
+  for (NodeId* link = &ps->first_child; *link != kInvalidNode;) {
+    Slot* cs = settled_.Find(*link);
+    CKNN_DCHECK(cs != nullptr);
+    if (*link == n) {
+      *link = cs->next_sibling;
+      return;
+    }
+    link = &cs->next_sibling;
+  }
+}
+
+void ExpansionState::MarkNodes(const std::vector<NodeId>& nodes) {
+  if (++mark_epoch_ == 0) {
+    // Stamp counter wrapped (once per ~4G set operations): sweep the stale
+    // stamps so an ancient mark cannot alias the restarted epoch.
+    settled_.ForEachMutable([](std::uint64_t, Slot& s) { s.mark = 0; });
+    mark_epoch_ = 1;
+  }
+  for (NodeId n : nodes) {
+    Slot* s = settled_.Find(n);
+    CKNN_DCHECK(s != nullptr);
+    s->mark = mark_epoch_;
   }
 }
 
 void ExpansionState::EraseNodes(const std::vector<NodeId>& nodes) {
-  // Two passes: erase everything first, then detach survivors' child links
-  // (a removed node whose parent is also removed needs no detaching).
-  std::vector<NodeId> parents(nodes.size());
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    auto it = settled_.find(nodes[i]);
-    CKNN_DCHECK(it != settled_.end());
-    parents[i] = it->second.parent;
-    settled_.erase(it);
-    children_.erase(nodes[i]);
+  // Unlink before erasing (the sibling chains must still be walkable), and
+  // only from parents that survive — a removed node whose parent is also
+  // removed needs no detaching, its parent's slot dies wholesale.
+  MarkNodes(nodes);
+  for (NodeId n : nodes) {
+    const NodeId parent = settled_.Find(n)->info.parent;
+    if (parent == kInvalidNode) continue;
+    const Slot* ps = settled_.Find(parent);
+    if (ps != nullptr && ps->mark != mark_epoch_) DetachFromParent(n, parent);
   }
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    if (parents[i] != kInvalidNode && settled_.count(parents[i]) != 0) {
-      DetachFromParent(nodes[i], parents[i]);
-    }
+  for (NodeId n : nodes) {
+    const bool erased = settled_.Erase(n);
+    CKNN_DCHECK(erased);
+    (void)erased;
   }
 }
 
@@ -89,9 +114,12 @@ std::vector<NodeId> ExpansionState::SubtreeOf(NodeId root) const {
     const NodeId n = stack.back();
     stack.pop_back();
     out.push_back(n);
-    auto it = children_.find(n);
-    if (it == children_.end()) continue;
-    stack.insert(stack.end(), it->second.begin(), it->second.end());
+    const Slot* s = settled_.Find(n);
+    CKNN_DCHECK(s != nullptr);
+    for (NodeId c = s->first_child; c != kInvalidNode;
+         c = settled_.Find(c)->next_sibling) {
+      stack.push_back(c);
+    }
   }
   return out;
 }
@@ -104,31 +132,34 @@ std::vector<NodeId> ExpansionState::PruneSubtree(NodeId root) {
 
 std::vector<NodeId> ExpansionState::AdjustSubtree(NodeId root, double delta) {
   std::vector<NodeId> nodes = SubtreeOf(root);
-  for (NodeId n : nodes) settled_[n].dist += delta;
+  for (NodeId n : nodes) {
+    Slot* s = settled_.Find(n);
+    s->info.dist += delta;
+    // Keep max_settled_dist_ an upper bound also when delta is positive
+    // (for negative deltas the old maximum already dominates).
+    max_settled_dist_ = std::max(max_settled_dist_, s->info.dist);
+  }
   return nodes;
 }
 
 std::vector<NodeId> ExpansionState::PruneBeyond(double threshold) {
   std::vector<NodeId> removed;
-  for (const auto& [n, info] : settled_) {
-    if (info.dist > threshold) removed.push_back(n);
-  }
+  settled_.ForEach([&](std::uint64_t n, const Slot& s) {
+    if (s.info.dist > threshold) removed.push_back(static_cast<NodeId>(n));
+  });
   EraseNodes(removed);
   return removed;
 }
 
 std::vector<NodeId> ExpansionState::PruneOthersBeyond(NodeId keep_root,
                                                       double threshold) {
-  std::vector<NodeId> keep = SubtreeOf(keep_root);
-  std::unordered_map<NodeId, bool> in_subtree;
-  in_subtree.reserve(keep.size());
-  for (NodeId n : keep) in_subtree.emplace(n, true);
+  MarkNodes(SubtreeOf(keep_root));
   std::vector<NodeId> removed;
-  for (const auto& [n, info] : settled_) {
-    if (info.dist > threshold && in_subtree.count(n) == 0) {
-      removed.push_back(n);
+  settled_.ForEach([&](std::uint64_t n, const Slot& s) {
+    if (s.info.dist > threshold && s.mark != mark_epoch_) {
+      removed.push_back(static_cast<NodeId>(n));
     }
-  }
+  });
   EraseNodes(removed);
   return removed;
 }
@@ -136,27 +167,26 @@ std::vector<NodeId> ExpansionState::PruneOthersBeyond(NodeId keep_root,
 void ExpansionState::ReRootToSubtree(NodeId subtree_root,
                                      const NetworkPoint& new_source,
                                      double delta) {
-  std::vector<NodeId> keep = SubtreeOf(subtree_root);
-  std::unordered_map<NodeId, SettledInfo> next;
+  const std::vector<NodeId> keep = SubtreeOf(subtree_root);
+  std::vector<std::pair<NodeId, SettledInfo>> next;
   next.reserve(keep.size());
   for (NodeId n : keep) {
-    SettledInfo info = settled_[n];
+    SettledInfo info = settled_.Find(n)->info;
     info.dist += delta;
-    next.emplace(n, info);
+    next.emplace_back(n, info);
   }
-  // The kept subtree root hangs directly off the new source.
-  auto root_it = next.find(subtree_root);
-  CKNN_CHECK(root_it != next.end());
-  root_it->second.parent = kInvalidNode;
-  root_it->second.via_edge = new_source.edge;
-  settled_ = std::move(next);
-  children_.clear();
-  double max_dist = 0.0;
-  for (const auto& [n, info] : settled_) {
-    if (info.parent != kInvalidNode) children_[info.parent].push_back(n);
-    max_dist = std::max(max_dist, info.dist);
+  // The kept subtree root hangs directly off the new source; SubtreeOf
+  // returns it first.
+  CKNN_CHECK(!next.empty() && next.front().first == subtree_root);
+  next.front().second.parent = kInvalidNode;
+  next.front().second.via_edge = new_source.edge;
+  settled_.Clear();
+  max_settled_dist_ = 0.0;
+  // Pre-order: every parent is re-settled before its children, so the
+  // intrusive child links rebuild through the normal Settle path.
+  for (const auto& [n, info] : next) {
+    Settle(n, info.dist, info.parent, info.via_edge);
   }
-  max_settled_dist_ = max_dist;
   source_ = ExpansionSource::AtPoint(new_source);
 }
 
@@ -193,20 +223,13 @@ bool ExpansionState::InInfluencingInterval(const RoadNetwork& net, EdgeId e,
 }
 
 void ExpansionState::Clear() {
-  settled_.clear();
-  children_.clear();
+  settled_.Clear();
   bound_ = kInfDist;
   max_settled_dist_ = 0.0;
 }
 
 std::size_t ExpansionState::MemoryBytes() const {
-  std::size_t bytes = HashMapBytes(settled_) + HashMapBytes(children_) +
-                      sizeof(*this);
-  for (const auto& [n, kids] : children_) {
-    (void)n;
-    bytes += VectorBytes(kids);
-  }
-  return bytes;
+  return settled_.MemoryBytes() + sizeof(*this);
 }
 
 }  // namespace cknn

@@ -1,13 +1,14 @@
 #ifndef CKNN_CORE_EXPANSION_H_
 #define CKNN_CORE_EXPANSION_H_
 
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/graph/network_point.h"
 #include "src/graph/road_network.h"
 #include "src/graph/types.h"
+#include "src/util/dense_id_map.h"
 
 namespace cknn {
 
@@ -43,6 +44,11 @@ struct ExpansionSource {
 /// endpoints). This is equivalent to the paper's marks without per-edge
 /// interval bookkeeping.
 ///
+/// Storage is a node-indexed `DenseIdMap` of slots that carry the tree
+/// label plus intrusive first-child/next-sibling links, so subtree walks
+/// need no separate parent -> children hash map and a full reset is an O(1)
+/// epoch bump (the per-query state is reused across timestamps).
+///
 /// The class exposes exactly the maintenance operations Sections 4.2-4.4
 /// need: subtree pruning (weight increases, query movement), subtree
 /// distance adjustment (weight decreases, re-rooting), and threshold pruning
@@ -68,13 +74,18 @@ class ExpansionState {
   /// responsible for having adjusted the settled distances).
   void SetSourcePoint(const NetworkPoint& p);
 
-  bool IsSettled(NodeId n) const { return settled_.count(n) != 0; }
+  bool IsSettled(NodeId n) const { return settled_.Contains(n); }
   std::optional<double> NodeDistance(NodeId n) const;
   const SettledInfo* Info(NodeId n) const;
 
   std::size_t NumSettled() const { return settled_.size(); }
-  const std::unordered_map<NodeId, SettledInfo>& settled() const {
-    return settled_;
+
+  /// Calls `f(NodeId, const SettledInfo&)` for every settled node, in
+  /// ascending node id order.
+  template <typename F>
+  void ForEachSettled(F&& f) const {
+    settled_.ForEach(
+        [&](std::uint64_t n, const Slot& s) { f(static_cast<NodeId>(n), s.info); });
   }
 
   /// Adds a verified node. Checked error if already settled.
@@ -84,7 +95,7 @@ class ExpansionState {
   /// the subtree hanging below `e`), if any.
   std::optional<NodeId> TreeChildVia(const RoadNetwork& net, EdgeId e) const;
 
-  /// Nodes of the subtree rooted at `root` (inclusive). O(settled).
+  /// Nodes of the subtree rooted at `root` (inclusive). O(subtree).
   std::vector<NodeId> SubtreeOf(NodeId root) const;
 
   /// Removes `root` and all its descendants (Fig. 8: weight increase).
@@ -139,20 +150,37 @@ class ExpansionState {
   std::size_t MemoryBytes() const;
 
   /// Largest settled distance ever reached since the last reset/re-root —
-  /// an upper bound on the tree radius, used for lazy shrinking.
+  /// an upper bound on the tree radius, used for lazy shrinking. It is
+  /// deliberately *not* lowered by the pruning operations (EraseNodes keeps
+  /// it as a monotone upper bound; recomputing the max over the survivors
+  /// would cost O(settled) per prune), so it may overestimate until the
+  /// caller re-anchors it via set_max_settled_dist.
   double max_settled_dist() const { return max_settled_dist_; }
   void set_max_settled_dist(double d) { max_settled_dist_ = d; }
 
  private:
+  /// One settled node: tree label plus intrusive child-list links (children
+  /// are linked newest-first) and a scratch stamp for set operations.
+  struct Slot {
+    SettledInfo info;
+    NodeId first_child = kInvalidNode;
+    NodeId next_sibling = kInvalidNode;
+    std::uint32_t mark = 0;  ///< Live iff == mark_epoch_ (scratch).
+  };
+
   /// Removes `n` from its parent's child list (if the parent survives).
   void DetachFromParent(NodeId n, NodeId parent);
-  /// Erases a batch of nodes from both indexes.
+  /// Erases a batch of nodes; slots must all be live on entry. The nodes'
+  /// `mark` stamps are consumed as the "also being erased" set, so parent
+  /// links are only unlinked where the parent survives. max_settled_dist_
+  /// is intentionally left untouched (monotone upper bound, see above).
   void EraseNodes(const std::vector<NodeId>& nodes);
+  /// Bumps the scratch-mark epoch and stamps `nodes`.
+  void MarkNodes(const std::vector<NodeId>& nodes);
 
   ExpansionSource source_;
-  std::unordered_map<NodeId, SettledInfo> settled_;
-  /// Incremental parent -> children index for O(subtree) walks.
-  std::unordered_map<NodeId, std::vector<NodeId>> children_;
+  DenseIdMap<Slot> settled_;
+  std::uint32_t mark_epoch_ = 0;
   double bound_ = kInfDist;
   double max_settled_dist_ = 0.0;
 };

@@ -77,7 +77,10 @@ void Gma::ClearInfluence(QueryId id, UserQuery* uq) {
 
 void Gma::EvaluateQuery(QueryId id, UserQuery* uq) {
   ++stats_.evaluations;
-  CandidateSet cand;
+  // Member scratch: cleared per evaluation, capacity reused across the
+  // many evaluations a timestamp triggers.
+  eval_cand_.Clear();
+  CandidateSet& cand = eval_cand_;
   const SequenceTable::Sequence& seq = st_.sequence(uq->seq);
   const EdgeId query_edge = uq->pos.edge;
   const std::uint32_t j = st_.PositionOf(query_edge);
@@ -320,7 +323,8 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
 std::size_t Gma::MemoryBytes() const {
   std::size_t bytes = engine_.MemoryBytes() + st_.MemoryBytes() +
                       HashMapBytes(queries_) + HashMapBytes(active_) +
-                      il_.capacity() * sizeof(il_[0]);
+                      il_.capacity() * sizeof(il_[0]) +
+                      eval_cand_.MemoryBytes();
   for (const auto& [id, uq] : queries_) {
     (void)id;
     bytes += VectorBytes(uq.result) + VectorBytes(uq.reached_nodes) +

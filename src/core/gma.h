@@ -118,6 +118,8 @@ class Gma : public Monitor {
   std::unordered_map<NodeId, ActiveNode> active_;
   /// Per-edge influence lists of *user queries* with reached intervals.
   std::vector<std::unordered_map<QueryId, Interval>> il_;
+  /// Scratch accumulator for EvaluateQuery (cleared per evaluation).
+  CandidateSet eval_cand_;
   Stats stats_;
 };
 

@@ -11,6 +11,7 @@ ImaEngine::ImaEngine(RoadNetwork* net, ObjectTable* objects)
     : net_(net), objects_(objects), influence_(net->NumEdges()) {
   CKNN_CHECK(net_ != nullptr);
   CKNN_CHECK(objects_ != nullptr);
+  net_->BuildAdjacencyIndex();  // Expansion iterates the CSR view.
 }
 
 Status ImaEngine::AddQuery(QueryId id, const ExpansionSource& source,
@@ -108,11 +109,12 @@ void ImaEngine::RepairAfterRemoval(QueryId id, Entry* entry,
   // Tentative labels that pointed into the removed region are stale
   // (possibly stale-low); drop and re-derive them.
   std::vector<NodeId> to_rederive(removed.begin(), removed.end());
-  for (const auto& [n, label] : entry->frontier.pending) {
-    if (label.first != kInvalidNode && gone.count(label.first) != 0) {
-      to_rederive.push_back(n);
-    }
-  }
+  entry->frontier.pending.ForEach(
+      [&](std::uint64_t n, const std::pair<NodeId, EdgeId>& label) {
+        if (label.first != kInvalidNode && gone.count(label.first) != 0) {
+          to_rederive.push_back(static_cast<NodeId>(n));
+        }
+      });
   for (NodeId n : to_rederive) {
     if (gone.count(n) == 0) entry->frontier.Erase(n);
   }
@@ -151,8 +153,8 @@ void ImaEngine::RepairEdgeKeys(Entry* entry, EdgeId edge) {
     const NodeId node = ends[i];
     const NodeId other = ends[1 - i];
     if (entry->state.IsSettled(node)) continue;
-    auto it = entry->frontier.pending.find(node);
-    if (it != entry->frontier.pending.end() && it->second.second == edge) {
+    const auto* label = entry->frontier.pending.Find(node);
+    if (label != nullptr && label->second == edge) {
       // The tentative label went through this edge with the old weight.
       entry->frontier.Erase(node);
       RederiveFrontierNode(entry, node);
@@ -394,10 +396,8 @@ void ImaEngine::RescanEdge(Entry* entry, EdgeId e) {
 void ImaEngine::RefreshKnownAll(Entry* entry) {
   std::vector<ObjectId> ids;
   ids.reserve(entry->known.size());
-  for (const auto& [id, dist] : entry->known.entries()) {
-    (void)dist;
-    ids.push_back(id);
-  }
+  entry->known.ForEachCandidate(
+      [&](ObjectId id, double) { ids.push_back(id); });
   for (ObjectId id : ids) {
     auto pos = objects_->Position(id);
     CKNN_CHECK(pos.ok());  // Departed objects were removed in Sold handling.
@@ -414,12 +414,13 @@ void ImaEngine::RebuildCoverage(QueryId id, Entry* entry) {
   std::unordered_set<EdgeId> covered;
   covered.reserve(entry->state.NumSettled() * 3 + 1);
   if (!entry->source.at_node) covered.insert(entry->source.point.edge);
-  for (const auto& [n, info] : entry->state.settled()) {
-    (void)info;
-    for (const RoadNetwork::Incidence& inc : net_->Incidences(n)) {
-      covered.insert(inc.edge);
-    }
-  }
+  entry->state.ForEachSettled(
+      [&](NodeId n, const ExpansionState::SettledInfo& info) {
+        (void)info;
+        for (const RoadNetwork::Incidence& inc : net_->Incidences(n)) {
+          covered.insert(inc.edge);
+        }
+      });
   for (EdgeId e : entry->covered) {
     if (covered.count(e) == 0) influence_[e].erase(id);
   }
@@ -516,40 +517,58 @@ Status ImaEngine::CheckInvariants() const {
   for (const auto& [id, entry] : entries_) {
     const std::string tag = "query " + std::to_string(id) + ": ";
     // Expansion tree: parents settled, label arithmetic consistent.
-    for (const auto& [n, info] : entry.state.settled()) {
-      if (info.parent != kInvalidNode) {
-        const auto* pinfo = entry.state.Info(info.parent);
-        if (pinfo == nullptr) return fail(tag + "orphaned settled node");
-        const double want = pinfo->dist + net_->edge(info.via_edge).weight;
-        if (std::abs(info.dist - want) > 1e-6 * (1.0 + want)) {
-          return fail(tag + "settled dist does not match its tree label");
-        }
-      }
-    }
+    Status tree_status = Status::OK();
+    entry.state.ForEachSettled(
+        [&](NodeId n, const ExpansionState::SettledInfo& info) {
+          (void)n;
+          if (!tree_status.ok() || info.parent == kInvalidNode) return;
+          const auto* pinfo = entry.state.Info(info.parent);
+          if (pinfo == nullptr) {
+            tree_status = fail(tag + "orphaned settled node");
+            return;
+          }
+          const double want = pinfo->dist + net_->edge(info.via_edge).weight;
+          if (std::abs(info.dist - want) > 1e-6 * (1.0 + want)) {
+            tree_status = fail(tag + "settled dist does not match its tree label");
+          }
+        });
+    if (!tree_status.ok()) return tree_status;
     // Frontier: pending parents settled, keys consistent with labels.
-    for (const auto& [n, label] : entry.frontier.pending) {
-      if (entry.state.IsSettled(n)) {
-        return fail(tag + "settled node still in frontier");
-      }
-      if (label.first != kInvalidNode &&
-          !entry.state.IsSettled(label.first)) {
-        return fail(tag + "frontier label points at unsettled parent");
-      }
-    }
+    Status frontier_status = Status::OK();
+    entry.frontier.pending.ForEach(
+        [&](std::uint64_t n, const std::pair<NodeId, EdgeId>& label) {
+          if (!frontier_status.ok()) return;
+          if (entry.state.IsSettled(static_cast<NodeId>(n))) {
+            frontier_status = fail(tag + "settled node still in frontier");
+            return;
+          }
+          if (label.first != kInvalidNode &&
+              !entry.state.IsSettled(label.first)) {
+            frontier_status =
+                fail(tag + "frontier label points at unsettled parent");
+          }
+        });
+    if (!frontier_status.ok()) return frontier_status;
     // Known set: objects exist, lie on influenced edges, distances valid.
-    for (const auto& [obj, dist] : entry.known.entries()) {
+    Status known_status = Status::OK();
+    entry.known.ForEachCandidate([&](ObjectId obj, double) {
+      if (!known_status.ok()) return;
       auto pos = objects_->Position(obj);
-      if (!pos.ok()) return fail(tag + "known object missing from table");
+      if (!pos.ok()) {
+        known_status = fail(tag + "known object missing from table");
+        return;
+      }
       const EdgeId e = pos->edge;
       if (entry.covered.count(e) == 0 &&
           entry.pending_uncover.count(e) == 0) {
-        return fail(tag + "known object on uncovered edge");
+        known_status = fail(tag + "known object on uncovered edge");
+        return;
       }
       if (influence_[e].count(id) == 0) {
-        return fail(tag + "known object's edge lost the influence entry");
+        known_status = fail(tag + "known object's edge lost the influence entry");
       }
-      (void)dist;
-    }
+    });
+    if (!known_status.ok()) return known_status;
     // Coverage <-> influence agreement.
     for (EdgeId e : entry.covered) {
       if (influence_[e].count(id) == 0) {

@@ -1,8 +1,38 @@
 #include "src/core/knn_search.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
 #include "src/util/macros.h"
 
 namespace cknn {
+
+namespace {
+
+FrontierQueueKind KindFromEnv() {
+  const char* env = std::getenv("CKNN_FRONTIER_QUEUE");
+  if (env != nullptr && std::strcmp(env, "bucket") == 0) {
+    return FrontierQueueKind::kBucketQueue;
+  }
+  // "binary", unset, or unrecognized all mean the default heap.
+  return FrontierQueueKind::kBinaryHeap;
+}
+
+std::atomic<FrontierQueueKind>& DefaultKindSlot() {
+  static std::atomic<FrontierQueueKind> kind{KindFromEnv()};
+  return kind;
+}
+
+}  // namespace
+
+FrontierQueueKind DefaultFrontierQueueKind() {
+  return DefaultKindSlot().load(std::memory_order_relaxed);
+}
+
+void SetDefaultFrontierQueueKind(FrontierQueueKind kind) {
+  DefaultKindSlot().store(kind, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -17,14 +47,14 @@ double OffsetFrom(const RoadNetwork::Edge& e, double t, NodeId from) {
 void RebuildFrontier(const RoadNetwork& net, const ExpansionState& state,
                      Frontier* frontier) {
   frontier->Clear();
-  for (const auto& [n, info] : state.settled()) {
+  state.ForEachSettled([&](NodeId n, const ExpansionState::SettledInfo& info) {
     for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
       if (!state.IsSettled(inc.neighbor)) {
         frontier->Relax(state, inc.neighbor,
                         info.dist + net.edge(inc.edge).weight, n, inc.edge);
       }
     }
-  }
+  });
 }
 
 void ExpandToK(const RoadNetwork& net, const ObjectTable& objects, int k,
@@ -70,15 +100,15 @@ void ExpandToK(const RoadNetwork& net, const ObjectTable& objects, int k,
 
   // Main loop (Fig. 2 lines 7-23). Settling while dist <= KthDist keeps the
   // tie-zone at the k-th distance inside the verified region.
-  while (!frontier->heap.empty()) {
+  while (!frontier->QueueEmpty()) {
     const double kth = candidates->KthDist(k);
-    if (frontier->heap.Top().key > kth) break;
-    const auto [id, dist] = frontier->heap.Pop();
+    if (frontier->TopKey() > kth) break;
+    const auto [id, dist] = frontier->PopTop();
     const NodeId n = static_cast<NodeId>(id);
-    const auto label_it = frontier->pending.find(n);
-    CKNN_DCHECK(label_it != frontier->pending.end());
-    const auto label = label_it->second;
-    frontier->pending.erase(label_it);
+    const auto* label_ptr = frontier->pending.Find(n);
+    CKNN_DCHECK(label_ptr != nullptr);
+    const auto label = *label_ptr;
+    frontier->pending.Erase(n);
     state->Settle(n, dist, label.first, label.second);
     if (newly_settled != nullptr) newly_settled->push_back(n);
     if (stats != nullptr) ++stats->nodes_settled;
@@ -96,12 +126,20 @@ std::vector<Neighbor> SnapshotKnn(const RoadNetwork& net,
                                   const ObjectTable& objects,
                                   const NetworkPoint& source, int k,
                                   ExpandStats* stats) {
-  ExpansionState state;
-  state.ResetToPoint(source);
-  Frontier frontier;
-  CandidateSet candidates;
-  ExpandToK(net, objects, k, &state, &frontier, &candidates, nullptr, stats);
-  return candidates.TopK(k);
+  KnnScratch scratch;
+  return SnapshotKnn(net, objects, source, k, &scratch, stats);
+}
+
+std::vector<Neighbor> SnapshotKnn(const RoadNetwork& net,
+                                  const ObjectTable& objects,
+                                  const NetworkPoint& source, int k,
+                                  KnnScratch* scratch, ExpandStats* stats) {
+  scratch->state.ResetToPoint(source);
+  scratch->frontier.Clear();
+  scratch->candidates.Clear();
+  ExpandToK(net, objects, k, &scratch->state, &scratch->frontier,
+            &scratch->candidates, nullptr, stats);
+  return scratch->candidates.TopK(k);
 }
 
 }  // namespace cknn

@@ -1,7 +1,6 @@
 #ifndef CKNN_CORE_KNN_SEARCH_H_
 #define CKNN_CORE_KNN_SEARCH_H_
 
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -9,6 +8,8 @@
 #include "src/core/object_table.h"
 #include "src/core/top_k.h"
 #include "src/graph/road_network.h"
+#include "src/util/bucket_queue.h"
+#include "src/util/dense_id_map.h"
 #include "src/util/indexed_min_heap.h"
 #include "src/util/mem.h"
 
@@ -21,6 +22,20 @@ struct ExpandStats {
   std::size_t objects_offered = 0;
 };
 
+/// Which priority structure a Frontier uses. The binary heap is the
+/// default; the bucket queue is the experimental alternative (exact for
+/// any bucket width, see src/util/bucket_queue.h) selectable through the
+/// `CKNN_FRONTIER_QUEUE` environment variable (`binary` | `bucket`) or the
+/// setter below. Flip the default only with bench numbers in hand
+/// (docs/expansion.md).
+enum class FrontierQueueKind { kBinaryHeap, kBucketQueue };
+
+/// Process-wide default kind for newly constructed Frontiers. Initialized
+/// once from CKNN_FRONTIER_QUEUE; the setter exists for tests/benches.
+/// Existing Frontiers keep the kind they were built with.
+FrontierQueueKind DefaultFrontierQueueKind();
+void SetDefaultFrontierQueueKind(FrontierQueueKind kind);
+
 /// \brief The expansion frontier — the persistent representation of the
 /// paper's *marks*: every un-verified node reachable from the settled
 /// region, keyed by its best tentative distance, with the tree label it
@@ -32,13 +47,43 @@ struct ExpandStats {
 /// edge update prunes part of the tree, only the pruned boundary has to be
 /// repaired (see ima.cc).
 struct Frontier {
+  /// Fixed at construction (one branch per operation; the two structures
+  /// are never live at once).
+  const FrontierQueueKind kind;
   IndexedMinHeap heap;
+  BucketQueue bucket;
   /// Tentative tree label (parent, via edge) of each en-heaped node.
-  std::unordered_map<NodeId, std::pair<NodeId, EdgeId>> pending;
+  DenseIdMap<std::pair<NodeId, EdgeId>> pending;
+
+  Frontier() : kind(DefaultFrontierQueueKind()) {}
+
+  bool QueueEmpty() const {
+    return kind == FrontierQueueKind::kBinaryHeap ? heap.empty()
+                                                  : bucket.empty();
+  }
+  std::size_t QueueSize() const {
+    return kind == FrontierQueueKind::kBinaryHeap ? heap.size()
+                                                  : bucket.size();
+  }
+
+  /// Key of the closest tentative node. Checked error when empty.
+  double TopKey() {
+    return kind == FrontierQueueKind::kBinaryHeap ? heap.Top().key
+                                                  : bucket.Top().key;
+  }
+
+  /// Removes and returns the closest tentative node (its label stays in
+  /// `pending` for the caller to consume).
+  IndexedMinHeap::Entry PopTop() {
+    if (kind == FrontierQueueKind::kBinaryHeap) return heap.Pop();
+    const BucketQueue::Entry e = bucket.Pop();
+    return IndexedMinHeap::Entry{e.id, e.key};
+  }
 
   void Clear() {
     heap.Clear();
-    pending.clear();
+    bucket.Clear();
+    pending.Clear();
   }
 
   /// Inserts or improves a tentative node. Skips nodes already settled in
@@ -46,23 +91,27 @@ struct Frontier {
   bool Relax(const ExpansionState& state, NodeId n, double dist,
              NodeId parent, EdgeId via) {
     if (state.IsSettled(n)) return false;
-    if (heap.PushOrDecrease(n, dist)) {
-      pending[n] = {parent, via};
-      return true;
-    }
-    return false;
+    const bool changed = kind == FrontierQueueKind::kBinaryHeap
+                             ? heap.PushOrDecrease(n, dist)
+                             : bucket.PushOrDecrease(n, dist);
+    if (changed) pending[n] = {parent, via};
+    return changed;
   }
 
   /// Drops a tentative node if present.
   void Erase(NodeId n) {
-    heap.Erase(n);
-    pending.erase(n);
+    if (kind == FrontierQueueKind::kBinaryHeap) {
+      heap.Erase(n);
+    } else {
+      bucket.Erase(n);
+    }
+    pending.Erase(n);
   }
 
+  /// Estimated heap footprint: the priority structure (entry array plus its
+  /// position index) and the tentative-label map.
   std::size_t MemoryBytes() const {
-    return pending.size() * (sizeof(std::pair<const NodeId,
-                                              std::pair<NodeId, EdgeId>>) +
-                             2 * sizeof(void*) + 16);
+    return heap.MemoryBytes() + bucket.MemoryBytes() + pending.MemoryBytes();
   }
 };
 
@@ -91,11 +140,35 @@ void ExpandToK(const RoadNetwork& net, const ObjectTable& objects, int k,
 void RebuildFrontier(const RoadNetwork& net, const ExpansionState& state,
                      Frontier* frontier);
 
+/// Reusable working set for one-shot searches: the expansion state, the
+/// frontier, and the candidate accumulator. All three clear in O(1)
+/// (epoch bumps) and keep their pages/capacity, so a caller that runs many
+/// searches per timestamp (OVH) pays no per-query allocation churn.
+struct KnnScratch {
+  ExpansionState state;
+  Frontier frontier;
+  CandidateSet candidates;
+
+  std::size_t MemoryBytes() const {
+    return state.MemoryBytes() + frontier.MemoryBytes() +
+           candidates.MemoryBytes();
+  }
+};
+
 /// Convenience: one-shot k-NN search from a point (what OVH runs per query
 /// per timestamp). Returns the k nearest objects in (distance, id) order.
 std::vector<Neighbor> SnapshotKnn(const RoadNetwork& net,
                                   const ObjectTable& objects,
                                   const NetworkPoint& source, int k,
+                                  ExpandStats* stats = nullptr);
+
+/// As above, but expanding inside `scratch` instead of fresh local
+/// structures. The scratch is reset on entry and left holding the final
+/// expansion (callers may inspect it; the next call clears it).
+std::vector<Neighbor> SnapshotKnn(const RoadNetwork& net,
+                                  const ObjectTable& objects,
+                                  const NetworkPoint& source, int k,
+                                  KnnScratch* scratch,
                                   ExpandStats* stats = nullptr);
 
 }  // namespace cknn

@@ -43,10 +43,12 @@ Status Ovh::ProcessTimestamp(const UpdateBatch& batch) {
       }
     }
   }
-  // Overhaul: recompute everything (Fig. 2 per query).
+  // Overhaul: recompute everything (Fig. 2 per query). The scratch
+  // expansion is reused across queries — O(1) epoch clears instead of
+  // rebuilding the state/frontier/candidate structures each time.
   for (auto& [id, uq] : queries_) {
     (void)id;
-    uq.result = SnapshotKnn(*net_, *objects_, uq.pos, uq.k);
+    uq.result = SnapshotKnn(*net_, *objects_, uq.pos, uq.k, &scratch_);
   }
   return Status::OK();
 }
@@ -57,7 +59,7 @@ const std::vector<Neighbor>* Ovh::ResultOf(QueryId id) const {
 }
 
 std::size_t Ovh::MemoryBytes() const {
-  std::size_t bytes = HashMapBytes(queries_);
+  std::size_t bytes = HashMapBytes(queries_) + scratch_.MemoryBytes();
   for (const auto& [id, uq] : queries_) {
     (void)id;
     bytes += VectorBytes(uq.result);

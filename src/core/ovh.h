@@ -19,8 +19,9 @@ namespace cknn {
 /// how few updates actually matter.
 class Ovh : public Monitor {
  public:
-  Ovh(RoadNetwork* net, ObjectTable* objects)
-      : net_(net), objects_(objects) {}
+  Ovh(RoadNetwork* net, ObjectTable* objects) : net_(net), objects_(objects) {
+    net_->BuildAdjacencyIndex();  // SnapshotKnn iterates the CSR view.
+  }
 
   Status ProcessTimestamp(const UpdateBatch& batch) override;
   const std::vector<Neighbor>* ResultOf(QueryId id) const override;
@@ -41,6 +42,8 @@ class Ovh : public Monitor {
   RoadNetwork* net_;
   ObjectTable* objects_;
   std::unordered_map<QueryId, UserQuery> queries_;
+  /// Reused across queries and timestamps (cleared per search).
+  KnnScratch scratch_;
   bool external_object_table_ = false;
 };
 

@@ -33,6 +33,10 @@ ShardSet::ShardSet(RoadNetwork* primary_network, ObjectTable* objects,
   CKNN_CHECK(primary_network != nullptr);
   CKNN_CHECK(objects != nullptr);
   CKNN_CHECK(num_shards >= 1);
+  // Shard 0 monitors the primary network in place and maintenance runs on
+  // pool workers; warm up the lazily built adjacency index while the
+  // network is still touched by this thread alone.
+  primary_network->BuildAdjacencyIndex();
   shards_.resize(static_cast<std::size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
     Shard& shard = shards_[static_cast<std::size_t>(s)];

@@ -1,96 +1,160 @@
 #include "src/core/top_k.h"
 
+#include <algorithm>
+
 #include "src/util/macros.h"
 #include "src/util/mem.h"
 
 namespace cknn {
 
+void CandidateSet::EnsureCap(int k) const {
+  if (k <= top_cap_) return;
+  top_cap_ = k;
+  top_exact_ = false;
+}
+
+void CandidateSet::TopInsert(const Key& key) const {
+  if (!top_exact_) return;
+  if (top_.size() == static_cast<std::size_t>(top_cap_)) {
+    if (key >= top_.back()) return;  // Beyond the tracked range.
+    top_.pop_back();
+  }
+  top_.insert(std::lower_bound(top_.begin(), top_.end(), key), key);
+}
+
+bool CandidateSet::TopErase(const Key& key) const {
+  if (!top_exact_) return false;
+  const auto it = std::lower_bound(top_.begin(), top_.end(), key);
+  if (it == top_.end() || *it != key) return false;
+  top_.erase(it);
+  return true;
+}
+
+void CandidateSet::EnsureTop() const {
+  if (top_exact_) return;
+  top_.clear();
+  for (const auto& [id, dist] : by_id_) {
+    const Key key{dist, id};
+    if (top_.size() == static_cast<std::size_t>(top_cap_)) {
+      if (key >= top_.back()) continue;
+      top_.pop_back();
+    }
+    top_.insert(std::lower_bound(top_.begin(), top_.end(), key), key);
+  }
+  top_exact_ = true;
+}
+
 bool CandidateSet::Offer(ObjectId id, double dist) {
-  auto it = by_id_.find(id);
-  if (it == by_id_.end()) {
-    by_id_.emplace(id, dist);
-    ordered_.emplace(dist, id);
+  const auto [it, inserted] = by_id_.try_emplace(id, dist);
+  if (inserted) {
+    TopInsert(Key{dist, id});
     return true;
   }
   if (dist >= it->second) return false;
-  ordered_.erase(Key{it->second, id});
+  // A lowered entry can only move up: drop its old key (if tracked) and
+  // re-insert — exactness is preserved, untracked entries stay >= back.
+  TopErase(Key{it->second, id});
+  TopInsert(Key{dist, id});
   it->second = dist;
-  ordered_.emplace(dist, id);
   return true;
 }
 
 void CandidateSet::Set(ObjectId id, double dist) {
-  auto it = by_id_.find(id);
-  if (it == by_id_.end()) {
-    by_id_.emplace(id, dist);
-    ordered_.emplace(dist, id);
+  const auto [it, inserted] = by_id_.try_emplace(id, dist);
+  if (inserted) {
+    TopInsert(Key{dist, id});
     return;
   }
   if (dist == it->second) return;
-  ordered_.erase(Key{it->second, id});
+  if (dist < it->second) {
+    TopErase(Key{it->second, id});
+    TopInsert(Key{dist, id});
+    it->second = dist;
+    return;
+  }
+  // Raised distance: a tracked entry may now rank behind an untracked one
+  // we know nothing about — the array goes stale unless the whole set fits
+  // in it. Raising an untracked entry keeps it untracked (still >= back).
+  if (TopErase(Key{it->second, id})) {
+    if (by_id_.size() <= static_cast<std::size_t>(top_cap_)) {
+      TopInsert(Key{dist, id});
+    } else {
+      top_exact_ = false;
+    }
+  }
   it->second = dist;
-  ordered_.emplace(dist, id);
 }
 
 std::optional<double> CandidateSet::Remove(ObjectId id) {
-  auto it = by_id_.find(id);
+  const auto it = by_id_.find(id);
   if (it == by_id_.end()) return std::nullopt;
   const double dist = it->second;
-  ordered_.erase(Key{dist, id});
+  if (TopErase(Key{dist, id}) && by_id_.size() - 1 > top_.size()) {
+    // An untracked entry should be promoted into the freed slot.
+    top_exact_ = false;
+  }
   by_id_.erase(it);
   return dist;
 }
 
 std::optional<double> CandidateSet::DistanceOf(ObjectId id) const {
-  auto it = by_id_.find(id);
+  const auto it = by_id_.find(id);
   if (it == by_id_.end()) return std::nullopt;
   return it->second;
 }
 
 double CandidateSet::KthDist(int k) const {
   CKNN_DCHECK(k >= 1);
-  if (static_cast<int>(ordered_.size()) < k) return kInfDist;
-  auto it = ordered_.begin();
-  std::advance(it, k - 1);
-  return it->first;
+  if (by_id_.size() < static_cast<std::size_t>(k)) return kInfDist;
+  EnsureCap(k);
+  EnsureTop();
+  return top_[static_cast<std::size_t>(k) - 1].first;
 }
 
 std::vector<Neighbor> CandidateSet::TopK(int k) const {
+  CKNN_DCHECK(k >= 1);
+  EnsureCap(k);
+  EnsureTop();
+  const std::size_t n = std::min(static_cast<std::size_t>(k), top_.size());
   std::vector<Neighbor> out;
-  out.reserve(static_cast<std::size_t>(k));
-  for (auto it = ordered_.begin(); it != ordered_.end() && k > 0; ++it, --k) {
-    out.push_back(Neighbor{it->second, it->first});
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Neighbor{top_[i].second, top_[i].first});
   }
   return out;
 }
 
 std::vector<Neighbor> CandidateSet::All() const {
+  std::vector<Key> keys;
+  keys.reserve(by_id_.size());
+  for (const auto& [id, dist] : by_id_) keys.push_back(Key{dist, id});
+  std::sort(keys.begin(), keys.end());
   std::vector<Neighbor> out;
-  out.reserve(ordered_.size());
-  for (const Key& key : ordered_) {
+  out.reserve(keys.size());
+  for (const Key& key : keys) {
     out.push_back(Neighbor{key.second, key.first});
   }
   return out;
 }
 
 void CandidateSet::PruneBeyond(double bound) {
-  while (!ordered_.empty()) {
-    auto last = std::prev(ordered_.end());
-    if (last->first <= bound) break;
-    by_id_.erase(last->second);
-    ordered_.erase(last);
+  for (auto it = by_id_.begin(); it != by_id_.end();) {
+    it = it->second > bound ? by_id_.erase(it) : std::next(it);
+  }
+  if (top_exact_) {
+    while (!top_.empty() && top_.back().first > bound) top_.pop_back();
+    if (by_id_.size() > top_.size()) top_exact_ = false;
   }
 }
 
 void CandidateSet::Clear() {
   by_id_.clear();
-  ordered_.clear();
+  top_.clear();
+  top_exact_ = true;
 }
 
 std::size_t CandidateSet::MemoryBytes() const {
-  // std::set nodes: key + three pointers + color.
-  return HashMapBytes(by_id_) +
-         ordered_.size() * (sizeof(Key) + 4 * sizeof(void*));
+  return HashMapBytes(by_id_) + top_.capacity() * sizeof(Key);
 }
 
 }  // namespace cknn

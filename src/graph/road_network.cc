@@ -6,7 +6,7 @@ namespace cknn {
 
 NodeId RoadNetwork::AddNode(const Point& position) {
   node_positions_.push_back(position);
-  adjacency_.emplace_back();
+  csr_valid_ = false;
   return static_cast<NodeId>(node_positions_.size() - 1);
 }
 
@@ -26,9 +26,32 @@ Result<EdgeId> RoadNetwork::AddEdge(NodeId u, NodeId v,
   }
   const EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{u, v, length, length});
-  adjacency_[u].push_back(Incidence{id, v});
-  adjacency_[v].push_back(Incidence{id, u});
+  csr_valid_ = false;
   return id;
+}
+
+void RoadNetwork::EnsureCsr() const {
+  if (csr_valid_) return;
+  const std::size_t n = node_positions_.size();
+  csr_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++csr_offsets_[e.u + 1];
+    ++csr_offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) csr_offsets_[i] += csr_offsets_[i - 1];
+  csr_incidences_.resize(2 * edges_.size());
+  // Per-node write cursors; walking the edges in id order reproduces the
+  // historical per-node push_back order (ascending edge id), so expansion
+  // iteration order — and with it every tie-dependent golden result — is
+  // unchanged.
+  std::vector<std::uint32_t> cursor(csr_offsets_.begin(),
+                                    csr_offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    csr_incidences_[cursor[e.u]++] = Incidence{id, e.v};
+    csr_incidences_[cursor[e.v]++] = Incidence{id, e.u};
+  }
+  csr_valid_ = true;
 }
 
 const Point& RoadNetwork::NodePosition(NodeId n) const {
@@ -43,13 +66,16 @@ const RoadNetwork::Edge& RoadNetwork::edge(EdgeId e) const {
 
 std::size_t RoadNetwork::Degree(NodeId n) const {
   CKNN_CHECK(n < NumNodes());
-  return adjacency_[n].size();
+  EnsureCsr();
+  return csr_offsets_[n + 1] - csr_offsets_[n];
 }
 
-const std::vector<RoadNetwork::Incidence>& RoadNetwork::Incidences(
-    NodeId n) const {
+RoadNetwork::IncidenceSpan RoadNetwork::Incidences(NodeId n) const {
   CKNN_CHECK(n < NumNodes());
-  return adjacency_[n];
+  EnsureCsr();
+  const std::uint32_t begin = csr_offsets_[n];
+  return IncidenceSpan(csr_incidences_.data() + begin,
+                       csr_offsets_[n + 1] - begin);
 }
 
 NodeId RoadNetwork::OtherEndpoint(EdgeId e, NodeId n) const {
@@ -93,13 +119,10 @@ double RoadNetwork::AverageEdgeLength() const {
 }
 
 std::size_t RoadNetwork::MemoryBytes() const {
-  std::size_t bytes = node_positions_.capacity() * sizeof(Point) +
-                      edges_.capacity() * sizeof(Edge) +
-                      adjacency_.capacity() * sizeof(std::vector<Incidence>);
-  for (const auto& adj : adjacency_) {
-    bytes += adj.capacity() * sizeof(Incidence);
-  }
-  return bytes;
+  return node_positions_.capacity() * sizeof(Point) +
+         edges_.capacity() * sizeof(Edge) +
+         csr_offsets_.capacity() * sizeof(std::uint32_t) +
+         csr_incidences_.capacity() * sizeof(Incidence);
 }
 
 RoadNetwork CloneNetwork(const RoadNetwork& net) {
@@ -113,6 +136,9 @@ RoadNetwork CloneNetwork(const RoadNetwork& net) {
     CKNN_CHECK(added.ok());
     CKNN_CHECK(out.SetWeight(*added, ed.weight).ok());
   }
+  // Clones are handed to shard workers; build the adjacency index while the
+  // clone is still private to this thread.
+  out.BuildAdjacencyIndex();
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define CKNN_GRAPH_ROAD_NETWORK_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/geom/geometry.h"
@@ -38,6 +39,30 @@ class RoadNetwork {
     NodeId neighbor = kInvalidNode;
   };
 
+  /// \brief Contiguous view of one node's adjacency list inside the CSR
+  /// incidence array. Cheap to copy; valid until the next topology
+  /// mutation (AddNode/AddEdge).
+  class IncidenceSpan {
+   public:
+    using value_type = Incidence;
+    using const_iterator = const Incidence*;
+
+    IncidenceSpan() = default;
+    IncidenceSpan(const Incidence* data, std::size_t size)
+        : data_(data), size_(size) {}
+
+    const Incidence* begin() const { return data_; }
+    const Incidence* end() const { return data_ + size_; }
+    const Incidence* data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const Incidence& operator[](std::size_t i) const { return data_[i]; }
+
+   private:
+    const Incidence* data_ = nullptr;
+    std::size_t size_ = 0;
+  };
+
   RoadNetwork() = default;
 
   RoadNetwork(const RoadNetwork&) = delete;
@@ -63,8 +88,20 @@ class RoadNetwork {
   /// Degree of node `n` (number of incident edges).
   std::size_t Degree(NodeId n) const;
 
-  /// Adjacency list of node `n`.
-  const std::vector<Incidence>& Incidences(NodeId n) const;
+  /// Adjacency list of node `n` as a view into the CSR incidence array
+  /// (per-node entries ordered by ascending edge id, exactly the insertion
+  /// order of the historical per-node vectors).
+  IncidenceSpan Incidences(NodeId n) const;
+
+  /// Builds the CSR adjacency index (per-node offset array + one
+  /// contiguous incidence array) if the topology changed since the last
+  /// build. Incidences()/Degree() do this lazily, but the lazy path is not
+  /// safe for a *first* call racing from several threads — callers that
+  /// share a network across threads (the sharded server, CloneNetwork for
+  /// per-shard copies, the engine constructors) warm it up through here
+  /// while still single-threaded. Weight updates do not invalidate the
+  /// index; only AddNode/AddEdge do.
+  void BuildAdjacencyIndex() { EnsureCsr(); }
 
   /// The endpoint of `e` that is not `n`. Checked error if `n` is not an
   /// endpoint of `e`.
@@ -90,9 +127,18 @@ class RoadNetwork {
   std::size_t MemoryBytes() const;
 
  private:
+  /// Rebuilds the CSR arrays from `edges_` in O(nodes + edges) via a
+  /// counting sort. `mutable` so the accessors can build lazily; see
+  /// BuildAdjacencyIndex() for the threading contract.
+  void EnsureCsr() const;
+
   std::vector<Point> node_positions_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<Incidence>> adjacency_;
+  /// CSR adjacency: node n's incidences are
+  /// csr_incidences_[csr_offsets_[n] .. csr_offsets_[n + 1]).
+  mutable std::vector<std::uint32_t> csr_offsets_;
+  mutable std::vector<Incidence> csr_incidences_;
+  mutable bool csr_valid_ = false;
 };
 
 /// Deep copy of a network, including its current dynamic weights (used by

@@ -1,0 +1,222 @@
+#ifndef CKNN_UTIL_BUCKET_QUEUE_H_
+#define CKNN_UTIL_BUCKET_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/dense_id_map.h"
+#include "src/util/macros.h"
+
+namespace cknn {
+
+/// \brief Double-bucket priority queue with decrease-key support — the
+/// alternative frontier structure to `IndexedMinHeap` (style of road-router
+/// engines: an array of low-range buckets plus one overflow bucket that is
+/// redistributed when the low range drains).
+///
+/// Unlike a textbook bucket queue it stays EXACT for any bucket width:
+/// entries keep their full double keys, and Pop scans the first non-empty
+/// bucket for the true minimum. The width is therefore purely a performance
+/// knob (it bounds how many entries that scan sees), never a correctness
+/// one. Keys may be inserted below the current base after pops (IMA's
+/// frontier repair does this); they are clamped into bucket 0 and the
+/// cursor backs up, which preserves the exact-min property.
+///
+/// Positions are tracked in a `DenseIdMap`, so Erase/decrease-key are O(1)
+/// plus the bucket swap-remove, and Clear is an epoch bump over retained
+/// bucket capacity.
+class BucketQueue {
+ public:
+  struct Entry {
+    std::uint64_t id;
+    double key;
+  };
+
+  explicit BucketQueue(double bucket_width = 1.0) : width_(bucket_width) {
+    CKNN_CHECK(bucket_width > 0.0);
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// True iff `id` is currently enqueued.
+  bool Contains(std::uint64_t id) const { return pos_.Contains(id); }
+
+  /// Key of an enqueued id. Checked error if absent.
+  double KeyOf(std::uint64_t id) const {
+    const Pos* p = pos_.Find(id);
+    CKNN_CHECK(p != nullptr);
+    return EntryAt(*p).key;
+  }
+
+  /// Smallest entry. Checked error when empty. Non-const: locating the
+  /// minimum may advance the cursor or redistribute the overflow bucket.
+  const Entry& Top() {
+    const Pos p = FindMin();
+    return EntryAt(p);
+  }
+
+  /// Inserts a new id. Checked error if already present.
+  void Push(std::uint64_t id, double key) {
+    CKNN_CHECK(!pos_.Contains(id));
+    Insert(id, key);
+  }
+
+  /// Inserts `id`, or lowers its key if already present with a larger key.
+  /// Returns true if the queue changed.
+  bool PushOrDecrease(std::uint64_t id, double key) {
+    const Pos* p = pos_.Find(id);
+    if (p == nullptr) {
+      Insert(id, key);
+      return true;
+    }
+    if (key >= EntryAt(*p).key) return false;
+    RemoveAt(*p);
+    Insert(id, key);
+    return true;
+  }
+
+  /// Removes and returns the smallest entry.
+  Entry Pop() {
+    const Pos p = FindMin();
+    const Entry out = EntryAt(p);
+    RemoveAt(p);
+    pos_.Erase(out.id);
+    return out;
+  }
+
+  /// Removes an arbitrary id if present; returns true if it was removed.
+  bool Erase(std::uint64_t id) {
+    const Pos* p = pos_.Find(id);
+    if (p == nullptr) return false;
+    RemoveAt(*p);
+    pos_.Erase(id);
+    return true;
+  }
+
+  void Clear() {
+    for (auto& b : buckets_) b.clear();
+    overflow_.clear();
+    pos_.Clear();
+    size_ = 0;
+    base_set_ = false;
+    base_ = 0.0;
+    cursor_ = 0;
+  }
+
+  /// Estimated heap footprint in bytes: every bucket's entry capacity plus
+  /// the position index.
+  std::size_t MemoryBytes() const {
+    std::size_t bytes = overflow_.capacity() * sizeof(Entry);
+    for (const auto& b : buckets_) bytes += b.capacity() * sizeof(Entry);
+    return bytes + pos_.MemoryBytes();
+  }
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kOverflowBucket = -1;
+
+  struct Pos {
+    std::int32_t bucket = 0;  ///< kOverflowBucket or [0, kNumBuckets).
+    std::uint32_t slot = 0;
+  };
+
+  std::vector<Entry>& BucketOf(std::int32_t bucket) {
+    return bucket == kOverflowBucket ? overflow_ : buckets_[bucket];
+  }
+  const std::vector<Entry>& BucketOf(std::int32_t bucket) const {
+    return bucket == kOverflowBucket ? overflow_ : buckets_[bucket];
+  }
+  Entry& EntryAt(const Pos& p) { return BucketOf(p.bucket)[p.slot]; }
+  const Entry& EntryAt(const Pos& p) const { return BucketOf(p.bucket)[p.slot]; }
+
+  /// Bucket index for `key` (clamped low keys land in bucket 0).
+  std::int32_t IndexOf(double key) const {
+    if (key < base_) return 0;
+    const double span = (key - base_) / width_;
+    if (span >= static_cast<double>(kNumBuckets)) return kOverflowBucket;
+    return static_cast<std::int32_t>(span);
+  }
+
+  void Insert(std::uint64_t id, double key) {
+    if (!base_set_) {
+      base_ = key;
+      base_set_ = true;
+      cursor_ = 0;
+    }
+    const std::int32_t b = IndexOf(key);
+    std::vector<Entry>& bucket = BucketOf(b);
+    bucket.push_back(Entry{id, key});
+    pos_[id] = Pos{b, static_cast<std::uint32_t>(bucket.size() - 1)};
+    if (b != kOverflowBucket && b < cursor_) cursor_ = b;
+    ++size_;
+  }
+
+  /// Swap-removes the entry at `p`, fixing the displaced entry's position.
+  /// Does not touch pos_[entry.id] — callers erase or overwrite it.
+  void RemoveAt(const Pos& p) {
+    std::vector<Entry>& bucket = BucketOf(p.bucket);
+    const std::uint32_t last = static_cast<std::uint32_t>(bucket.size() - 1);
+    if (p.slot != last) {
+      bucket[p.slot] = bucket[last];
+      pos_[bucket[p.slot].id] = p;
+    }
+    bucket.pop_back();
+    --size_;
+  }
+
+  /// Position of the exact minimum. Checked error when empty.
+  Pos FindMin() {
+    CKNN_CHECK(size_ > 0);
+    while (true) {
+      while (cursor_ < kNumBuckets && buckets_[cursor_].empty()) ++cursor_;
+      if (cursor_ < kNumBuckets) break;
+      Rebase();
+    }
+    const std::vector<Entry>& bucket = buckets_[cursor_];
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < bucket.size(); ++i) {
+      if (bucket[i].key < bucket[best].key) best = i;
+    }
+    return Pos{cursor_, best};
+  }
+
+  /// Low buckets drained: move the base to the overflow minimum and pull
+  /// every overflow entry inside the new low range back into the buckets.
+  /// The minimum itself lands in bucket 0, so progress is guaranteed.
+  void Rebase() {
+    CKNN_CHECK(!overflow_.empty());
+    double min_key = overflow_[0].key;
+    for (const Entry& e : overflow_) {
+      if (e.key < min_key) min_key = e.key;
+    }
+    base_ = min_key;
+    cursor_ = 0;
+    std::vector<Entry> stale;
+    stale.swap(overflow_);
+    size_ -= stale.size();
+    for (const Entry& e : stale) {
+      // Re-route through Insert: entries still beyond the new range go
+      // back to the overflow bucket, the rest land in their low bucket.
+      const std::int32_t b = IndexOf(e.key);
+      std::vector<Entry>& bucket = BucketOf(b);
+      bucket.push_back(e);
+      pos_[e.id] = Pos{b, static_cast<std::uint32_t>(bucket.size() - 1)};
+      ++size_;
+    }
+  }
+
+  std::vector<Entry> buckets_[kNumBuckets];
+  std::vector<Entry> overflow_;
+  DenseIdMap<Pos> pos_;
+  double width_;
+  double base_ = 0.0;
+  bool base_set_ = false;
+  int cursor_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_UTIL_BUCKET_QUEUE_H_

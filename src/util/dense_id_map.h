@@ -1,0 +1,179 @@
+#ifndef CKNN_UTIL_DENSE_ID_MAP_H_
+#define CKNN_UTIL_DENSE_ID_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cknn {
+
+/// \brief Node-indexed replacement for `std::unordered_map<uint64, T>` on
+/// the expansion hot path.
+///
+/// Storage is paged (64 slots per page) and pages are allocated only when
+/// an id inside them is first inserted, so memory stays proportional to the
+/// *touched* id range — a per-query expansion visits a few dozen nodes of a
+/// large graph and pays for exactly those pages, not for the whole graph.
+/// Each slot carries an epoch stamp checked against the map's current
+/// epoch, which makes Clear() an O(1) counter bump instead of a sweep; the
+/// pages (and their capacity) survive to be reused by the next query.
+///
+/// Ids at or above `kDenseLimit` (2^26) fall back to a hash map so that
+/// arbitrary 64-bit keys still work (the heap differential tests push
+/// `uint64_t` max); everything the algorithms key by — node ids, edge ids —
+/// is far below the limit and stays on the dense path.
+template <typename T>
+class DenseIdMap {
+ public:
+  static constexpr std::size_t kPageBits = 6;
+  static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+  static constexpr std::uint64_t kDenseLimit = std::uint64_t{1} << 26;
+
+  DenseIdMap() = default;
+  DenseIdMap(DenseIdMap&&) = default;
+  DenseIdMap& operator=(DenseIdMap&&) = default;
+
+  /// Pointer to the live value for `id`, or nullptr if absent.
+  T* Find(std::uint64_t id) {
+    if (id >= kDenseLimit) {
+      auto it = overflow_.find(id);
+      return it == overflow_.end() ? nullptr : &it->second;
+    }
+    Slot* s = SlotFor(id);
+    return (s != nullptr && s->epoch == epoch_) ? &s->value : nullptr;
+  }
+  const T* Find(std::uint64_t id) const {
+    return const_cast<DenseIdMap*>(this)->Find(id);
+  }
+
+  bool Contains(std::uint64_t id) const { return Find(id) != nullptr; }
+
+  /// Live value for `id`, default-constructing it first if absent.
+  T& operator[](std::uint64_t id) {
+    if (id >= kDenseLimit) {
+      auto [it, inserted] = overflow_.try_emplace(id);
+      if (inserted) ++size_;
+      return it->second;
+    }
+    Slot& s = EnsureSlot(id);
+    if (s.epoch != epoch_) {
+      s.epoch = epoch_;
+      s.value = T{};
+      ++size_;
+    }
+    return s.value;
+  }
+
+  /// Removes `id`; returns true if it was present.
+  bool Erase(std::uint64_t id) {
+    if (id >= kDenseLimit) {
+      if (overflow_.erase(id) == 0) return false;
+      --size_;
+      return true;
+    }
+    Slot* s = SlotFor(id);
+    if (s == nullptr || s->epoch != epoch_) return false;
+    s->epoch = 0;  // epoch_ is always >= 1, so 0 never reads as live.
+    --size_;
+    return true;
+  }
+
+  /// O(1): advances the epoch so every dense slot reads as absent. Pages
+  /// stay allocated for reuse.
+  void Clear() {
+    if (++epoch_ == 0) {
+      // Epoch counter wrapped (once per ~4G clears): sweep the stale
+      // stamps so old entries cannot alias the restarted epoch.
+      for (auto& page : pages_) {
+        if (page == nullptr) continue;
+        for (Slot& s : page->slots) s.epoch = 0;
+      }
+      epoch_ = 1;
+    }
+    overflow_.clear();
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Calls `f(id, value)` for every live entry. Dense entries come in
+  /// ascending id order, then overflow entries in unspecified order. Cost
+  /// is proportional to the touched id range, not to size().
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (std::size_t p = 0; p < pages_.size(); ++p) {
+      const Page* page = pages_[p].get();
+      if (page == nullptr) continue;
+      for (std::size_t i = 0; i < kPageSize; ++i) {
+        const Slot& s = page->slots[i];
+        if (s.epoch != epoch_) continue;
+        f(static_cast<std::uint64_t>((p << kPageBits) | i), s.value);
+      }
+    }
+    for (const auto& [id, value] : overflow_) f(id, value);
+  }
+
+  /// Mutable variant of ForEach.
+  template <typename F>
+  void ForEachMutable(F&& f) {
+    for (std::size_t p = 0; p < pages_.size(); ++p) {
+      Page* page = pages_[p].get();
+      if (page == nullptr) continue;
+      for (std::size_t i = 0; i < kPageSize; ++i) {
+        Slot& s = page->slots[i];
+        if (s.epoch != epoch_) continue;
+        f(static_cast<std::uint64_t>((p << kPageBits) | i), s.value);
+      }
+    }
+    for (auto& [id, value] : overflow_) f(id, value);
+  }
+
+  /// Estimated heap footprint: the page table, every allocated page, and
+  /// the overflow hash map.
+  std::size_t MemoryBytes() const {
+    std::size_t bytes = pages_.capacity() * sizeof(std::unique_ptr<Page>);
+    for (const auto& page : pages_) {
+      if (page != nullptr) bytes += sizeof(Page);
+    }
+    // Hash-map nodes: entry payload + bucket pointer + node overhead.
+    bytes += overflow_.size() *
+                 (sizeof(std::pair<const std::uint64_t, T>) + 2 * sizeof(void*)) +
+             overflow_.bucket_count() * sizeof(void*);
+    return bytes;
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t epoch = 0;
+    T value{};
+  };
+  struct Page {
+    Slot slots[kPageSize];
+  };
+
+  Slot* SlotFor(std::uint64_t id) {
+    const std::size_t p = static_cast<std::size_t>(id >> kPageBits);
+    if (p >= pages_.size() || pages_[p] == nullptr) return nullptr;
+    return &pages_[p]->slots[id & (kPageSize - 1)];
+  }
+
+  Slot& EnsureSlot(std::uint64_t id) {
+    const std::size_t p = static_cast<std::size_t>(id >> kPageBits);
+    if (p >= pages_.size()) pages_.resize(p + 1);
+    if (pages_[p] == nullptr) pages_[p] = std::make_unique<Page>();
+    return pages_[p]->slots[id & (kPageSize - 1)];
+  }
+
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::unordered_map<std::uint64_t, T> overflow_;
+  std::uint32_t epoch_ = 1;  ///< Always >= 1; slot epoch 0 means "never live".
+  std::size_t size_ = 0;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_UTIL_DENSE_ID_MAP_H_

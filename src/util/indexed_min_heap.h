@@ -3,9 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "src/util/dense_id_map.h"
 #include "src/util/macros.h"
 
 namespace cknn {
@@ -16,8 +16,8 @@ namespace cknn {
 /// node that is already en-heaped (lines 20-23).
 ///
 /// Ids are arbitrary 64-bit integers (node ids in practice); positions are
-/// tracked in a hash map because an expansion typically touches a small
-/// fraction of the network.
+/// tracked in an epoch-stamped paged array (`DenseIdMap`), so lookups are
+/// two loads instead of a hash probe and Clear is O(1).
 class IndexedMinHeap {
  public:
   struct Entry {
@@ -31,13 +31,13 @@ class IndexedMinHeap {
   std::size_t size() const { return heap_.size(); }
 
   /// True iff `id` is currently en-heaped.
-  bool Contains(std::uint64_t id) const { return pos_.count(id) != 0; }
+  bool Contains(std::uint64_t id) const { return pos_.Contains(id); }
 
   /// Key of an en-heaped id. Checked error if absent.
   double KeyOf(std::uint64_t id) const {
-    auto it = pos_.find(id);
-    CKNN_CHECK(it != pos_.end());
-    return heap_[it->second].key;
+    const std::size_t* p = pos_.Find(id);
+    CKNN_CHECK(p != nullptr);
+    return heap_[*p].key;
   }
 
   /// Smallest entry. Checked error when empty.
@@ -48,7 +48,7 @@ class IndexedMinHeap {
 
   /// Inserts a new id. Checked error if already present.
   void Push(std::uint64_t id, double key) {
-    CKNN_CHECK(pos_.find(id) == pos_.end());
+    CKNN_CHECK(!pos_.Contains(id));
     heap_.push_back(Entry{id, key});
     pos_[id] = heap_.size() - 1;
     SiftUp(heap_.size() - 1);
@@ -57,12 +57,12 @@ class IndexedMinHeap {
   /// Inserts `id`, or lowers its key if already present with a larger key.
   /// Returns true if the heap changed.
   bool PushOrDecrease(std::uint64_t id, double key) {
-    auto it = pos_.find(id);
-    if (it == pos_.end()) {
+    const std::size_t* p = pos_.Find(id);
+    if (p == nullptr) {
       Push(id, key);
       return true;
     }
-    std::size_t i = it->second;
+    std::size_t i = *p;
     if (key < heap_[i].key) {
       heap_[i].key = key;
       SiftUp(i);
@@ -76,7 +76,7 @@ class IndexedMinHeap {
     CKNN_CHECK(!heap_.empty());
     Entry top = heap_[0];
     Swap(0, heap_.size() - 1);
-    pos_.erase(top.id);
+    pos_.Erase(top.id);
     heap_.pop_back();
     if (!heap_.empty()) SiftDown(0);
     return top;
@@ -84,11 +84,11 @@ class IndexedMinHeap {
 
   /// Removes an arbitrary id if present; returns true if it was removed.
   bool Erase(std::uint64_t id) {
-    auto it = pos_.find(id);
-    if (it == pos_.end()) return false;
-    std::size_t i = it->second;
+    const std::size_t* p = pos_.Find(id);
+    if (p == nullptr) return false;
+    std::size_t i = *p;
     Swap(i, heap_.size() - 1);
-    pos_.erase(id);
+    pos_.Erase(id);
     heap_.pop_back();
     if (i < heap_.size()) {
       SiftDown(i);
@@ -99,7 +99,13 @@ class IndexedMinHeap {
 
   void Clear() {
     heap_.clear();
-    pos_.clear();
+    pos_.Clear();
+  }
+
+  /// Estimated heap footprint in bytes: the entry array plus the position
+  /// index.
+  std::size_t MemoryBytes() const {
+    return heap_.capacity() * sizeof(Entry) + pos_.MemoryBytes();
   }
 
  private:
@@ -136,7 +142,7 @@ class IndexedMinHeap {
   }
 
   std::vector<Entry> heap_;
-  std::unordered_map<std::uint64_t, std::size_t> pos_;
+  DenseIdMap<std::size_t> pos_;
 };
 
 }  // namespace cknn

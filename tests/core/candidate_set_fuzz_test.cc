@@ -75,8 +75,15 @@ TEST_P(CandidateSetFuzzTest, AgreesWithNaiveModel) {
   NaiveCandidateSet naive;
   const int num_ops = testing::FuzzIterations(/*default_iters=*/3000,
                                               /*hard_cap=*/200000);
+  // Odd seeds run a wide tape: enough live ids to overflow the sorted
+  // top array (64 entries) and k beyond it, exercising the adaptive-cap
+  // growth, displacement, and stale-rebuild paths. Even seeds keep the
+  // original narrow tape (everything inside the array).
+  const bool wide = GetParam() % 2 == 1;
+  const int id_space = wide ? 300 : 60;
+  const int max_k = wide ? 150 : 8;
   for (int op = 0; op < num_ops; ++op) {
-    const ObjectId id = static_cast<ObjectId>(rng.NextIndex(60));
+    const ObjectId id = static_cast<ObjectId>(rng.NextIndex(id_space));
     // Quantized distances produce plenty of exact ties.
     const double dist = static_cast<double>(rng.NextIndex(40)) * 0.25;
     switch (rng.NextIndex(5)) {
@@ -105,7 +112,7 @@ TEST_P(CandidateSetFuzzTest, AgreesWithNaiveModel) {
       }
     }
     ASSERT_EQ(real.size(), naive.size());
-    const int k = 1 + static_cast<int>(rng.NextIndex(8));
+    const int k = 1 + static_cast<int>(rng.NextIndex(max_k));
     ASSERT_EQ(real.KthDist(k), naive.KthDist(k));
     if (op % 50 == 0) {
       const auto a = real.TopK(k);

@@ -18,7 +18,7 @@ namespace {
 
 /// Structural soundness of a (state, frontier) pair.
 void CheckTree(const RoadNetwork& net, const ExpansionState& state) {
-  for (const auto& [n, info] : state.settled()) {
+  for (const auto& [n, info] : testing::SettledEntries(state)) {
     if (info.parent == kInvalidNode) continue;
     const auto* pinfo = state.Info(info.parent);
     ASSERT_NE(pinfo, nullptr) << "orphan " << n;
@@ -66,7 +66,7 @@ TEST_P(ExpansionFuzzTest, RandomMaintenanceKeepsTreeSound) {
     const std::size_t index = rng.NextIndex(state.NumSettled());
     NodeId victim = kInvalidNode;
     std::size_t i = 0;
-    for (const auto& [n, info] : state.settled()) {
+    for (const auto& [n, info] : testing::SettledEntries(state)) {
       (void)info;
       if (i++ == index) {
         victim = n;
@@ -78,7 +78,7 @@ TEST_P(ExpansionFuzzTest, RandomMaintenanceKeepsTreeSound) {
         const auto removed = state.PruneSubtree(victim);
         // Removed set must be ancestor-closed w.r.t. the survivors.
         std::unordered_set<NodeId> gone(removed.begin(), removed.end());
-        for (const auto& [n, info] : state.settled()) {
+        for (const auto& [n, info] : testing::SettledEntries(state)) {
           (void)n;
           if (info.parent != kInvalidNode) {
             EXPECT_EQ(gone.count(info.parent), 0u);
@@ -97,10 +97,10 @@ TEST_P(ExpansionFuzzTest, RandomMaintenanceKeepsTreeSound) {
         const auto before = state.SubtreeOf(victim);
         std::unordered_set<NodeId> in_subtree(before.begin(), before.end());
         std::unordered_map<NodeId, double> dists;
-        for (const auto& [n, info] : state.settled()) dists[n] = info.dist;
+        for (const auto& [n, info] : testing::SettledEntries(state)) dists[n] = info.dist;
         const double delta = -rng.Uniform(0.0, 0.9 * headroom);
         state.AdjustSubtree(victim, delta);
-        for (const auto& [n, info] : state.settled()) {
+        for (const auto& [n, info] : testing::SettledEntries(state)) {
           const double want =
               dists[n] + (in_subtree.count(n) != 0 ? delta : 0.0);
           EXPECT_NEAR(info.dist, want, 1e-9);
@@ -110,7 +110,7 @@ TEST_P(ExpansionFuzzTest, RandomMaintenanceKeepsTreeSound) {
       case 2: {
         const double threshold = rng.Uniform(0.0, state.max_settled_dist());
         state.PruneBeyond(threshold);
-        for (const auto& [n, info] : state.settled()) {
+        for (const auto& [n, info] : testing::SettledEntries(state)) {
           (void)n;
           EXPECT_LE(info.dist, threshold);
         }
@@ -129,7 +129,7 @@ TEST_P(ExpansionFuzzTest, RandomMaintenanceKeepsTreeSound) {
       }
     }
     // Ancestor closure after any operation.
-    for (const auto& [n, info] : state.settled()) {
+    for (const auto& [n, info] : testing::SettledEntries(state)) {
       (void)n;
       if (info.parent != kInvalidNode) {
         ASSERT_TRUE(state.IsSettled(info.parent));
@@ -139,7 +139,7 @@ TEST_P(ExpansionFuzzTest, RandomMaintenanceKeepsTreeSound) {
     if (state.IsSettled(victim)) {
       const auto sub = state.SubtreeOf(victim);
       std::unordered_set<NodeId> in_sub(sub.begin(), sub.end());
-      for (const auto& [n, info] : state.settled()) {
+      for (const auto& [n, info] : testing::SettledEntries(state)) {
         if (info.parent != kInvalidNode &&
             in_sub.count(info.parent) != 0) {
           EXPECT_EQ(in_sub.count(n), 1u) << "child outside its subtree";

@@ -84,7 +84,7 @@ TEST_F(ExpansionStateTest, PruneBeyondIsAncestorClosed) {
   EXPECT_TRUE(state_.IsSettled(4));
   EXPECT_FALSE(state_.IsSettled(3));
   // Every remaining node's parent chain must be intact.
-  for (const auto& [n, info] : state_.settled()) {
+  for (const auto& [n, info] : testing::SettledEntries(state_)) {
     (void)n;
     if (info.parent != kInvalidNode) {
       EXPECT_TRUE(state_.IsSettled(info.parent));
@@ -157,6 +157,37 @@ TEST(ExpansionStateNodeSourceTest, NodeRootBasics) {
   EXPECT_DOUBLE_EQ(*d, 0.5);
   EXPECT_TRUE(state.EdgeTouched(net, 0));
   EXPECT_FALSE(state.EdgeTouched(net, 2));
+}
+
+TEST_F(ExpansionStateTest, AdjustSubtreeRaisesMaxSettledDist) {
+  // Regression: a positive delta used to leave max_settled_dist_ at its old
+  // value, understating the tree radius and breaking the lazy-shrink
+  // trigger (it compares the radius against the bound).
+  EXPECT_DOUBLE_EQ(state_.max_settled_dist(), 2.5);  // Node 3.
+  state_.AdjustSubtree(2, 2.0);                      // Nodes 2, 3 move out.
+  EXPECT_DOUBLE_EQ(*state_.NodeDistance(3), 4.5);
+  EXPECT_DOUBLE_EQ(state_.max_settled_dist(), 4.5);
+  // Negative delta keeps the old maximum (monotone upper bound).
+  state_.AdjustSubtree(2, -3.0);
+  EXPECT_DOUBLE_EQ(*state_.NodeDistance(3), 1.5);
+  EXPECT_DOUBLE_EQ(state_.max_settled_dist(), 4.5);
+}
+
+TEST_F(ExpansionStateTest, PruneKeepsMaxSettledDistAsUpperBound) {
+  // Erasing nodes deliberately does not recompute the maximum over the
+  // survivors: max_settled_dist() stays a monotone upper bound on the tree
+  // radius until the caller re-anchors it (set_max_settled_dist after a
+  // lazy shrink). It must never drop below the true settled maximum.
+  state_.PruneSubtree(3);  // Removes the farthest node (dist 2.5).
+  EXPECT_DOUBLE_EQ(state_.max_settled_dist(), 2.5);
+  double true_max = 0.0;
+  for (const auto& [n, info] : testing::SettledEntries(state_)) {
+    (void)n;
+    true_max = std::max(true_max, info.dist);
+  }
+  EXPECT_GE(state_.max_settled_dist(), true_max);
+  state_.set_max_settled_dist(true_max);
+  EXPECT_DOUBLE_EQ(state_.max_settled_dist(), 1.5);
 }
 
 TEST(ExpansionStateClearTest, ClearResetsBoundAndNodes) {

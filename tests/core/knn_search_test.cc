@@ -105,6 +105,48 @@ TEST(KnnSearchTest, ContinuationAfterGrowingK) {
   testing::ExpectSameDistances(grown, fresh);
 }
 
+TEST(KnnSearchTest, FrontierMemoryBytesAccountsPriorityStructure) {
+  // Regression: Frontier::MemoryBytes used to count only the pending-label
+  // map and ignored the heap entirely, so IMA's reported footprint missed
+  // its entire priority structure.
+  SetDefaultFrontierQueueKind(FrontierQueueKind::kBinaryHeap);
+  RoadNetwork net = testing::MakeGrid(6);
+  ObjectTable objects(net.NumEdges());
+  ASSERT_TRUE(objects.Insert(0, NetworkPoint{30, 0.5}).ok());
+  ExpansionState state;
+  state.ResetToPoint(NetworkPoint{0, 0.5});
+  Frontier frontier;
+  CandidateSet cand;
+  ExpandToK(net, objects, 1, &state, &frontier, &cand);
+  ASSERT_FALSE(frontier.heap.empty());
+  EXPECT_GE(frontier.MemoryBytes(),
+            frontier.heap.MemoryBytes() + frontier.pending.MemoryBytes());
+  EXPECT_GE(frontier.heap.MemoryBytes(),
+            frontier.heap.size() * sizeof(IndexedMinHeap::Entry));
+}
+
+TEST(KnnSearchTest, ScratchReuseMatchesFreshSearch) {
+  RoadNetwork net = testing::MakeGrid(5);
+  ObjectTable objects(net.NumEdges());
+  Rng rng(11);
+  for (ObjectId i = 0; i < 25; ++i) {
+    ASSERT_TRUE(objects
+                    .Insert(i, NetworkPoint{static_cast<EdgeId>(rng.NextIndex(
+                                                net.NumEdges())),
+                                            rng.NextDouble()})
+                    .ok());
+  }
+  KnnScratch scratch;
+  for (int round = 0; round < 5; ++round) {
+    const NetworkPoint q{static_cast<EdgeId>(rng.NextIndex(net.NumEdges())),
+                         rng.NextDouble()};
+    const int k = 1 + static_cast<int>(rng.NextIndex(6));
+    const auto reused = SnapshotKnn(net, objects, q, k, &scratch);
+    const auto fresh = SnapshotKnn(net, objects, q, k);
+    EXPECT_TRUE(reused == fresh) << "round " << round;
+  }
+}
+
 /// Property: the Fig. 2 expansion equals the brute-force oracle on random
 /// generated networks and object sets, across k values.
 class KnnSearchPropertyTest

@@ -99,10 +99,10 @@ TEST(CandidateSetTest, EntriesIterationMatchesSize) {
   CandidateSet set;
   for (ObjectId i = 0; i < 20; ++i) set.Offer(i, 20.0 - i);
   std::size_t count = 0;
-  for (const auto& [id, dist] : set.entries()) {
+  set.ForEachCandidate([&](ObjectId id, double dist) {
     EXPECT_DOUBLE_EQ(dist, 20.0 - id);
     ++count;
-  }
+  });
   EXPECT_EQ(count, 20u);
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/core/expansion.h"
 #include "src/core/object_table.h"
 #include "src/core/updates.h"
 #include "src/graph/network_point.h"
@@ -16,6 +17,18 @@
 #include "src/graph/shortest_path.h"
 
 namespace cknn::testing {
+
+/// Materializes the settled set of an expansion (ascending node id) so
+/// tests can range-for, break, and ASSERT over it.
+inline std::vector<std::pair<NodeId, ExpansionState::SettledInfo>>
+SettledEntries(const ExpansionState& state) {
+  std::vector<std::pair<NodeId, ExpansionState::SettledInfo>> out;
+  out.reserve(state.NumSettled());
+  state.ForEachSettled([&](NodeId n, const ExpansionState::SettledInfo& info) {
+    out.emplace_back(n, info);
+  });
+  return out;
+}
 
 /// Per-query result comparison shared by the execution-invariance suites
 /// (shard_determinism_test, server_pipeline_test): byte-exact for

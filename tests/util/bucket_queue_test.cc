@@ -1,0 +1,219 @@
+#include "src/util/bucket_queue.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/indexed_min_heap.h"
+#include "src/util/rng.h"
+#include "tests/fuzz_util.h"
+
+namespace cknn {
+namespace {
+
+TEST(BucketQueueTest, EmptyBasics) {
+  BucketQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.Contains(3));
+}
+
+TEST(BucketQueueTest, PopsInKeyOrder) {
+  BucketQueue q;
+  q.Push(10, 3.0);
+  q.Push(20, 1.0);
+  q.Push(30, 2.0);
+  EXPECT_EQ(q.Pop().id, 20u);
+  EXPECT_EQ(q.Pop().id, 30u);
+  EXPECT_EQ(q.Pop().id, 10u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueueTest, ExactWithinOneBucket) {
+  // All keys fall in the same bucket (width 10); the min-scan must still
+  // find the exact minimum — the width is a performance knob only.
+  BucketQueue q(10.0);
+  q.Push(1, 4.25);
+  q.Push(2, 4.0);
+  q.Push(3, 4.5);
+  EXPECT_DOUBLE_EQ(q.Pop().key, 4.0);
+  EXPECT_DOUBLE_EQ(q.Pop().key, 4.25);
+  EXPECT_DOUBLE_EQ(q.Pop().key, 4.5);
+}
+
+TEST(BucketQueueTest, DecreaseKeyReordersEntries) {
+  BucketQueue q;
+  q.Push(1, 5.0);
+  q.Push(2, 4.0);
+  EXPECT_TRUE(q.PushOrDecrease(1, 1.0));
+  EXPECT_DOUBLE_EQ(q.KeyOf(1), 1.0);
+  EXPECT_EQ(q.Pop().id, 1u);
+  EXPECT_FALSE(q.PushOrDecrease(2, 9.0));
+  EXPECT_DOUBLE_EQ(q.KeyOf(2), 4.0);
+}
+
+TEST(BucketQueueTest, EraseRemovesMiddleEntry) {
+  BucketQueue q;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(static_cast<std::uint64_t>(i), static_cast<double>(i));
+  }
+  EXPECT_TRUE(q.Erase(5));
+  EXPECT_FALSE(q.Erase(5));
+  EXPECT_EQ(q.size(), 9u);
+  std::vector<std::uint64_t> order;
+  while (!q.empty()) order.push_back(q.Pop().id);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 6, 7, 8, 9}));
+}
+
+TEST(BucketQueueTest, InsertBelowBaseAfterPops) {
+  // IMA's frontier repair can re-insert keys below the last popped minimum;
+  // such keys clamp into bucket 0 and must still come out first.
+  BucketQueue q(1.0);
+  q.Push(1, 10.0);
+  q.Push(2, 12.0);
+  EXPECT_EQ(q.Pop().id, 1u);
+  q.Push(3, 3.0);  // Far below base_ (10.0).
+  q.Push(4, 5.0);
+  EXPECT_EQ(q.Pop().id, 3u);
+  EXPECT_EQ(q.Pop().id, 4u);
+  EXPECT_EQ(q.Pop().id, 2u);
+}
+
+TEST(BucketQueueTest, OverflowRedistributes) {
+  // Keys spanning far beyond 64 bucket widths force the overflow bucket
+  // and, once the low range drains, a rebase.
+  BucketQueue q(1.0);
+  for (int i = 0; i < 50; ++i) {
+    q.Push(static_cast<std::uint64_t>(i), static_cast<double>(i) * 37.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto e = q.Pop();
+    EXPECT_EQ(e.id, static_cast<std::uint64_t>(i));
+    EXPECT_DOUBLE_EQ(e.key, static_cast<double>(i) * 37.0);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueueTest, ClearEmptiesAndResetsBase) {
+  BucketQueue q;
+  q.Push(1, 100.0);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  q.Push(1, 2.0);  // Reusable; new base well below the old one.
+  EXPECT_DOUBLE_EQ(q.Top().key, 2.0);
+}
+
+TEST(BucketQueueTest, MemoryBytesCountsBucketsAndPositionIndex) {
+  BucketQueue q;
+  const std::size_t empty_bytes = q.MemoryBytes();
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    q.Push(id, static_cast<double>(id) * 0.7);
+  }
+  EXPECT_GE(q.MemoryBytes(),
+            empty_bytes + 500 * sizeof(BucketQueue::Entry));
+}
+
+/// One differential round: drive BucketQueue, IndexedMinHeap, and a
+/// std::multimap reference through an identical op tape. Pop keys must
+/// match the reference min exactly; ids may permute within equal-key
+/// groups, so id equality is only asserted when the min key is unique.
+void DifferentialRound(std::uint64_t seed, double width, int ops) {
+  Rng rng(seed);
+  BucketQueue bucket(width);
+  IndexedMinHeap heap;
+  std::map<std::uint64_t, double> ref;  // id -> key
+  const int kMaxId = 300;
+
+  auto ref_min_key = [&] {
+    double best = 0.0;
+    bool first = true;
+    for (const auto& [id, key] : ref) {
+      if (first || key < best) best = key, first = false;
+    }
+    return best;
+  };
+
+  for (int op = 0; op < ops; ++op) {
+    const int action = static_cast<int>(rng.NextIndex(10));
+    if (action < 4) {  // Push a fresh id.
+      const std::uint64_t id = rng.NextIndex(kMaxId);
+      if (ref.count(id) != 0) continue;
+      const double key = rng.Uniform(0.0, 200.0);
+      bucket.Push(id, key);
+      heap.Push(id, key);
+      ref[id] = key;
+    } else if (action < 7) {  // PushOrDecrease (any id).
+      const std::uint64_t id = rng.NextIndex(kMaxId);
+      const double key = rng.Uniform(0.0, 200.0);
+      const auto it = ref.find(id);
+      const bool want = it == ref.end() || key < it->second;
+      ASSERT_EQ(bucket.PushOrDecrease(id, key), want);
+      ASSERT_EQ(heap.PushOrDecrease(id, key), want);
+      if (want) ref[id] = key;
+    } else if (action < 8) {  // Erase (any id).
+      const std::uint64_t id = rng.NextIndex(kMaxId);
+      const bool want = ref.erase(id) != 0;
+      ASSERT_EQ(bucket.Erase(id), want);
+      ASSERT_EQ(heap.Erase(id), want);
+    } else if (action < 9 && !ref.empty()) {  // Pop the minimum.
+      const double want_key = ref_min_key();
+      const auto be = bucket.Pop();
+      const auto he = heap.Pop();
+      ASSERT_DOUBLE_EQ(be.key, want_key);
+      ASSERT_DOUBLE_EQ(he.key, want_key);
+      // Each structure may pick a different id among equal keys; both
+      // choices must exist in the reference with that exact key.
+      ASSERT_TRUE(ref.count(be.id) != 0 && ref[be.id] == want_key);
+      // Re-align: erase the bucket's choice from ref, and the heap's
+      // choice from both if it differs (keeps all three sets equal).
+      ref.erase(be.id);
+      if (he.id != be.id) {
+        ASSERT_TRUE(ref.count(he.id) != 0 && ref[he.id] == want_key);
+        ref.erase(he.id);
+        ASSERT_TRUE(bucket.Erase(he.id));
+        ASSERT_TRUE(heap.Erase(be.id));
+      }
+    } else if (!ref.empty()) {  // Top / Contains / KeyOf spot checks.
+      ASSERT_DOUBLE_EQ(bucket.Top().key, ref_min_key());
+      const std::uint64_t id = rng.NextIndex(kMaxId);
+      const auto it = ref.find(id);
+      ASSERT_EQ(bucket.Contains(id), it != ref.end());
+      if (it != ref.end()) {
+        ASSERT_DOUBLE_EQ(bucket.KeyOf(id), it->second);
+      }
+    }
+    ASSERT_EQ(bucket.size(), ref.size());
+    // The heap can be ahead by the extra erase above; keep sizes equal.
+    ASSERT_EQ(heap.size(), ref.size());
+  }
+  // Drain: the two structures must produce identical key sequences.
+  while (!ref.empty()) {
+    const double want_key = ref_min_key();
+    const auto be = bucket.Pop();
+    ASSERT_DOUBLE_EQ(be.key, want_key);
+    ASSERT_TRUE(ref.count(be.id) != 0 && ref[be.id] == want_key);
+    ref.erase(be.id);
+    ASSERT_TRUE(heap.Erase(be.id));
+  }
+  EXPECT_TRUE(bucket.empty());
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(BucketQueueFuzzTest, DifferentialAgainstHeapAndReference) {
+  const int rounds = testing::FuzzIterations(12, 200);
+  // Widths spanning "everything in one bucket" to "every key overflows".
+  const double widths[] = {0.01, 0.5, 1.0, 7.3, 1000.0};
+  for (int r = 0; r < rounds; ++r) {
+    const double width = widths[r % 5];
+    DifferentialRound(testing::FuzzSeed(0xB0C5ull + r), width, 2000);
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "round " << r << " width " << width;
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cknn

@@ -1,0 +1,139 @@
+#include "src/util/dense_id_map.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/rng.h"
+
+namespace cknn {
+namespace {
+
+TEST(DenseIdMapTest, InsertFindErase) {
+  DenseIdMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(5), nullptr);
+  m[5] = 42;
+  ASSERT_NE(m.Find(5), nullptr);
+  EXPECT_EQ(*m.Find(5), 42);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.Erase(5));
+  EXPECT_FALSE(m.Erase(5));
+  EXPECT_EQ(m.Find(5), nullptr);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DenseIdMapTest, ClearIsEpochBumpNotSweep) {
+  DenseIdMap<int> m;
+  for (std::uint64_t i = 0; i < 300; ++i) m[i] = static_cast<int>(i);
+  EXPECT_EQ(m.size(), 300u);
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  for (std::uint64_t i = 0; i < 300; ++i) EXPECT_EQ(m.Find(i), nullptr);
+  // Re-inserting after Clear default-constructs fresh values.
+  m[7];
+  EXPECT_EQ(*m.Find(7), 0);
+}
+
+TEST(DenseIdMapTest, OverflowIdsAboveDenseLimit) {
+  DenseIdMap<int> m;
+  const std::uint64_t big = DenseIdMap<int>::kDenseLimit + 123;
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  m[big] = 1;
+  m[max] = 2;
+  m[big - DenseIdMap<int>::kDenseLimit] = 3;  // Dense id 123 must not alias.
+  EXPECT_EQ(*m.Find(big), 1);
+  EXPECT_EQ(*m.Find(max), 2);
+  EXPECT_EQ(*m.Find(123), 3);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_TRUE(m.Erase(max));
+  EXPECT_EQ(m.Find(max), nullptr);
+  m.Clear();
+  EXPECT_EQ(m.Find(big), nullptr);
+}
+
+TEST(DenseIdMapTest, ForEachVisitsDenseAscendingThenOverflow) {
+  DenseIdMap<int> m;
+  m[900] = 9;
+  m[3] = 1;
+  m[70] = 7;
+  const std::uint64_t big = DenseIdMap<int>::kDenseLimit + 5;
+  m[big] = 99;
+  std::vector<std::uint64_t> ids;
+  m.ForEach([&](std::uint64_t id, const int& v) {
+    (void)v;
+    ids.push_back(id);
+  });
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], 3u);
+  EXPECT_EQ(ids[1], 70u);
+  EXPECT_EQ(ids[2], 900u);
+  EXPECT_EQ(ids[3], big);
+}
+
+TEST(DenseIdMapTest, ValuePointersStableAcrossInserts) {
+  DenseIdMap<int> m;
+  m[1] = 11;
+  int* p = m.Find(1);
+  // Force many page allocations (page-table reallocation included).
+  for (std::uint64_t i = 0; i < 10000; i += 64) m[i] = static_cast<int>(i);
+  EXPECT_EQ(p, m.Find(1));
+  EXPECT_EQ(*p, 11);
+}
+
+TEST(DenseIdMapTest, RandomizedDifferentialAgainstUnorderedMap) {
+  Rng rng(0xD15EA5E);
+  DenseIdMap<double> dense;
+  std::unordered_map<std::uint64_t, double> ref;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t id = rng.NextIndex(512);
+    switch (rng.NextIndex(4)) {
+      case 0: {
+        const double v = rng.Uniform(0.0, 1.0);
+        dense[id] = v;
+        ref[id] = v;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(dense.Erase(id), ref.erase(id) != 0);
+        break;
+      case 2: {
+        auto it = ref.find(id);
+        const double* p = dense.Find(id);
+        ASSERT_EQ(p != nullptr, it != ref.end());
+        if (p != nullptr) EXPECT_EQ(*p, it->second);
+        break;
+      }
+      case 3:
+        if (rng.NextIndex(200) == 0) {
+          dense.Clear();
+          ref.clear();
+        }
+        break;
+    }
+    ASSERT_EQ(dense.size(), ref.size());
+  }
+  std::size_t visited = 0;
+  dense.ForEach([&](std::uint64_t id, const double& v) {
+    ++visited;
+    auto it = ref.find(id);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(DenseIdMapTest, MemoryBytesGrowsWithPagesAndSurvivesClear) {
+  DenseIdMap<int> m;
+  const std::size_t empty_bytes = m.MemoryBytes();
+  for (std::uint64_t i = 0; i < 1000; ++i) m[i] = 1;
+  const std::size_t filled = m.MemoryBytes();
+  EXPECT_GT(filled, empty_bytes);
+  // Pages are retained by Clear (that is the point of the epoch scheme).
+  m.Clear();
+  EXPECT_EQ(m.MemoryBytes(), filled);
+}
+
+}  // namespace
+}  // namespace cknn

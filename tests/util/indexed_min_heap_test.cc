@@ -101,5 +101,18 @@ TEST(IndexedMinHeapTest, RandomizedAgainstStdPriorityQueue) {
   }
 }
 
+TEST(IndexedMinHeapTest, MemoryBytesCountsEntriesAndPositionIndex) {
+  IndexedMinHeap heap;
+  const std::size_t empty_bytes = heap.MemoryBytes();
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    heap.Push(id, static_cast<double>(id));
+  }
+  const std::size_t filled = heap.MemoryBytes();
+  // At minimum the entry array itself must be accounted for, plus a
+  // non-zero position index on top.
+  EXPECT_GE(filled, empty_bytes + 500 * sizeof(IndexedMinHeap::Entry));
+  EXPECT_GT(filled, 500 * sizeof(IndexedMinHeap::Entry));
+}
+
 }  // namespace
 }  // namespace cknn

@@ -1,0 +1,158 @@
+// MemoryBytes() audit oracle: every footprint estimate of the expansion
+// hot-path structures must stay within 2x of what the allocator actually
+// hands out. The whole test binary replaces global operator new/delete
+// with a malloc_usable_size-counting pair, so "actual" includes allocator
+// rounding — the honest number the paper's Figure-18 memory experiment
+// competes against. Structures dominated by sub-16-byte node allocations
+// are deliberately excluded (their per-chunk overhead exceeds the payload;
+// their estimates document payload bytes by design, see src/util/mem.h).
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <malloc.h>
+#define CKNN_HAVE_MALLOC_USABLE_SIZE 1
+#endif
+
+#include "gtest/gtest.h"
+#include "src/core/expansion.h"
+#include "src/core/top_k.h"
+#include "src/util/bucket_queue.h"
+#include "src/util/dense_id_map.h"
+#include "src/util/indexed_min_heap.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+#if CKNN_HAVE_MALLOC_USABLE_SIZE
+
+namespace {
+// Constant-initialized: operator new runs before any dynamic initializer.
+std::atomic<std::size_t> g_live_bytes{0};
+
+void* TrackedAlloc(std::size_t n) {
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  g_live_bytes.fetch_add(malloc_usable_size(p), std::memory_order_relaxed);
+  return p;
+}
+
+void TrackedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return TrackedAlloc(n); }
+void* operator new[](std::size_t n) { return TrackedAlloc(n); }
+void operator delete(void* p) noexcept { TrackedFree(p); }
+void operator delete[](void* p) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { TrackedFree(p); }
+
+#endif  // CKNN_HAVE_MALLOC_USABLE_SIZE
+
+namespace cknn {
+namespace {
+
+#if CKNN_HAVE_MALLOC_USABLE_SIZE
+
+/// Builds a structure on the heap via `build` (returning a unique_ptr),
+/// then checks its MemoryBytes() against the live-byte delta the build
+/// actually caused: actual/2 <= estimate <= actual*2.
+template <typename Build>
+void ExpectEstimateWithinOracle(const char* what, Build&& build) {
+  const std::size_t before = g_live_bytes.load(std::memory_order_relaxed);
+  auto holder = build();
+  const std::size_t after = g_live_bytes.load(std::memory_order_relaxed);
+  ASSERT_GT(after, before) << what << ": build allocated nothing";
+  const std::size_t actual = after - before;
+  const std::size_t estimate = holder->MemoryBytes();
+  EXPECT_GE(2 * estimate, actual)
+      << what << ": estimate " << estimate << " is under half of actual "
+      << actual;
+  EXPECT_LE(estimate, 2 * actual)
+      << what << ": estimate " << estimate << " is over twice actual "
+      << actual;
+}
+
+TEST(MemOracleTest, DenseIdMap) {
+  ExpectEstimateWithinOracle("DenseIdMap", [] {
+    auto map = std::make_unique<DenseIdMap<double>>();
+    for (std::uint64_t id = 0; id < 20000; ++id) {
+      (*map)[id * 3] = static_cast<double>(id);
+    }
+    for (std::uint64_t id = 0; id < 200; ++id) {  // Overflow range.
+      (*map)[(std::uint64_t{1} << 40) + id * 977] = static_cast<double>(id);
+    }
+    return map;
+  });
+}
+
+TEST(MemOracleTest, IndexedMinHeap) {
+  ExpectEstimateWithinOracle("IndexedMinHeap", [] {
+    auto heap = std::make_unique<IndexedMinHeap>();
+    Rng rng(7);
+    for (std::uint64_t id = 0; id < 8000; ++id) {
+      heap->Push(id, rng.NextDouble());
+    }
+    return heap;
+  });
+}
+
+TEST(MemOracleTest, BucketQueue) {
+  ExpectEstimateWithinOracle("BucketQueue", [] {
+    auto q = std::make_unique<BucketQueue>(1.0);
+    Rng rng(11);
+    for (std::uint64_t id = 0; id < 8000; ++id) {
+      q->Push(id, rng.Uniform(0.0, 500.0));
+    }
+    return q;
+  });
+}
+
+TEST(MemOracleTest, CandidateSet) {
+  ExpectEstimateWithinOracle("CandidateSet", [] {
+    auto cand = std::make_unique<CandidateSet>();
+    Rng rng(13);
+    for (ObjectId id = 0; id < 8000; ++id) {
+      cand->Offer(id, rng.NextDouble());
+    }
+    cand->KthDist(64);  // Materialize the top array too.
+    return cand;
+  });
+}
+
+TEST(MemOracleTest, ExpansionState) {
+  ExpectEstimateWithinOracle("ExpansionState", [] {
+    auto state = std::make_unique<ExpansionState>();
+    state->ResetToPoint(NetworkPoint{0, 0.5});
+    state->Settle(0, 0.0, kInvalidNode, kInvalidEdge);
+    for (NodeId n = 1; n < 10000; ++n) {
+      state->Settle(n, static_cast<double>(n), n - 1, 0);
+    }
+    return state;
+  });
+}
+
+TEST(MemOracleTest, RoadNetworkWithCsr) {
+  ExpectEstimateWithinOracle("RoadNetwork", [] {
+    auto net = std::make_unique<RoadNetwork>(testing::MakeGrid(40));
+    net->BuildAdjacencyIndex();
+    return net;
+  });
+}
+
+#else  // !CKNN_HAVE_MALLOC_USABLE_SIZE
+
+TEST(MemOracleTest, SkippedWithoutMallocUsableSize) {
+  GTEST_SKIP() << "malloc_usable_size unavailable on this platform";
+}
+
+#endif
+
+}  // namespace
+}  // namespace cknn

@@ -205,6 +205,11 @@ class Test {
 
  public:
   virtual void TestBody() = 0;
+  /// True once the running test has recorded a fatal failure (gtest's
+  /// static Test::HasFatalFailure, used to bail out of helper functions).
+  static bool HasFatalFailure() {
+    return internal::CurrentTestHasFatalFailure();
+  }
   /// SetUp -> TestBody -> TearDown; a fatal failure in SetUp skips the body.
   void Run() {
     SetUp();
