@@ -1,0 +1,61 @@
+// Weight-tiling figure (beyond the paper): memory and per-timestamp cost
+// of the sharded monitoring server vs the weight-tile count, for the two
+// incremental algorithms. Results are identical at every tile count
+// (docs/tiling.md); the figure isolates what the shared-topology views
+// bought — `mem_kb` carries the per-extra-shard weight overlays, while
+// `legacy_clone_mem_kb` is what the same configuration allocated before
+// the refactor, when every extra shard deep-cloned the whole network
+// (O(shards x network)). The two substrate counters `clone_kb` and
+// `overlay_kb` are exact for the deterministic bench network, so the
+// legacy curve is computed, not guessed: mem_kb with each overlay
+// replaced by a full clone.
+
+#include "bench/bench_common.h"
+#include "src/gen/network_gen.h"
+
+namespace cknn::bench {
+namespace {
+
+void FigTiling(benchmark::State& state) {
+  ExperimentSpec spec = DefaultSpec();
+  spec.shards = static_cast<int>(state.range(1));
+  spec.tiles = static_cast<int>(state.range(2));
+  spec.measure_memory = true;
+  const Algorithm algorithm = AlgoOf(state.range(0));
+
+  // Substrate sizes of the same deterministic network the experiment
+  // regenerates from spec.network: one full clone (the pre-refactor
+  // per-shard cost) vs one weight overlay (the post-refactor cost).
+  RoadNetwork net = GenerateRoadNetwork(spec.network);
+  net.BuildAdjacencyIndex();
+  net.Retile(spec.tiles);
+  const double clone_kb = static_cast<double>(net.MemoryBytes()) / 1024.0;
+  const double overlay_kb =
+      static_cast<double>(net.OverlayMemoryBytes()) / 1024.0;
+  const double extra_shards = static_cast<double>(spec.shards - 1);
+
+  for (auto _ : state) {
+    const RunMetrics metrics = RunExperiment(algorithm, spec);
+    state.SetIterationTime(metrics.AvgSeconds());
+    const double mem_kb = metrics.AvgMemoryKb();
+    state.counters["sec_per_ts"] = metrics.AvgSeconds();
+    state.counters["max_sec"] = metrics.MaxSeconds();
+    state.counters["cpu_sec_per_ts"] = metrics.AvgCpuSeconds();
+    state.counters["mem_kb"] = mem_kb;
+    state.counters["clone_kb"] = clone_kb;
+    state.counters["overlay_kb"] = overlay_kb;
+    state.counters["legacy_clone_mem_kb"] =
+        mem_kb + extra_shards * (clone_kb - overlay_kb);
+  }
+  state.SetLabel(AlgorithmName(algorithm));
+}
+
+BENCHMARK(FigTiling)
+    ->ArgNames({"algo", "shards", "tiles"})
+    ->ArgsProduct({{1, 2}, {1, 8}, {1, 4, 16}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

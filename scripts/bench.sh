@@ -62,6 +62,7 @@ figures=(
   fig19_brinkhoff
   fig_pipeline
   fig_sharding
+  fig_tiling
 )
 
 merge_args=()

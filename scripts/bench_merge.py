@@ -13,7 +13,10 @@ record with the schema
 
     {figure, algo, sec_per_ts, max_sec, cpu_sec_per_ts, mem_kb, scale, seed}
 
-plus ``name``/``args`` for traceability. ``sec_per_ts`` is wall time;
+plus ``name``/``args`` for traceability, and — for figures that report
+counters beyond the standard set (e.g. ``fig_tiling``'s
+``legacy_clone_mem_kb``) — an ``extras`` object carrying every
+non-standard numeric counter verbatim. ``sec_per_ts`` is wall time;
 ``cpu_sec_per_ts`` is process CPU time (all threads), recorded separately
 so sharded/pipelined figures do not conflate the two (null for captures
 made before the counter existed). The merge fails loudly — nonzero
@@ -27,6 +30,18 @@ import argparse
 import json
 import os
 import sys
+
+# Entry keys that are benchmark-library bookkeeping or already-mapped
+# standard counters; every OTHER numeric key is a figure-specific user
+# counter and is preserved under ``extras``.
+_STANDARD_ENTRY_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit", "label",
+    "error_occurred", "error_message", "skipped", "skip_message",
+    "family_index", "per_family_instance_index", "aggregate_name",
+    "aggregate_unit", "items_per_second", "bytes_per_second",
+    "sec_per_ts", "max_sec", "cpu_sec_per_ts", "mem_kb",
+}
 
 # Name segments that are run modifiers, not benchmark arguments.
 _MODIFIER_KEYS = {
@@ -158,7 +173,7 @@ def main(argv):
                 fail(f"{path}: benchmark '{name}' is missing the sec_per_ts "
                      "counter; every figure must report it (bench_common.h "
                      "RunAndReport)")
-            results.append({
+            record = {
                 "figure": figure,
                 "algo": entry.get("label", "<unlabeled>"),
                 "sec_per_ts": entry["sec_per_ts"],
@@ -169,7 +184,17 @@ def main(argv):
                 "seed": ns.seed,
                 "name": name,
                 "args": args_of(name),
-            })
+            }
+            extras = {
+                key: value
+                for key, value in entry.items()
+                if key not in _STANDARD_ENTRY_KEYS
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            }
+            if extras:
+                record["extras"] = extras
+            results.append(record)
             recorded += 1
         if recorded == 0:
             print(f"bench_merge: warning: {path}: no successful benchmark "

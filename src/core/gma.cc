@@ -10,7 +10,7 @@ namespace cknn {
 Gma::Gma(RoadNetwork* net, ObjectTable* objects)
     : net_(net),
       objects_(objects),
-      st_(SequenceTable::Build(*net)),
+      st_(net->SharedSequences()),
       engine_(net, objects),
       il_(net->NumEdges()) {}
 
@@ -36,7 +36,7 @@ void Gma::SyncNodeK(NodeId n, ActiveNode* an) {
 }
 
 void Gma::AttachToEndpoints(QueryId id, UserQuery* uq) {
-  const SequenceTable::Sequence& seq = st_.sequence(uq->seq);
+  const SequenceTable::Sequence& seq = st_->sequence(uq->seq);
   const NodeId ends[2] = {seq.EndpointA(), seq.EndpointB()};
   for (int i = 0; i < 2; ++i) {
     const NodeId n = ends[i];
@@ -57,7 +57,7 @@ void Gma::AttachToEndpoints(QueryId id, UserQuery* uq) {
 }
 
 void Gma::DetachFromEndpoints(QueryId id, UserQuery* uq) {
-  const SequenceTable::Sequence& seq = st_.sequence(uq->seq);
+  const SequenceTable::Sequence& seq = st_->sequence(uq->seq);
   const NodeId ends[2] = {seq.EndpointA(), seq.EndpointB()};
   for (int i = 0; i < 2; ++i) {
     const NodeId n = ends[i];
@@ -81,9 +81,9 @@ void Gma::EvaluateQuery(QueryId id, UserQuery* uq) {
   // many evaluations a timestamp triggers.
   eval_cand_.Clear();
   CandidateSet& cand = eval_cand_;
-  const SequenceTable::Sequence& seq = st_.sequence(uq->seq);
+  const SequenceTable::Sequence& seq = st_->sequence(uq->seq);
   const EdgeId query_edge = uq->pos.edge;
-  const std::uint32_t j = st_.PositionOf(query_edge);
+  const std::uint32_t j = st_->PositionOf(query_edge);
   const RoadNetwork::Edge& qe = net_->edge(query_edge);
 
   // Objects sharing the query's edge: along-edge distance (the walks below
@@ -107,7 +107,7 @@ void Gma::EvaluateQuery(QueryId id, UserQuery* uq) {
 
   // Offset from the query to the sequence node with index `ni` along the
   // query's own edge. ForwardOriented: edge.u == seq.nodes[j].
-  const bool fwd = st_.ForwardOriented(query_edge);
+  const bool fwd = st_->ForwardOriented(query_edge);
   const double off_to_prev =
       (fwd ? uq->pos.t : 1.0 - uq->pos.t) * qe.weight;  // -> seq.nodes[j]
   const double off_to_next = qe.weight - off_to_prev;   // -> seq.nodes[j+1]
@@ -249,7 +249,7 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
         if (qu.pos.edge >= net_->NumEdges()) {
           return Status::InvalidArgument("move onto unknown edge");
         }
-        const SequenceId new_seq = st_.SequenceOf(qu.pos.edge);
+        const SequenceId new_seq = st_->SequenceOf(qu.pos.edge);
         if (new_seq != uq.seq) {
           DetachFromEndpoints(qu.id, &uq);
           uq.seq = new_seq;
@@ -272,7 +272,7 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
         UserQuery& uq = queries_[qu.id];
         uq.pos = qu.pos;
         uq.k = qu.k;
-        uq.seq = st_.SequenceOf(qu.pos.edge);
+        uq.seq = st_->SequenceOf(qu.pos.edge);
         AttachToEndpoints(qu.id, &uq);
         to_evaluate.insert(qu.id);
         break;
@@ -321,7 +321,7 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
 }
 
 std::size_t Gma::MemoryBytes() const {
-  std::size_t bytes = engine_.MemoryBytes() + st_.MemoryBytes() +
+  std::size_t bytes = engine_.MemoryBytes() +
                       HashMapBytes(queries_) + HashMapBytes(active_) +
                       il_.capacity() * sizeof(il_[0]) +
                       eval_cand_.MemoryBytes();

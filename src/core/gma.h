@@ -2,6 +2,7 @@
 #define CKNN_CORE_GMA_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -45,20 +46,28 @@ class Gma : public Monitor {
     std::uint64_t affected_by_edge = 0;
   };
 
-  /// Builds the sequence table of `net`; both tables must outlive the
-  /// monitor. The network topology must not change afterwards (weights may).
+  /// Obtains the sequence table of `net` through the once-per-graph cache
+  /// on its shared topology (`RoadNetwork::SharedSequences`) — co-resident
+  /// GMA monitors over views of the same graph share one table instead of
+  /// each building a copy. Both tables must outlive the monitor. The
+  /// network topology must not change afterwards (weights may).
   Gma(RoadNetwork* net, ObjectTable* objects);
 
   Status ProcessTimestamp(const UpdateBatch& batch) override;
   const std::vector<Neighbor>* ResultOf(QueryId id) const override;
   std::size_t NumQueries() const override { return queries_.size(); }
   std::size_t MemoryBytes() const override;
+  /// The shared sequence table, counted once across co-resident monitors
+  /// (ShardSet::MemoryBytes) rather than per shard.
+  std::size_t SharedMemoryBytes() const override {
+    return st_->MemoryBytes();
+  }
   std::string_view name() const override { return "GMA"; }
   void set_object_table_externally_applied(bool on) override {
     engine_.set_external_object_table(on);
   }
 
-  const SequenceTable& sequences() const { return st_; }
+  const SequenceTable& sequences() const { return *st_; }
   /// Number of currently active (monitored) intersection nodes.
   std::size_t NumActiveNodes() const { return active_.size(); }
   const Stats& stats() const { return stats_; }
@@ -112,7 +121,9 @@ class Gma : public Monitor {
 
   RoadNetwork* net_;
   ObjectTable* objects_;
-  SequenceTable st_;
+  /// Shared, read-only: the same table instance backs every co-resident
+  /// GMA monitor of this graph (cached on the SharedTopology).
+  std::shared_ptr<const SequenceTable> st_;
   ImaEngine engine_;  // Monitors active nodes, keyed by NodeId.
   std::unordered_map<QueryId, UserQuery> queries_;
   std::unordered_map<NodeId, ActiveNode> active_;

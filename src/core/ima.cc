@@ -96,7 +96,7 @@ void ImaEngine::RederiveFrontierNode(Entry* entry, NodeId n) {
   for (const RoadNetwork::Incidence& inc : net_->Incidences(n)) {
     if (auto d = entry->state.NodeDistance(inc.neighbor)) {
       entry->frontier.Relax(entry->state, n,
-                            *d + net_->edge(inc.edge).weight, inc.neighbor,
+                            *d + net_->WeightOf(inc.edge), inc.neighbor,
                             inc.edge);
     }
   }
@@ -140,7 +140,7 @@ void ImaEngine::RepairAfterAdjust(Entry* entry,
       entry->rescan_edges.insert(inc.edge);
       if (!entry->state.IsSettled(inc.neighbor)) {
         entry->frontier.Relax(entry->state, inc.neighbor,
-                              d + net_->edge(inc.edge).weight, a, inc.edge);
+                              d + net_->WeightOf(inc.edge), a, inc.edge);
       }
     }
   }
@@ -184,7 +184,7 @@ void ImaEngine::ApplyEdgeDecrease(const EdgeUpdate& update) {
     if (auto child = entry->state.TreeChildVia(*net_, e)) {
       // Fig. 9: the subtree below the edge gets uniformly closer; the rest
       // is valid only up to the new distance of the subtree root.
-      const double delta = net_->edge(e).weight - new_w;
+      const double delta = net_->WeightOf(e) - new_w;
       const auto adjusted = entry->state.AdjustSubtree(*child, -delta);
       RepairAfterAdjust(entry, adjusted);
       const double threshold = *entry->state.NodeDistance(*child);
@@ -361,10 +361,10 @@ std::vector<QueryId> ImaEngine::ProcessUpdates(
   // pass per affected query (20-26).
   for (const EdgeUpdate& u : edge_updates) {
     CKNN_CHECK(u.edge < net_->NumEdges());
-    if (u.new_weight < net_->edge(u.edge).weight) ApplyEdgeDecrease(u);
+    if (u.new_weight < net_->WeightOf(u.edge)) ApplyEdgeDecrease(u);
   }
   for (const EdgeUpdate& u : edge_updates) {
-    if (u.new_weight > net_->edge(u.edge).weight) ApplyEdgeIncrease(u);
+    if (u.new_weight > net_->WeightOf(u.edge)) ApplyEdgeIncrease(u);
   }
   for (const MoveRequest& m : moves) ApplyMove(m);
   for (const ObjectUpdate& u : object_updates) ApplyObjectUpdate(u);
@@ -527,7 +527,7 @@ Status ImaEngine::CheckInvariants() const {
             tree_status = fail(tag + "orphaned settled node");
             return;
           }
-          const double want = pinfo->dist + net_->edge(info.via_edge).weight;
+          const double want = pinfo->dist + net_->WeightOf(info.via_edge);
           if (std::abs(info.dist - want) > 1e-6 * (1.0 + want)) {
             tree_status = fail(tag + "settled dist does not match its tree label");
           }

@@ -51,7 +51,7 @@ void RebuildFrontier(const RoadNetwork& net, const ExpansionState& state,
     for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
       if (!state.IsSettled(inc.neighbor)) {
         frontier->Relax(state, inc.neighbor,
-                        info.dist + net.edge(inc.edge).weight, n, inc.edge);
+                        info.dist + net.WeightOf(inc.edge), n, inc.edge);
       }
     }
   });
@@ -115,7 +115,7 @@ void ExpandToK(const RoadNetwork& net, const ObjectTable& objects, int k,
     for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
       offer_objects_on_edge(inc.edge, n, dist);
       if (frontier->Relax(*state, inc.neighbor,
-                          dist + net.edge(inc.edge).weight, n, inc.edge)) {
+                          dist + net.WeightOf(inc.edge), n, inc.edge)) {
         if (stats != nullptr) ++stats->heap_pushes;
       }
     }

@@ -56,8 +56,17 @@ class Monitor {
   virtual std::size_t NumQueries() const = 0;
 
   /// Estimated bytes of the monitoring structures (expansion trees,
-  /// influence lists, result sets) — the quantity of Figure 18.
+  /// influence lists, result sets) — the quantity of Figure 18. Excludes
+  /// read-only structures shared with co-resident monitors (see
+  /// SharedMemoryBytes).
   virtual std::size_t MemoryBytes() const = 0;
+
+  /// Estimated bytes of read-only structures this monitor *shares* with
+  /// every co-resident monitor of the same graph (today: GMA's sequence
+  /// table, cached once per `SharedTopology`). `ShardSet::MemoryBytes`
+  /// counts them once across all shards instead of per shard. 0 for
+  /// monitors without shared structures.
+  virtual std::size_t SharedMemoryBytes() const { return 0; }
 
   /// Algorithm name for reports ("IMA", "GMA", "OVH").
   virtual std::string_view name() const = 0;

@@ -68,7 +68,7 @@ std::vector<Neighbor> KnnAtPathPoint(const RoadNetwork& net,
   CKNN_CHECK(t >= 0.0 && t <= 1.0);
   const std::vector<double> cum = CumulativeWeights(net, path);
   const double cum_x =
-      cum[edge_index] + t * net.edge(path.edges[edge_index]).weight;
+      cum[edge_index] + t * net.WeightOf(path.edges[edge_index]);
 
   CandidateSet cand;
   // Via path nodes: along-path cost to the node plus the node's k-NN

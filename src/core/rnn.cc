@@ -57,7 +57,7 @@ std::unordered_map<ObjectId, RnnAssignment> ComputeObjectAssignments(
     const Label here = it->second;
     tentative.erase(it);
     for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
-      relax(inc.neighbor, here.dist + net.edge(inc.edge).weight, here.owner);
+      relax(inc.neighbor, here.dist + net.WeightOf(inc.edge), here.owner);
     }
   }
 

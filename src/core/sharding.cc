@@ -42,8 +42,11 @@ ShardSet::ShardSet(RoadNetwork* primary_network, ObjectTable* objects,
     Shard& shard = shards_[static_cast<std::size_t>(s)];
     RoadNetwork* net = primary_network;
     if (s > 0) {
+      // A shared-topology view, not a clone: the immutable topology (and
+      // tile partition) is referenced, only the dynamic weights are
+      // per-shard — O(8 bytes/edge) instead of O(network) per shard.
       shard.network =
-          std::make_unique<RoadNetwork>(CloneNetwork(*primary_network));
+          std::make_unique<RoadNetwork>(primary_network->SharedView());
       net = shard.network.get();
     }
     shard.monitor = MakeMonitor(algorithm, net, objects);
@@ -158,7 +161,18 @@ std::size_t ShardSet::NumQueries() const {
 std::size_t ShardSet::MemoryBytes() const {
   CKNN_CHECK(!in_flight_);
   std::size_t bytes = 0;
-  for (const Shard& shard : shards_) bytes += shard.monitor->MemoryBytes();
+  for (const Shard& shard : shards_) {
+    bytes += shard.monitor->MemoryBytes();
+    // Per-shard weight overlay of the shared-topology view (shard 0 uses
+    // the server-owned primary network, which — like the shared topology
+    // itself — is graph substrate, not monitoring structure).
+    if (shard.network != nullptr) {
+      bytes += shard.network->OverlayMemoryBytes();
+    }
+  }
+  // Read-only structures shared across the shards (the GMA sequence
+  // table), counted exactly once.
+  bytes += shards_[0].monitor->SharedMemoryBytes();
   return bytes;
 }
 

@@ -27,9 +27,13 @@ namespace cknn {
 ///    server before the shards run, read-only during the parallel phase
 ///    (the engines run in shared-table mode,
 ///    `Monitor::set_object_table_externally_applied`), and
-///  * its *own copy* of the road network — every shard applies every
-///    edge-weight update to its copy, so all copies carry identical
-///    weights at every timestamp without cross-shard synchronization.
+///  * its *own view* of the road network (`RoadNetwork::SharedView`):
+///    the immutable topology is shared by pointer across all shards,
+///    each shard holds only a private weight overlay (optionally
+///    partitioned into region tiles, docs/tiling.md) and applies every
+///    edge-weight update to it — so all views carry identical weights at
+///    every timestamp without cross-shard synchronization, at
+///    O(8 bytes/edge) per extra shard instead of a full clone.
 ///    Shard 0 monitors the server's primary network in place.
 ///
 /// Per tick the server aggregates the batch once, `Partition` fans the
@@ -51,8 +55,9 @@ namespace cknn {
 class ShardSet {
  public:
   /// \param primary_network the server's network; shard 0 monitors it in
-  ///        place, shards 1..N-1 monitor their own clones of it. Must
-  ///        outlive the shard set.
+  ///        place, shards 1..N-1 monitor their own shared-topology views
+  ///        of it (inheriting its tile partition). Must outlive the
+  ///        shard set.
   /// \param objects the shared object table, mutated only by the caller
   ///        (between ticks / before ProcessTimestamp). Must outlive the
   ///        shard set.
@@ -116,7 +121,11 @@ class ShardSet {
   std::size_t NumQueries() const;
 
   /// Monitoring-structure bytes summed over the shards (shard order, so
-  /// the sum is reproducible).
+  /// the sum is reproducible), including each extra shard's private
+  /// weight overlay and — once, not per shard — the read-only structures
+  /// the monitors share (`Monitor::SharedMemoryBytes`). The primary
+  /// network and shared topology are graph substrate owned by the
+  /// server, not monitoring structures, and stay excluded.
   std::size_t MemoryBytes() const;
 
   Monitor& monitor(int shard) { return *shards_[shard].monitor; }
@@ -129,7 +138,8 @@ class ShardSet {
 
  private:
   struct Shard {
-    /// Clone of the primary network (nullptr for shard 0).
+    /// Shared-topology view of the primary network with a private weight
+    /// overlay (nullptr for shard 0, which uses the primary in place).
     std::unique_ptr<RoadNetwork> network;
     std::unique_ptr<Monitor> monitor;
     /// Per-tick scratch: this shard's slice of the aggregated batch.

@@ -42,7 +42,7 @@ std::vector<EdgeUpdate> GenerateWeightUpdates(const RoadNetwork& net,
                                               double magnitude, Rng* rng) {
   return GenerateImpl(
       net.NumEdges(), edge_agility, magnitude, rng,
-      [&net](EdgeId e) { return net.edge(e).weight; }, [](EdgeId, double) {});
+      [&net](EdgeId e) { return net.WeightOf(e); }, [](EdgeId, double) {});
 }
 
 std::vector<EdgeUpdate> GenerateWeightUpdates(std::vector<double>* weights,
@@ -59,7 +59,7 @@ std::vector<double> EdgeWeights(const RoadNetwork& net) {
   std::vector<double> weights;
   weights.reserve(net.NumEdges());
   for (EdgeId e = 0; e < net.NumEdges(); ++e) {
-    weights.push_back(net.edge(e).weight);
+    weights.push_back(net.WeightOf(e));
   }
   return weights;
 }

@@ -83,7 +83,9 @@ BrinkhoffWorkload::BrinkhoffWorkload(const RoadNetwork* net,
     : net_(net),
       config_(config),
       rng_(config.generator.seed ^ 0xABCDEF1234567ULL),
-      route_net_(CloneNetwork(*net)),
+      // Shared-topology view: routing shares the immutable graph, only
+      // the privately advanced weights are duplicated.
+      route_net_(net->SharedView()),
       objects_(&route_net_,
                [&] {
                  BrinkhoffGenerator::Config c = config.generator;

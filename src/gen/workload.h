@@ -109,11 +109,12 @@ class BrinkhoffWorkload : public WorkloadSource {
   Rng rng_;
   /// Shadow of the edge weights (see Workload::weights_).
   std::vector<double> weights_;
-  /// Private clone the generators plan routes on: Brinkhoff routing runs
-  /// shortest-path searches over edge *weights*, which on the live
-  /// network a pipelined server's shard 0 mutates mid-flight. The clone
-  /// is advanced with the weight updates this workload emits, so routes
-  /// see exactly the weights a serial run would — at any pipeline depth.
+  /// Private shared-topology view the generators plan routes on:
+  /// Brinkhoff routing runs shortest-path searches over edge *weights*,
+  /// which on the live network a pipelined server's shard 0 mutates
+  /// mid-flight. The view's private weight overlay is advanced with the
+  /// weight updates this workload emits, so routes see exactly the
+  /// weights a serial run would — at any pipeline depth.
   RoadNetwork route_net_;
   BrinkhoffGenerator objects_;
   BrinkhoffGenerator queries_;

@@ -24,7 +24,7 @@ Status SaveNetwork(const RoadNetwork& net, const std::string& prefix) {
     out << std::setprecision(17);
     out << "# edge_id start_node end_node length\n";
     for (EdgeId e = 0; e < net.NumEdges(); ++e) {
-      const RoadNetwork::Edge& ed = net.edge(e);
+      const RoadNetwork::Edge ed = net.edge(e);  // By-value snapshot.
       out << e << ' ' << ed.u << ' ' << ed.v << ' ' << ed.length << '\n';
     }
     if (!out) return Status::IoError("write failure on " + prefix + ".cedge");

@@ -7,11 +7,11 @@
 namespace cknn {
 
 double WeightOffsetFromU(const RoadNetwork& net, const NetworkPoint& p) {
-  return p.t * net.edge(p.edge).weight;
+  return p.t * net.WeightOf(p.edge);
 }
 
 double WeightOffsetFromV(const RoadNetwork& net, const NetworkPoint& p) {
-  return (1.0 - p.t) * net.edge(p.edge).weight;
+  return (1.0 - p.t) * net.WeightOf(p.edge);
 }
 
 double LengthOffsetFromU(const RoadNetwork& net, const NetworkPoint& p) {
@@ -21,7 +21,7 @@ double LengthOffsetFromU(const RoadNetwork& net, const NetworkPoint& p) {
 double AlongEdgeDistance(const RoadNetwork& net, const NetworkPoint& a,
                          const NetworkPoint& b) {
   CKNN_DCHECK(a.edge == b.edge);
-  return std::abs(a.t - b.t) * net.edge(a.edge).weight;
+  return std::abs(a.t - b.t) * net.WeightOf(a.edge);
 }
 
 Point ToEuclidean(const RoadNetwork& net, const NetworkPoint& p) {

@@ -1,13 +1,29 @@
 #include "src/graph/road_network.h"
 
+#include <mutex>
+#include <utility>
+
+#include "src/graph/sequences.h"
 #include "src/util/macros.h"
 
 namespace cknn {
 
+SharedTopology& RoadNetwork::MutableTopo() {
+  if (topo_ == nullptr) {
+    topo_ = std::make_shared<SharedTopology>();
+  }
+  // Topology mutation is only legal while this view is the sole owner —
+  // a SharedView freezes the graph structure for everyone.
+  CKNN_CHECK(topo_.use_count() == 1);
+  CKNN_CHECK(weights_.partition() == nullptr);
+  return *topo_;
+}
+
 NodeId RoadNetwork::AddNode(const Point& position) {
-  node_positions_.push_back(position);
-  csr_valid_ = false;
-  return static_cast<NodeId>(node_positions_.size() - 1);
+  SharedTopology& topo = MutableTopo();
+  topo.node_positions_.push_back(position);
+  topo.csr_valid_ = false;
+  return static_cast<NodeId>(topo.node_positions_.size() - 1);
 }
 
 Result<EdgeId> RoadNetwork::AddEdge(NodeId u, NodeId v,
@@ -18,75 +34,60 @@ Result<EdgeId> RoadNetwork::AddEdge(NodeId u, NodeId v,
   if (u == v) {
     return Status::InvalidArgument("self-loop edges are not supported");
   }
+  SharedTopology& topo = MutableTopo();
   double length = length_override > 0.0
                       ? length_override
-                      : Distance(node_positions_[u], node_positions_[v]);
+                      : Distance(topo.node_positions_[u],
+                                 topo.node_positions_[v]);
   if (length <= 0.0) {
     return Status::InvalidArgument("edge length must be positive");
   }
-  const EdgeId id = static_cast<EdgeId>(edges_.size());
-  edges_.push_back(Edge{u, v, length, length});
-  csr_valid_ = false;
+  const EdgeId id = static_cast<EdgeId>(topo.edges_.size());
+  topo.edges_.push_back(SharedTopology::EdgeTopo{u, v, length});
+  weights_.PushBack(length);
+  topo.csr_valid_ = false;
   return id;
 }
 
-void RoadNetwork::EnsureCsr() const {
-  if (csr_valid_) return;
-  const std::size_t n = node_positions_.size();
-  csr_offsets_.assign(n + 1, 0);
-  for (const Edge& e : edges_) {
-    ++csr_offsets_[e.u + 1];
-    ++csr_offsets_[e.v + 1];
-  }
-  for (std::size_t i = 1; i <= n; ++i) csr_offsets_[i] += csr_offsets_[i - 1];
-  csr_incidences_.resize(2 * edges_.size());
-  // Per-node write cursors; walking the edges in id order reproduces the
-  // historical per-node push_back order (ascending edge id), so expansion
-  // iteration order — and with it every tie-dependent golden result — is
-  // unchanged.
-  std::vector<std::uint32_t> cursor(csr_offsets_.begin(),
-                                    csr_offsets_.end() - 1);
-  for (EdgeId id = 0; id < edges_.size(); ++id) {
-    const Edge& e = edges_[id];
-    csr_incidences_[cursor[e.u]++] = Incidence{id, e.v};
-    csr_incidences_[cursor[e.v]++] = Incidence{id, e.u};
-  }
-  csr_valid_ = true;
-}
-
 const Point& RoadNetwork::NodePosition(NodeId n) const {
-  CKNN_CHECK(n < NumNodes());
-  return node_positions_[n];
+  CKNN_CHECK(topo_ != nullptr);
+  return topo_->NodePosition(n);
 }
 
-const RoadNetwork::Edge& RoadNetwork::edge(EdgeId e) const {
+RoadNetwork::Edge RoadNetwork::edge(EdgeId e) const {
   CKNN_CHECK(e < NumEdges());
-  return edges_[e];
+  const SharedTopology::EdgeTopo& t = topo_->edge(e);
+  return Edge{t.u, t.v, t.length, weights_.Get(e)};
+}
+
+double RoadNetwork::WeightOf(EdgeId e) const {
+  CKNN_CHECK(e < NumEdges());
+  return weights_.Get(e);
+}
+
+double RoadNetwork::LengthOf(EdgeId e) const {
+  CKNN_CHECK(e < NumEdges());
+  return topo_->edge(e).length;
 }
 
 std::size_t RoadNetwork::Degree(NodeId n) const {
-  CKNN_CHECK(n < NumNodes());
-  EnsureCsr();
-  return csr_offsets_[n + 1] - csr_offsets_[n];
+  CKNN_CHECK(topo_ != nullptr);
+  return topo_->Degree(n);
 }
 
 RoadNetwork::IncidenceSpan RoadNetwork::Incidences(NodeId n) const {
-  CKNN_CHECK(n < NumNodes());
-  EnsureCsr();
-  const std::uint32_t begin = csr_offsets_[n];
-  return IncidenceSpan(csr_incidences_.data() + begin,
-                       csr_offsets_[n + 1] - begin);
+  CKNN_CHECK(topo_ != nullptr);
+  return topo_->Incidences(n);
 }
 
 NodeId RoadNetwork::OtherEndpoint(EdgeId e, NodeId n) const {
-  const Edge& ed = edge(e);
-  CKNN_CHECK(ed.u == n || ed.v == n);
-  return ed.u == n ? ed.v : ed.u;
+  CKNN_CHECK(topo_ != nullptr);
+  return topo_->OtherEndpoint(e, n);
 }
 
 bool RoadNetwork::IsEndpoint(EdgeId e, NodeId n) const {
-  const Edge& ed = edge(e);
-  return ed.u == n || ed.v == n;
+  CKNN_CHECK(topo_ != nullptr);
+  return topo_->IsEndpoint(e, n);
 }
 
 Status RoadNetwork::SetWeight(EdgeId e, double weight) {
@@ -94,35 +95,63 @@ Status RoadNetwork::SetWeight(EdgeId e, double weight) {
   if (weight < 0.0) {
     return Status::InvalidArgument("edge weight must be non-negative");
   }
-  edges_[e].weight = weight;
+  weights_.Set(e, weight);
   return Status::OK();
 }
 
 Segment RoadNetwork::EdgeSegment(EdgeId e) const {
-  const Edge& ed = edge(e);
-  return Segment{node_positions_[ed.u], node_positions_[ed.v]};
+  CKNN_CHECK(topo_ != nullptr);
+  return topo_->EdgeSegment(e);
 }
 
 Rect RoadNetwork::BoundingBox() const {
-  if (node_positions_.empty()) return Rect{};
-  Rect box{node_positions_[0].x, node_positions_[0].y, node_positions_[0].x,
-           node_positions_[0].y};
-  for (const Point& p : node_positions_) box.Expand(p);
-  return box;
+  return topo_ ? topo_->BoundingBox() : Rect{};
 }
 
 double RoadNetwork::AverageEdgeLength() const {
-  if (edges_.empty()) return 0.0;
-  double total = 0.0;
-  for (const Edge& e : edges_) total += e.length;
-  return total / static_cast<double>(edges_.size());
+  return topo_ ? topo_->AverageEdgeLength() : 0.0;
+}
+
+RoadNetwork RoadNetwork::SharedView() const {
+  RoadNetwork view;
+  view.topo_ = topo_;
+  view.weights_ = weights_;  // Independent overlay, shared partition.
+  return view;
+}
+
+void RoadNetwork::Retile(int num_tiles) {
+  CKNN_CHECK(num_tiles >= 1);
+  if (num_tiles == 1) {
+    weights_.Retile(nullptr);
+    return;
+  }
+  CKNN_CHECK(topo_ != nullptr);
+  weights_.Retile(TilePartition::Build(*topo_, num_tiles));
+}
+
+std::shared_ptr<const SequenceTable> RoadNetwork::SharedSequences() const {
+  if (topo_ == nullptr) {
+    // Empty network: nothing to cache (and no shared topology to cache
+    // it on); an empty table is correct and cheap.
+    return std::make_shared<const SequenceTable>();
+  }
+  std::call_once(topo_->sequences_once_, [&] {
+    topo_->sequences_ =
+        std::make_shared<const SequenceTable>(SequenceTable::Build(*this));
+  });
+  return topo_->sequences_;
 }
 
 std::size_t RoadNetwork::MemoryBytes() const {
-  return node_positions_.capacity() * sizeof(Point) +
-         edges_.capacity() * sizeof(Edge) +
-         csr_offsets_.capacity() * sizeof(std::uint32_t) +
-         csr_incidences_.capacity() * sizeof(Incidence);
+  return SharedMemoryBytes() + OverlayMemoryBytes();
+}
+
+std::size_t RoadNetwork::SharedMemoryBytes() const {
+  std::size_t bytes = topo_ ? topo_->MemoryBytes() : 0;
+  if (const TilePartition* p = weights_.partition()) {
+    bytes += p->MemoryBytes();
+  }
+  return bytes;
 }
 
 RoadNetwork CloneNetwork(const RoadNetwork& net) {
@@ -131,13 +160,13 @@ RoadNetwork CloneNetwork(const RoadNetwork& net) {
     out.AddNode(net.NodePosition(n));
   }
   for (EdgeId e = 0; e < net.NumEdges(); ++e) {
-    const RoadNetwork::Edge& ed = net.edge(e);
+    const RoadNetwork::Edge ed = net.edge(e);
     auto added = out.AddEdge(ed.u, ed.v, ed.length);
     CKNN_CHECK(added.ok());
     CKNN_CHECK(out.SetWeight(*added, ed.weight).ok());
   }
-  // Clones are handed to shard workers; build the adjacency index while the
-  // clone is still private to this thread.
+  // Deep copies are still handed across threads by a few tests; build the
+  // adjacency index while the copy is private to this thread.
   out.BuildAdjacencyIndex();
   return out;
 }

@@ -3,14 +3,19 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/geom/geometry.h"
+#include "src/graph/tiling.h"
+#include "src/graph/topology.h"
 #include "src/graph/types.h"
 #include "src/util/result.h"
 #include "src/util/status.h"
 
 namespace cknn {
+
+class SequenceTable;
 
 /// \brief In-memory road network: nodes with coordinates and bidirectional
 /// weighted edges (Section 3 of the paper).
@@ -21,11 +26,28 @@ namespace cknn {
 ///  * `weight` — the dynamic travel cost that fluctuates with traffic and
 ///    defines the network distance metric.
 ///
+/// Internally the network is a *view* over two layers (docs/tiling.md):
+///  * an immutable `SharedTopology` (geometry + CSR adjacency), held by
+///    `shared_ptr` and referenced — never copied — by every view of the
+///    same graph;
+///  * a mutable `TiledWeightStore` of the dynamic weights, private to the
+///    view, optionally partitioned into region tiles (`Retile`).
+///
+/// `SharedView()` creates another view of the same topology with an
+/// independent copy of the weights — O(8 bytes/edge) instead of a full
+/// clone — which is how the sharded server, the lockstep conformance
+/// harness, and the Brinkhoff generator get their per-consumer weight
+/// state. Topology mutation (AddNode/AddEdge) is only legal while no
+/// other view shares the topology and the weights are untiled.
+///
 /// The *edge table* information of the paper (per-edge object lists and
 /// influence lists) lives next to the algorithms (`ObjectTable`, the IMA
 /// engine) so that the graph itself stays a reusable substrate.
 class RoadNetwork {
  public:
+  /// Composed per-edge value: immutable topology fields plus the view's
+  /// current dynamic weight. Returned by value from `edge()`; a snapshot,
+  /// not a reference into storage.
   struct Edge {
     NodeId u = kInvalidNode;  ///< e.start
     NodeId v = kInvalidNode;  ///< e.end
@@ -33,35 +55,8 @@ class RoadNetwork {
     double weight = 0.0;      ///< dynamic travel cost (>= 0)
   };
 
-  /// One entry of a node's adjacency list.
-  struct Incidence {
-    EdgeId edge = kInvalidEdge;
-    NodeId neighbor = kInvalidNode;
-  };
-
-  /// \brief Contiguous view of one node's adjacency list inside the CSR
-  /// incidence array. Cheap to copy; valid until the next topology
-  /// mutation (AddNode/AddEdge).
-  class IncidenceSpan {
-   public:
-    using value_type = Incidence;
-    using const_iterator = const Incidence*;
-
-    IncidenceSpan() = default;
-    IncidenceSpan(const Incidence* data, std::size_t size)
-        : data_(data), size_(size) {}
-
-    const Incidence* begin() const { return data_; }
-    const Incidence* end() const { return data_ + size_; }
-    const Incidence* data() const { return data_; }
-    std::size_t size() const { return size_; }
-    bool empty() const { return size_ == 0; }
-    const Incidence& operator[](std::size_t i) const { return data_[i]; }
-
-   private:
-    const Incidence* data_ = nullptr;
-    std::size_t size_ = 0;
-  };
+  using Incidence = SharedTopology::Incidence;
+  using IncidenceSpan = SharedTopology::IncidenceSpan;
 
   RoadNetwork() = default;
 
@@ -70,20 +65,31 @@ class RoadNetwork {
   RoadNetwork(RoadNetwork&&) = default;
   RoadNetwork& operator=(RoadNetwork&&) = default;
 
-  /// Adds a node at the given coordinates; returns its id.
+  /// Adds a node at the given coordinates; returns its id. Requires
+  /// exclusive topology ownership (no live SharedView) and untiled
+  /// weights.
   NodeId AddNode(const Point& position);
 
   /// Adds a bidirectional edge. The weight is initialized to the Euclidean
   /// length of the edge unless `length_override` is positive, in which case
   /// both length and weight start at that value. Self-loops and duplicate
-  /// endpoints are rejected.
+  /// endpoints are rejected. Same mutation preconditions as AddNode.
   Result<EdgeId> AddEdge(NodeId u, NodeId v, double length_override = -1.0);
 
-  std::size_t NumNodes() const { return node_positions_.size(); }
-  std::size_t NumEdges() const { return edges_.size(); }
+  std::size_t NumNodes() const { return topo_ ? topo_->NumNodes() : 0; }
+  std::size_t NumEdges() const { return topo_ ? topo_->NumEdges() : 0; }
 
   const Point& NodePosition(NodeId n) const;
-  const Edge& edge(EdgeId e) const;
+
+  /// Snapshot of edge `e` (topology + current weight), by value.
+  Edge edge(EdgeId e) const;
+
+  /// Current dynamic weight of edge `e` — the expansion hot-path read;
+  /// routed through the owning tile when the view is tiled.
+  double WeightOf(EdgeId e) const;
+
+  /// Static geometric length of edge `e`.
+  double LengthOf(EdgeId e) const;
 
   /// Degree of node `n` (number of incident edges).
   std::size_t Degree(NodeId n) const;
@@ -97,11 +103,13 @@ class RoadNetwork {
   /// contiguous incidence array) if the topology changed since the last
   /// build. Incidences()/Degree() do this lazily, but the lazy path is not
   /// safe for a *first* call racing from several threads — callers that
-  /// share a network across threads (the sharded server, CloneNetwork for
-  /// per-shard copies, the engine constructors) warm it up through here
+  /// share a network across threads (the sharded server, SharedView for
+  /// per-shard views, the engine constructors) warm it up through here
   /// while still single-threaded. Weight updates do not invalidate the
   /// index; only AddNode/AddEdge do.
-  void BuildAdjacencyIndex() { EnsureCsr(); }
+  void BuildAdjacencyIndex() {
+    if (topo_) topo_->BuildAdjacencyIndex();
+  }
 
   /// The endpoint of `e` that is not `n`. Checked error if `n` is not an
   /// endpoint of `e`.
@@ -111,7 +119,9 @@ class RoadNetwork {
   bool IsEndpoint(EdgeId e, NodeId n) const;
 
   /// Updates the dynamic weight of an edge. Returns InvalidArgument for
-  /// negative weights, NotFound for an unknown edge.
+  /// negative weights, NotFound for an unknown edge. When the view is
+  /// tiled the write is routed to the owning tile's slot and mirrored
+  /// into the ghost slot of a border edge (docs/tiling.md).
   Status SetWeight(EdgeId e, double weight);
 
   /// Geometry of an edge as a segment from u to v.
@@ -123,27 +133,78 @@ class RoadNetwork {
   /// Average edge *length* — the unit for the paper's object/query speeds.
   double AverageEdgeLength() const;
 
-  /// Estimated heap footprint in bytes (adjacency + edge + node arrays).
+  /// \name Shared-topology views and weight tiling
+  /// @{
+
+  /// A new view of the same graph: shares the immutable topology (and
+  /// tile partition) by pointer, copies the dynamic weights — the
+  /// per-shard "weight overlay" that replaced whole-network clones. The
+  /// shared topology stays alive as long as any view does.
+  RoadNetwork SharedView() const;
+
+  /// Re-partitions the weight storage into `num_tiles` region tiles
+  /// (1 = the flat monolithic layout). Current weights are preserved
+  /// exactly; results are byte-identical at every tile count. Views
+  /// created by SharedView() afterwards inherit the partition.
+  void Retile(int num_tiles);
+
+  /// Tile count of the weight store (1 = flat).
+  int num_tiles() const {
+    const TilePartition* p = weights_.partition();
+    return p == nullptr ? 1 : p->num_tiles();
+  }
+
+  /// The tile partition; nullptr when flat.
+  const TilePartition* partition() const { return weights_.partition(); }
+
+  /// The shared immutable topology (null only for a default-constructed
+  /// empty network).
+  const SharedTopology* topology() const { return topo_.get(); }
+
+  /// True iff `other` is a view of the same shared topology.
+  bool SharesTopologyWith(const RoadNetwork& other) const {
+    return topo_ != nullptr && topo_ == other.topo_;
+  }
+
+  /// The per-view weight store (tile-local reads for tests).
+  const TiledWeightStore& weights() const { return weights_; }
+
+  /// GMA's sequence decomposition (Section 5's ST), built once per graph
+  /// and cached on the shared topology — every view of the same graph
+  /// returns the same table, so co-resident GMA shards stop duplicating
+  /// it. Thread-safe; requires a non-empty network.
+  std::shared_ptr<const SequenceTable> SharedSequences() const;
+
+  /// @}
+
+  /// Estimated heap footprint in bytes: shared layers (topology, tile
+  /// partition) plus this view's weights. The full cost of a graph with
+  /// one view; for extra views count only OverlayMemoryBytes().
   std::size_t MemoryBytes() const;
 
- private:
-  /// Rebuilds the CSR arrays from `edges_` in O(nodes + edges) via a
-  /// counting sort. `mutable` so the accessors can build lazily; see
-  /// BuildAdjacencyIndex() for the threading contract.
-  void EnsureCsr() const;
+  /// Bytes of the shared, counted-once layers (topology + partition).
+  std::size_t SharedMemoryBytes() const;
 
-  std::vector<Point> node_positions_;
-  std::vector<Edge> edges_;
-  /// CSR adjacency: node n's incidences are
-  /// csr_incidences_[csr_offsets_[n] .. csr_offsets_[n + 1]).
-  mutable std::vector<std::uint32_t> csr_offsets_;
-  mutable std::vector<Incidence> csr_incidences_;
-  mutable bool csr_valid_ = false;
+  /// Bytes private to this view (the weight overlay) — the true
+  /// incremental cost of each additional SharedView.
+  std::size_t OverlayMemoryBytes() const { return weights_.MemoryBytes(); }
+
+ private:
+  /// The topology, created lazily on first mutation so that empty and
+  /// moved-from networks stay cheap and valid.
+  SharedTopology& MutableTopo();
+
+  std::shared_ptr<SharedTopology> topo_;
+  TiledWeightStore weights_;
 };
 
-/// Deep copy of a network, including its current dynamic weights (used by
-/// the experiment harness to replay identical workloads against every
-/// algorithm, and by the sharded server for per-shard network copies).
+/// Deep copy of a network, including its current dynamic weights.
+///
+/// \deprecated This is the pre-tiling whole-network clone: it duplicates
+/// the immutable topology, which `RoadNetwork::SharedView()` shares for
+/// free (see `SharedTopology`, docs/tiling.md). Kept as a compatibility
+/// shim for tests that need a topologically independent copy; new code
+/// should use `SharedView()`.
 RoadNetwork CloneNetwork(const RoadNetwork& net);
 
 }  // namespace cknn

@@ -21,7 +21,7 @@ std::unordered_map<NodeId, double> DijkstraDistances(const RoadNetwork& net,
     dist.emplace(n, d);
     for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
       if (dist.count(inc.neighbor) != 0) continue;
-      heap.PushOrDecrease(inc.neighbor, d + net.edge(inc.edge).weight);
+      heap.PushOrDecrease(inc.neighbor, d + net.WeightOf(inc.edge));
     }
   }
   return dist;
@@ -63,7 +63,7 @@ PathResult ShortestPath(const RoadNetwork& net, NodeId source, NodeId target,
     const double g = labels[n].g;
     for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
       if (settled.count(inc.neighbor) != 0) continue;
-      const double cand = g + net.edge(inc.edge).weight;
+      const double cand = g + net.WeightOf(inc.edge);
       auto it = labels.find(inc.neighbor);
       if (it == labels.end() || cand < it->second.g) {
         labels[inc.neighbor] = Label{cand, n, inc.edge};
@@ -108,7 +108,7 @@ double PointToPointDistance(const RoadNetwork& net, const NetworkPoint& a,
     if (dist.count(eb.u) != 0 && dist.count(eb.v) != 0) break;
     for (const RoadNetwork::Incidence& inc : net.Incidences(n)) {
       if (dist.count(inc.neighbor) != 0) continue;
-      heap.PushOrDecrease(inc.neighbor, d + net.edge(inc.edge).weight);
+      heap.PushOrDecrease(inc.neighbor, d + net.WeightOf(inc.edge));
     }
   }
   auto iu = dist.find(eb.u);

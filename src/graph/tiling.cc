@@ -1,0 +1,191 @@
+#include "src/graph/tiling.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+std::shared_ptr<const TilePartition> TilePartition::Build(
+    const SharedTopology& topo, int num_tiles) {
+  CKNN_CHECK(num_tiles >= 1);
+  const std::size_t num_nodes = topo.NumNodes();
+  const std::size_t num_edges = topo.NumEdges();
+  const std::size_t tiles = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(num_tiles),
+                               std::max<std::size_t>(num_nodes, 1)));
+
+  auto part = std::shared_ptr<TilePartition>(new TilePartition());
+  part->node_tile_.assign(num_nodes, kNoGhost);
+  part->node_counts_.assign(tiles, 0);
+  part->owned_edges_.resize(tiles);
+  part->ghost_edges_.resize(tiles);
+
+  if (num_nodes > 0) {
+    topo.BuildAdjacencyIndex();
+    // Multi-source BFS from evenly spaced seeds (distinct because
+    // tiles <= num_nodes), one shared queue so the frontiers grow in
+    // round-robin — a deterministic METIS-lite that yields connected,
+    // roughly balanced regions on road-like graphs.
+    std::deque<NodeId> frontier;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const NodeId seed = static_cast<NodeId>(t * num_nodes / tiles);
+      part->node_tile_[seed] = static_cast<std::uint32_t>(t);
+      frontier.push_back(seed);
+    }
+    const auto grow = [&] {
+      while (!frontier.empty()) {
+        const NodeId n = frontier.front();
+        frontier.pop_front();
+        const std::uint32_t tile = part->node_tile_[n];
+        for (const SharedTopology::Incidence& inc : topo.Incidences(n)) {
+          if (part->node_tile_[inc.neighbor] == kNoGhost) {
+            part->node_tile_[inc.neighbor] = tile;
+            frontier.push_back(inc.neighbor);
+          }
+        }
+      }
+    };
+    grow();
+    // Disconnected leftovers: each unassigned node (ascending id) seeds
+    // into the currently smallest tile (ties -> lowest tile index) and
+    // claims its component.
+    std::vector<std::size_t> sizes(tiles, 0);
+    for (const std::uint32_t t : part->node_tile_) {
+      if (t != kNoGhost) ++sizes[t];
+    }
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (part->node_tile_[n] != kNoGhost) continue;
+      const std::size_t smallest = static_cast<std::size_t>(
+          std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+      part->node_tile_[n] = static_cast<std::uint32_t>(smallest);
+      std::size_t claimed = 1;
+      // Claim the whole component, tracking growth so `sizes` stays
+      // accurate for the next leftover seed.
+      std::deque<NodeId> component{n};
+      while (!component.empty()) {
+        const NodeId c = component.front();
+        component.pop_front();
+        for (const SharedTopology::Incidence& inc : topo.Incidences(c)) {
+          if (part->node_tile_[inc.neighbor] == kNoGhost) {
+            part->node_tile_[inc.neighbor] =
+                static_cast<std::uint32_t>(smallest);
+            component.push_back(inc.neighbor);
+            ++claimed;
+          }
+        }
+      }
+      sizes[smallest] += claimed;
+    }
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      ++part->node_counts_[part->node_tile_[n]];
+    }
+  }
+
+  // Edge ownership: the tile of `u` owns the edge; a border edge gets a
+  // ghost slot in the tile of `v`. Walking edges in id order makes the
+  // per-tile slot arrays ascend by edge id (pinned by tiling_test).
+  part->locs_.resize(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    const SharedTopology::EdgeTopo& ed = topo.edge(e);
+    const std::uint32_t tu = part->node_tile_[ed.u];
+    const std::uint32_t tv = part->node_tile_[ed.v];
+    EdgeLoc& loc = part->locs_[e];
+    loc.owner_tile = tu;
+    loc.owner_slot =
+        static_cast<std::uint32_t>(part->owned_edges_[tu].size());
+    part->owned_edges_[tu].push_back(e);
+    if (tv != tu) {
+      loc.ghost_tile = tv;
+      loc.ghost_slot =
+          static_cast<std::uint32_t>(part->ghost_edges_[tv].size());
+      part->ghost_edges_[tv].push_back(e);
+      ++part->num_border_edges_;
+    }
+  }
+  return part;
+}
+
+std::size_t TilePartition::MemoryBytes() const {
+  std::size_t bytes = node_tile_.capacity() * sizeof(std::uint32_t) +
+                      locs_.capacity() * sizeof(EdgeLoc) +
+                      node_counts_.capacity() * sizeof(std::size_t);
+  for (const std::vector<EdgeId>& v : owned_edges_) {
+    bytes += v.capacity() * sizeof(EdgeId);
+  }
+  for (const std::vector<EdgeId>& v : ghost_edges_) {
+    bytes += v.capacity() * sizeof(EdgeId);
+  }
+  return bytes;
+}
+
+void TiledWeightStore::PushBack(double w) {
+  CKNN_CHECK(part_ == nullptr);  // Topology mutation requires flat mode.
+  flat_.push_back(w);
+}
+
+std::size_t TiledWeightStore::size() const {
+  if (part_ == nullptr) return flat_.size();
+  return part_->NumEdges();
+}
+
+void TiledWeightStore::Set(EdgeId e, double w) {
+  if (part_ == nullptr) {
+    flat_[e] = w;
+    return;
+  }
+  const TilePartition::EdgeLoc& loc = part_->Loc(e);
+  tiles_[loc.owner_tile].owned[loc.owner_slot] = w;
+  if (loc.ghost_tile != TilePartition::kNoGhost) {
+    // Halo maintenance: the mirrored write is the cross-border message a
+    // multi-process deployment would send to the neighbor tile.
+    tiles_[loc.ghost_tile].ghosts[loc.ghost_slot] = w;
+  }
+}
+
+void TiledWeightStore::Retile(std::shared_ptr<const TilePartition> part) {
+  const std::size_t n = size();
+  if (part == nullptr) {
+    if (part_ == nullptr) return;
+    std::vector<double> flat(n);
+    for (EdgeId e = 0; e < n; ++e) flat[e] = TiledGet(e);
+    flat_ = std::move(flat);
+    tiles_.clear();
+    part_ = nullptr;
+    return;
+  }
+  CKNN_CHECK(part->NumEdges() == n);
+  std::vector<Tile> tiles(static_cast<std::size_t>(part->num_tiles()));
+  for (int t = 0; t < part->num_tiles(); ++t) {
+    tiles[static_cast<std::size_t>(t)].owned.resize(
+        part->OwnedEdges(t).size());
+    tiles[static_cast<std::size_t>(t)].ghosts.resize(
+        part->GhostEdges(t).size());
+  }
+  for (EdgeId e = 0; e < n; ++e) {
+    const double w = Get(e);
+    const TilePartition::EdgeLoc& loc = part->Loc(e);
+    tiles[loc.owner_tile].owned[loc.owner_slot] = w;
+    if (loc.ghost_tile != TilePartition::kNoGhost) {
+      tiles[loc.ghost_tile].ghosts[loc.ghost_slot] = w;
+    }
+  }
+  tiles_ = std::move(tiles);
+  flat_.clear();
+  flat_.shrink_to_fit();
+  part_ = std::move(part);
+}
+
+std::size_t TiledWeightStore::MemoryBytes() const {
+  std::size_t bytes = flat_.capacity() * sizeof(double) +
+                      tiles_.capacity() * sizeof(Tile);
+  for (const Tile& t : tiles_) {
+    bytes += t.owned.capacity() * sizeof(double) +
+             t.ghosts.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace cknn

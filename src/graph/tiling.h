@@ -1,0 +1,177 @@
+#ifndef CKNN_GRAPH_TILING_H_
+#define CKNN_GRAPH_TILING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/graph/topology.h"
+#include "src/graph/types.h"
+
+namespace cknn {
+
+/// \brief Region-tile decomposition of a road network's *weight storage*
+/// (docs/tiling.md).
+///
+/// Nodes are partitioned into `num_tiles` connected regions by a
+/// deterministic multi-source BFS over the shared topology (METIS-lite:
+/// evenly spaced seeds, round-robin frontier growth, disconnected
+/// leftovers folded into the smallest tile). Every edge is *owned* by the
+/// tile of its `u` endpoint; a **border edge** — one whose endpoints lie
+/// in different tiles — additionally gets a **ghost (halo) slot** in the
+/// `v` endpoint's tile, so that tile can expand across the border reading
+/// only its own storage. `TiledWeightStore::Set` routes a weight update to
+/// the owner slot and mirrors it into the ghost slot, which is exactly
+/// the per-update message a multi-process deployment would send across
+/// the tile boundary.
+///
+/// The partition itself (tile assignment + per-edge slot locators) is
+/// immutable and shared by `shared_ptr` across every view of the network;
+/// only the per-view weight payload (`TiledWeightStore`) is replicated.
+class TilePartition {
+ public:
+  /// Sentinel for "no ghost slot" (interior edge).
+  static constexpr std::uint32_t kNoGhost =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Locator of one edge's weight: the owning tile/slot, plus the ghost
+  /// tile/slot for border edges.
+  struct EdgeLoc {
+    std::uint32_t owner_tile = 0;
+    std::uint32_t owner_slot = 0;
+    std::uint32_t ghost_tile = kNoGhost;
+    std::uint32_t ghost_slot = kNoGhost;
+  };
+
+  /// Builds the partition of `topo` into `num_tiles` regions
+  /// (deterministic for a given topology and tile count). `num_tiles` is
+  /// clamped to the node count; an empty topology yields a single empty
+  /// tile.
+  static std::shared_ptr<const TilePartition> Build(
+      const SharedTopology& topo, int num_tiles);
+
+  int num_tiles() const { return static_cast<int>(owned_edges_.size()); }
+
+  std::uint32_t TileOfNode(NodeId n) const { return node_tile_[n]; }
+  std::uint32_t TileOfEdge(EdgeId e) const { return locs_[e].owner_tile; }
+  const EdgeLoc& Loc(EdgeId e) const { return locs_[e]; }
+
+  /// True iff the endpoints of `e` lie in different tiles.
+  bool IsBorderEdge(EdgeId e) const {
+    return locs_[e].ghost_tile != kNoGhost;
+  }
+
+  /// Edges owned by `tile`, ascending edge id; `OwnedEdges(t)[s]` is the
+  /// edge stored in owner slot `s`.
+  const std::vector<EdgeId>& OwnedEdges(int tile) const {
+    return owned_edges_[static_cast<std::size_t>(tile)];
+  }
+
+  /// Border edges ghosted into `tile` (owned elsewhere), ascending edge
+  /// id; `GhostEdges(t)[s]` is the edge mirrored in ghost slot `s`.
+  const std::vector<EdgeId>& GhostEdges(int tile) const {
+    return ghost_edges_[static_cast<std::size_t>(tile)];
+  }
+
+  /// Nodes assigned to `tile`.
+  std::size_t NodeCount(int tile) const {
+    return node_counts_[static_cast<std::size_t>(tile)];
+  }
+
+  std::size_t NumBorderEdges() const { return num_border_edges_; }
+  std::size_t NumNodes() const { return node_tile_.size(); }
+  std::size_t NumEdges() const { return locs_.size(); }
+
+  /// Estimated heap footprint in bytes (assignment + locator + slot
+  /// arrays). Shared across views, counted once per graph.
+  std::size_t MemoryBytes() const;
+
+ private:
+  TilePartition() = default;
+
+  std::vector<std::uint32_t> node_tile_;  ///< NodeId -> tile.
+  std::vector<EdgeLoc> locs_;             ///< EdgeId -> slots.
+  std::vector<std::vector<EdgeId>> owned_edges_;
+  std::vector<std::vector<EdgeId>> ghost_edges_;
+  std::vector<std::size_t> node_counts_;
+  std::size_t num_border_edges_ = 0;
+};
+
+/// \brief Per-view dynamic edge weights, either *flat* (one dense array
+/// indexed by edge id — the default, byte-for-byte the monolithic layout)
+/// or *tiled* (per-tile owned arrays plus ghost arrays for border edges,
+/// addressed through a shared `TilePartition`).
+///
+/// Invariant in tiled mode: for every border edge the ghost slot holds
+/// the same value as the owner slot — `Set` writes both, `Get` reads the
+/// owner. Reads and writes never touch a tile the edge does not belong
+/// to, which is what makes a tile the unit of ownership for a future
+/// multi-process split.
+class TiledWeightStore {
+ public:
+  TiledWeightStore() = default;
+
+  // Copyable: a copy is an independent weight overlay over the same
+  // (shared) partition — how a per-shard view gets its private weights.
+  TiledWeightStore(const TiledWeightStore&) = default;
+  TiledWeightStore& operator=(const TiledWeightStore&) = default;
+  TiledWeightStore(TiledWeightStore&&) = default;
+  TiledWeightStore& operator=(TiledWeightStore&&) = default;
+
+  /// Appends the weight of a freshly added edge (flat mode only).
+  void PushBack(double w);
+
+  std::size_t size() const;
+
+  /// Current weight of edge `e`.
+  double Get(EdgeId e) const {
+    return part_ == nullptr ? flat_[e] : TiledGet(e);
+  }
+
+  /// Sets the weight of edge `e`; in tiled mode routes the write to the
+  /// owning tile's slot and mirrors it into the ghost slot (if any).
+  void Set(EdgeId e, double w);
+
+  /// Re-partitions the current weights onto `part` (nullptr = back to the
+  /// flat single-array layout). Values are preserved exactly.
+  void Retile(std::shared_ptr<const TilePartition> part);
+
+  /// The active partition; nullptr in flat mode.
+  const TilePartition* partition() const { return part_.get(); }
+
+  /// \name Tile-local reads (tests / halo verification).
+  /// @{
+  double OwnedValue(int tile, std::uint32_t slot) const {
+    return tiles_[static_cast<std::size_t>(tile)].owned[slot];
+  }
+  double GhostValue(int tile, std::uint32_t slot) const {
+    return tiles_[static_cast<std::size_t>(tile)].ghosts[slot];
+  }
+  /// @}
+
+  /// Estimated heap footprint of the *per-view* payload in bytes (owned +
+  /// ghost arrays; the shared partition is not included — it is counted
+  /// once per graph via TilePartition::MemoryBytes).
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Tile {
+    std::vector<double> owned;
+    std::vector<double> ghosts;
+  };
+
+  double TiledGet(EdgeId e) const {
+    const TilePartition::EdgeLoc& loc = part_->Loc(e);
+    return tiles_[loc.owner_tile].owned[loc.owner_slot];
+  }
+
+  std::shared_ptr<const TilePartition> part_;
+  std::vector<double> flat_;  ///< Flat mode payload (empty when tiled).
+  std::vector<Tile> tiles_;   ///< Tiled mode payload (empty when flat).
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_GRAPH_TILING_H_

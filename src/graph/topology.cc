@@ -1,0 +1,93 @@
+#include "src/graph/topology.h"
+
+#include "src/util/macros.h"
+
+namespace cknn {
+
+void SharedTopology::EnsureCsr() const {
+  if (csr_valid_) return;
+  const std::size_t n = node_positions_.size();
+  csr_offsets_.assign(n + 1, 0);
+  for (const EdgeTopo& e : edges_) {
+    ++csr_offsets_[e.u + 1];
+    ++csr_offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) csr_offsets_[i] += csr_offsets_[i - 1];
+  csr_incidences_.resize(2 * edges_.size());
+  // Per-node write cursors; walking the edges in id order reproduces the
+  // historical per-node push_back order (ascending edge id), so expansion
+  // iteration order — and with it every tie-dependent golden result — is
+  // unchanged.
+  std::vector<std::uint32_t> cursor(csr_offsets_.begin(),
+                                    csr_offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const EdgeTopo& e = edges_[id];
+    csr_incidences_[cursor[e.u]++] = Incidence{id, e.v};
+    csr_incidences_[cursor[e.v]++] = Incidence{id, e.u};
+  }
+  csr_valid_ = true;
+}
+
+const Point& SharedTopology::NodePosition(NodeId n) const {
+  CKNN_CHECK(n < NumNodes());
+  return node_positions_[n];
+}
+
+const SharedTopology::EdgeTopo& SharedTopology::edge(EdgeId e) const {
+  CKNN_CHECK(e < NumEdges());
+  return edges_[e];
+}
+
+std::size_t SharedTopology::Degree(NodeId n) const {
+  CKNN_CHECK(n < NumNodes());
+  EnsureCsr();
+  return csr_offsets_[n + 1] - csr_offsets_[n];
+}
+
+SharedTopology::IncidenceSpan SharedTopology::Incidences(NodeId n) const {
+  CKNN_CHECK(n < NumNodes());
+  EnsureCsr();
+  const std::uint32_t begin = csr_offsets_[n];
+  return IncidenceSpan(csr_incidences_.data() + begin,
+                       csr_offsets_[n + 1] - begin);
+}
+
+NodeId SharedTopology::OtherEndpoint(EdgeId e, NodeId n) const {
+  const EdgeTopo& ed = edge(e);
+  CKNN_CHECK(ed.u == n || ed.v == n);
+  return ed.u == n ? ed.v : ed.u;
+}
+
+bool SharedTopology::IsEndpoint(EdgeId e, NodeId n) const {
+  const EdgeTopo& ed = edge(e);
+  return ed.u == n || ed.v == n;
+}
+
+Segment SharedTopology::EdgeSegment(EdgeId e) const {
+  const EdgeTopo& ed = edge(e);
+  return Segment{node_positions_[ed.u], node_positions_[ed.v]};
+}
+
+Rect SharedTopology::BoundingBox() const {
+  if (node_positions_.empty()) return Rect{};
+  Rect box{node_positions_[0].x, node_positions_[0].y, node_positions_[0].x,
+           node_positions_[0].y};
+  for (const Point& p : node_positions_) box.Expand(p);
+  return box;
+}
+
+double SharedTopology::AverageEdgeLength() const {
+  if (edges_.empty()) return 0.0;
+  double total = 0.0;
+  for (const EdgeTopo& e : edges_) total += e.length;
+  return total / static_cast<double>(edges_.size());
+}
+
+std::size_t SharedTopology::MemoryBytes() const {
+  return node_positions_.capacity() * sizeof(Point) +
+         edges_.capacity() * sizeof(EdgeTopo) +
+         csr_offsets_.capacity() * sizeof(std::uint32_t) +
+         csr_incidences_.capacity() * sizeof(Incidence);
+}
+
+}  // namespace cknn

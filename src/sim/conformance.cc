@@ -127,12 +127,14 @@ Result<ConformanceReport> RunLockstep(
 
 std::vector<std::unique_ptr<MonitoringServer>> BuildLockstepServers(
     const RoadNetwork& network, const std::vector<Algorithm>& algorithms,
-    int shards, int pipeline_depth) {
+    int shards, int pipeline_depth, int tiles) {
   std::vector<std::unique_ptr<MonitoringServer>> servers;
   servers.reserve(algorithms.size());
   for (const Algorithm algo : algorithms) {
+    // Shared-topology views: every lockstep server references one
+    // immutable topology and keeps only a private weight overlay.
     servers.push_back(std::make_unique<MonitoringServer>(
-        CloneNetwork(network), algo, shards, pipeline_depth));
+        network.SharedView(), algo, shards, pipeline_depth, tiles));
   }
   return servers;
 }
@@ -145,7 +147,7 @@ Result<ConformanceReport> CheckTraceConformance(
   }
   const std::vector<std::unique_ptr<MonitoringServer>> servers =
       BuildLockstepServers(trace.network, options.algorithms, options.shards,
-                           options.pipeline_depth);
+                           options.pipeline_depth, options.tiles);
   std::vector<MonitoringServer*> ptrs;
   ptrs.reserve(servers.size());
   for (const auto& server : servers) ptrs.push_back(server.get());

@@ -30,18 +30,23 @@ struct ExperimentSpec {
   /// ticks, 2 = double-buffered asynchronous ingest; docs/pipeline.md).
   /// Like `shards`, an execution detail: results are identical.
   int pipeline_depth = 1;
+  /// Region tiles of the weight storage (1 = flat monolithic layout;
+  /// docs/tiling.md). Like `shards`, an execution detail: results are
+  /// identical at every tile count.
+  int tiles = 1;
 };
 
 /// Runs one algorithm on one spec and returns its run metrics.
 RunMetrics RunExperiment(Algorithm algorithm, const ExperimentSpec& spec);
 
 /// Runs one algorithm on a pre-built network with a Brinkhoff workload
-/// (Figure 19). The network is cloned internally.
+/// (Figure 19). The server runs on a shared-topology view of
+/// `base_network` (its weights evolve independently).
 RunMetrics RunBrinkhoffExperiment(Algorithm algorithm,
                                   const RoadNetwork& base_network,
                                   const BrinkhoffWorkload::Config& config,
                                   int timestamps, int shards = 1,
-                                  int pipeline_depth = 1);
+                                  int pipeline_depth = 1, int tiles = 1);
 
 /// Self-describing trace-header metadata for a spec: everything needed to
 /// regenerate the workload from scratch (the network itself is embedded in
@@ -56,8 +61,8 @@ Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
                                          const ExperimentSpec& spec,
                                          const std::string& trace_path);
 
-/// Replays a recorded trace against one algorithm on a clone of the
-/// trace's network, timing each tick (wall + process CPU). The horizon is
+/// Replays a recorded trace against one algorithm on a shared-topology
+/// view of the trace's network, timing each tick (wall + process CPU). The horizon is
 /// the trace's own. Unlike the generator paths, semantically invalid
 /// batches (a trace recorded against a different network state) surface
 /// as error Status instead of aborting — the pipelined submit validates
@@ -66,7 +71,7 @@ Result<RunMetrics> RunRecordedExperiment(Algorithm algorithm,
 /// the server maintains the current one.
 Result<RunMetrics> RunTraceReplay(Algorithm algorithm, const Trace& trace,
                                   bool measure_memory, int shards = 1,
-                                  int pipeline_depth = 1);
+                                  int pipeline_depth = 1, int tiles = 1);
 
 /// \brief Paper-style series table: one row per x-value, one column per
 /// series (typically OVH / IMA / GMA), printed as an aligned text table.

@@ -77,7 +77,8 @@ file(WRITE "${WORK_DIR}/fig_good_b.json" [=[
       "name": "FigB/algo:1/Q_thousands:1/iterations:1/manual_time",
       "run_type": "iteration", "iterations": 1,
       "real_time": 1.0, "cpu_time": 2.0, "time_unit": "ms",
-      "sec_per_ts": 0.003, "mem_kb": 1234.5, "label": "IMA"
+      "sec_per_ts": 0.003, "mem_kb": 1234.5, "label": "IMA",
+      "legacy_clone_mem_kb": 9876.5
     }
   ]
 }
@@ -118,6 +119,9 @@ expect_contains(happy "\"N_thousands\": 10" "${merged}")
 # The wall/CPU split: recorded when present, null when the capture
 # predates the counter (fig_good_b has none).
 expect_contains(happy "\"cpu_sec_per_ts\": 0.0015" "${merged}")
+# Non-standard numeric counters survive the merge under "extras".
+expect_contains(happy "\"legacy_clone_mem_kb\": 9876.5" "${merged}")
+expect_contains(happy "\"extras\"" "${merged}")
 expect_contains(happy "\"cpu_sec_per_ts\": null" "${merged}")
 
 # -------------------------------------------------- malformed figure JSON --

@@ -257,5 +257,53 @@ TEST(GmaTest, AgreesWithOvhUnderMixedUpdates) {
   }
 }
 
+// The sequence table is built once per graph and cached on the shared
+// topology: every GMA instance over views of the same network holds the
+// same table (PR-4 carry-over fix — the per-shard duplicates used to
+// scale the active-node substrate with the shard count).
+TEST(GmaTest, SequenceTableSharedAcrossViews) {
+  RoadNetwork net =
+      GenerateRoadNetwork(NetworkGenConfig{.target_edges = 200, .seed = 3});
+  RoadNetwork view = net.SharedView();
+  EXPECT_EQ(net.SharedSequences().get(), view.SharedSequences().get());
+
+  ObjectTable objects_a(net.NumEdges());
+  ObjectTable objects_b(net.NumEdges());
+  Gma a(&net, &objects_a);
+  Gma b(&view, &objects_b);
+  EXPECT_EQ(&a.sequences(), &b.sequences());
+  EXPECT_GT(a.SharedMemoryBytes(), 0u);
+  EXPECT_EQ(a.SharedMemoryBytes(), b.SharedMemoryBytes());
+}
+
+// Memory pin for the shared table: the per-shard increment of a GMA
+// server must not include another copy of the sequence table, so going
+// from 1 shard to 8 adds less than one extra table's worth per shard.
+TEST(GmaTest, ShardedServerCountsSequenceTableOnce) {
+  RoadNetwork base =
+      GenerateRoadNetwork(NetworkGenConfig{.target_edges = 400, .seed = 21});
+  MonitoringServer serial(base.SharedView(), Algorithm::kGma);
+  MonitoringServer sharded(base.SharedView(), Algorithm::kGma,
+                           /*num_shards=*/8);
+  const std::size_t st_bytes = serial.monitor().SharedMemoryBytes();
+  ASSERT_GT(st_bytes, 0u);
+  // Every shard reports the same shared block...
+  std::size_t sum_monitors = 0;
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_EQ(sharded.shards().monitor(s).SharedMemoryBytes(), st_bytes);
+    sum_monitors += sharded.shards().monitor(s).MemoryBytes();
+  }
+  // ...and the merged total counts it once. The bracket: per-shard
+  // monitor bytes, plus exactly one sequence table, plus at most one
+  // 8-byte/edge weight overlay per extra shard (a shard view's overlay
+  // never exceeds the primary's capacity-based estimate). A per-shard
+  // table copy would blow through the upper bound by 7 x st_bytes.
+  const std::size_t overlay = sharded.network().OverlayMemoryBytes();
+  const std::size_t mem8 = sharded.MonitorMemoryBytes();
+  EXPECT_GE(mem8, sum_monitors + st_bytes);
+  EXPECT_LE(mem8, sum_monitors + st_bytes + 7 * overlay);
+  EXPECT_GE(mem8, serial.MonitorMemoryBytes());
+}
+
 }  // namespace
 }  // namespace cknn

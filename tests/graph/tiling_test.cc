@@ -1,0 +1,215 @@
+#include "src/graph/tiling.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/gen/network_gen.h"
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cknn {
+namespace {
+
+// Structural invariants of a partition (docs/tiling.md): every node
+// assigned, every tile non-empty, an edge owned by the tile of its u
+// endpoint, a ghost slot iff the endpoints straddle a border (in the
+// tile of v), and slot arrays consistent with the per-edge locators.
+void CheckPartitionInvariants(const SharedTopology& topo,
+                              const TilePartition& part) {
+  ASSERT_EQ(part.NumNodes(), topo.NumNodes());
+  ASSERT_EQ(part.NumEdges(), topo.NumEdges());
+  const int tiles = part.num_tiles();
+  ASSERT_GE(tiles, 1);
+
+  std::size_t assigned = 0;
+  for (int t = 0; t < tiles; ++t) {
+    EXPECT_GE(part.NodeCount(t), 1u) << "empty tile " << t;
+    assigned += part.NodeCount(t);
+  }
+  EXPECT_EQ(assigned, topo.NumNodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(topo.NumNodes()); ++n) {
+    ASSERT_LT(part.TileOfNode(n), static_cast<std::uint32_t>(tiles));
+  }
+
+  std::size_t owned_total = 0, ghost_total = 0;
+  for (int t = 0; t < tiles; ++t) {
+    owned_total += part.OwnedEdges(t).size();
+    ghost_total += part.GhostEdges(t).size();
+    // Slot arrays ascend by edge id and agree with the locators.
+    for (std::size_t s = 0; s < part.OwnedEdges(t).size(); ++s) {
+      const EdgeId e = part.OwnedEdges(t)[s];
+      if (s > 0) {
+        EXPECT_LT(part.OwnedEdges(t)[s - 1], e);
+      }
+      EXPECT_EQ(part.Loc(e).owner_tile, static_cast<std::uint32_t>(t));
+      EXPECT_EQ(part.Loc(e).owner_slot, static_cast<std::uint32_t>(s));
+    }
+    for (std::size_t s = 0; s < part.GhostEdges(t).size(); ++s) {
+      const EdgeId e = part.GhostEdges(t)[s];
+      if (s > 0) {
+        EXPECT_LT(part.GhostEdges(t)[s - 1], e);
+      }
+      EXPECT_EQ(part.Loc(e).ghost_tile, static_cast<std::uint32_t>(t));
+      EXPECT_EQ(part.Loc(e).ghost_slot, static_cast<std::uint32_t>(s));
+    }
+  }
+  EXPECT_EQ(owned_total, topo.NumEdges());
+  EXPECT_EQ(ghost_total, part.NumBorderEdges());
+
+  for (EdgeId e = 0; e < static_cast<EdgeId>(topo.NumEdges()); ++e) {
+    const SharedTopology::EdgeTopo& et = topo.edge(e);
+    const std::uint32_t tu = part.TileOfNode(et.u);
+    const std::uint32_t tv = part.TileOfNode(et.v);
+    EXPECT_EQ(part.TileOfEdge(e), tu) << "edge " << e;
+    if (tu == tv) {
+      EXPECT_FALSE(part.IsBorderEdge(e)) << "edge " << e;
+      EXPECT_EQ(part.Loc(e).ghost_tile, TilePartition::kNoGhost);
+      EXPECT_EQ(part.Loc(e).ghost_slot, TilePartition::kNoGhost);
+    } else {
+      EXPECT_TRUE(part.IsBorderEdge(e)) << "edge " << e;
+      EXPECT_EQ(part.Loc(e).ghost_tile, tv) << "edge " << e;
+    }
+  }
+}
+
+TEST(TilePartitionTest, GridInvariantsAcrossTileCounts) {
+  const RoadNetwork net = testing::MakeGrid(8);
+  ASSERT_NE(net.topology(), nullptr);
+  for (const int tiles : {1, 2, 4, 7, 16}) {
+    SCOPED_TRACE(tiles);
+    auto part = TilePartition::Build(*net.topology(), tiles);
+    ASSERT_NE(part, nullptr);
+    EXPECT_EQ(part->num_tiles(), tiles);
+    CheckPartitionInvariants(*net.topology(), *part);
+    if (tiles == 1) {
+      EXPECT_EQ(part->NumBorderEdges(), 0u);
+    } else {
+      EXPECT_GT(part->NumBorderEdges(), 0u);
+    }
+  }
+}
+
+TEST(TilePartitionTest, RandomNetworkInvariants) {
+  NetworkGenConfig cfg;
+  cfg.target_edges = 600;
+  cfg.seed = 11;
+  const RoadNetwork net = GenerateRoadNetwork(cfg);
+  ASSERT_NE(net.topology(), nullptr);
+  for (const int tiles : {1, 4, 16}) {
+    SCOPED_TRACE(tiles);
+    auto part = TilePartition::Build(*net.topology(), tiles);
+    CheckPartitionInvariants(*net.topology(), *part);
+  }
+}
+
+TEST(TilePartitionTest, TileCountClampedToNodes) {
+  const RoadNetwork net = testing::MakeGrid(2);  // 4 nodes.
+  auto part = TilePartition::Build(*net.topology(), 64);
+  EXPECT_EQ(part->num_tiles(), 4);
+  CheckPartitionInvariants(*net.topology(), *part);
+}
+
+TEST(TilePartitionTest, DeterministicForTopologyAndCount) {
+  const RoadNetwork net = testing::MakeGrid(6);
+  auto a = TilePartition::Build(*net.topology(), 4);
+  auto b = TilePartition::Build(*net.topology(), 4);
+  ASSERT_EQ(a->NumNodes(), b->NumNodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(a->NumNodes()); ++n) {
+    ASSERT_EQ(a->TileOfNode(n), b->TileOfNode(n)) << n;
+  }
+  for (EdgeId e = 0; e < static_cast<EdgeId>(a->NumEdges()); ++e) {
+    ASSERT_EQ(a->Loc(e).owner_slot, b->Loc(e).owner_slot) << e;
+  }
+}
+
+// Retiling must preserve every weight bit-exactly, in both directions.
+TEST(TiledWeightStoreTest, RetileRoundTripIsExact) {
+  RoadNetwork net = testing::MakeGrid(7);
+  Rng rng(99);
+  std::vector<double> expected(net.NumEdges());
+  for (EdgeId e = 0; e < static_cast<EdgeId>(net.NumEdges()); ++e) {
+    expected[e] = 0.25 + rng.NextDouble() * 3.0;
+    ASSERT_TRUE(net.SetWeight(e, expected[e]).ok());
+  }
+  for (const int tiles : {4, 16, 1, 5}) {
+    SCOPED_TRACE(tiles);
+    net.Retile(tiles);
+    EXPECT_EQ(net.num_tiles(), tiles);
+    for (EdgeId e = 0; e < static_cast<EdgeId>(net.NumEdges()); ++e) {
+      // Bit-exact: tiling must not perturb the distance metric.
+      ASSERT_EQ(net.WeightOf(e), expected[e]) << "edge " << e;
+      ASSERT_EQ(net.edge(e).weight, expected[e]) << "edge " << e;
+    }
+  }
+}
+
+// Set on a tiled store writes the owner slot and mirrors the ghost slot
+// (the halo invariant expansion relies on at tile borders).
+TEST(TiledWeightStoreTest, SetMirrorsGhostSlots) {
+  RoadNetwork net = testing::MakeGrid(6);
+  net.Retile(4);
+  const TilePartition* part = net.partition();
+  ASSERT_NE(part, nullptr);
+  ASSERT_GT(part->NumBorderEdges(), 0u);
+  Rng rng(7);
+  for (EdgeId e = 0; e < static_cast<EdgeId>(net.NumEdges()); ++e) {
+    const double w = 0.5 + rng.NextDouble();
+    ASSERT_TRUE(net.SetWeight(e, w).ok());
+    const TilePartition::EdgeLoc& loc = part->Loc(e);
+    const TiledWeightStore& ws = net.weights();
+    ASSERT_EQ(ws.OwnedValue(static_cast<int>(loc.owner_tile),
+                            loc.owner_slot), w);
+    if (part->IsBorderEdge(e)) {
+      ASSERT_EQ(ws.GhostValue(static_cast<int>(loc.ghost_tile),
+                              loc.ghost_slot), w);
+    }
+  }
+}
+
+TEST(TiledWeightStoreTest, SharedViewHasIndependentWeights) {
+  RoadNetwork net = testing::MakeGrid(5);
+  net.Retile(4);
+  RoadNetwork view = net.SharedView();
+  EXPECT_TRUE(view.SharesTopologyWith(net));
+  EXPECT_EQ(view.partition(), net.partition());  // Partition shared too.
+  EXPECT_EQ(view.num_tiles(), 4);
+
+  ASSERT_TRUE(view.SetWeight(0, 42.0).ok());
+  EXPECT_EQ(view.WeightOf(0), 42.0);
+  EXPECT_NE(net.WeightOf(0), 42.0);  // The base view is untouched.
+  ASSERT_TRUE(net.SetWeight(1, 7.0).ok());
+  EXPECT_NE(view.WeightOf(1), 7.0);
+}
+
+// Incidence iteration order — the source of every tie-dependent golden
+// result — must not depend on the tile count.
+TEST(TiledWeightStoreTest, RetilePreservesIncidenceOrder) {
+  RoadNetwork net = testing::MakeGrid(6);
+  std::vector<std::vector<EdgeId>> before(net.NumNodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(net.NumNodes()); ++n) {
+    for (const auto& inc : net.Incidences(n)) before[n].push_back(inc.edge);
+  }
+  net.Retile(9);
+  for (NodeId n = 0; n < static_cast<NodeId>(net.NumNodes()); ++n) {
+    std::vector<EdgeId> after;
+    for (const auto& inc : net.Incidences(n)) after.push_back(inc.edge);
+    ASSERT_EQ(after, before[n]) << "node " << n;
+  }
+}
+
+TEST(TiledWeightStoreTest, EmptyAndSingleNodeNetworks) {
+  RoadNetwork empty;
+  empty.Retile(1);  // No-op on an empty network.
+  EXPECT_EQ(empty.num_tiles(), 1);
+
+  RoadNetwork one;
+  one.AddNode(Point{0, 0});
+  one.Retile(8);  // Clamped to the node count.
+  EXPECT_EQ(one.num_tiles(), 1);
+}
+
+}  // namespace
+}  // namespace cknn

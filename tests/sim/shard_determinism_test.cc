@@ -6,12 +6,15 @@
 // (whose active-node grouping is shard-local) — the parallel decomposition
 // and the ingest overlap are execution details, never semantic ones.
 // Pinned on the committed golden trace at shards {1, 2, 8} x pipeline
-// depth {1, 2} and on a randomized recorded scenario (fuzz_util seeds);
+// depth {1, 2} — plus a weight-tiling leg at tiles {1, 4, 16} x shards
+// {1, 8} x depth {1, 2} (docs/tiling.md) — and on a randomized recorded
+// scenario (fuzz_util seeds);
 // the pipelined servers are additionally fed the whole stream through
 // SubmitBatch with a single final Drain, so genuine multi-tick overlap is
 // exercised (and raced under the CI TSan lane). Runs under the
 // `conformance` CTest label.
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <string>
@@ -130,6 +133,58 @@ void ExpectShardCountInvariance(const RoadNetwork& network,
   }
 }
 
+/// Tiling leg (docs/tiling.md): the weight-store tile count is a pure
+/// storage-layout knob, so replaying one stream at tiles {1, 4, 16} x
+/// shards {1, 8} x pipeline depth {1, 2} must match the flat serial
+/// baseline — byte-identical for IMA/OVH, conformance tolerance for GMA
+/// (the tolerance covers the shard dimension; at shards=1 tiled GMA is
+/// byte-identical too). Servers run on shared-topology views, so the leg
+/// also exercises the post-clone SharedView path end to end.
+void ExpectTileCountInvariance(const RoadNetwork& network,
+                               Algorithm algorithm,
+                               const std::vector<UpdateBatch>& batches) {
+  const bool exact = algorithm != Algorithm::kGma;
+  MonitoringServer baseline(network.SharedView(), algorithm);
+  std::vector<std::unique_ptr<MonitoringServer>> servers;
+  std::vector<std::string> configs;
+  for (const int tiles : {1, 4, 16}) {
+    for (const int shards : {1, 8}) {
+      for (const int depth : kPipelineDepths) {
+        servers.push_back(std::make_unique<MonitoringServer>(
+            network.SharedView(), algorithm, shards, depth, tiles));
+        EXPECT_EQ(servers.back()->num_tiles(),
+                  std::min<int>(tiles, static_cast<int>(network.NumNodes())));
+        configs.push_back("tiles=" + std::to_string(tiles) +
+                          " shards=" + std::to_string(shards) +
+                          " depth=" + std::to_string(depth));
+      }
+    }
+  }
+  std::set<QueryId> live;
+  for (std::size_t tick = 0; tick < batches.size(); ++tick) {
+    SCOPED_TRACE("tick " + std::to_string(tick));
+    ASSERT_TRUE(baseline.Tick(batches[tick]).ok());
+    for (auto& server : servers) {
+      ASSERT_TRUE(server->Tick(batches[tick]).ok());
+    }
+    UpdateLiveQueries(batches[tick], &live);
+    for (const QueryId q : live) {
+      SCOPED_TRACE("query " + std::to_string(q));
+      const std::vector<Neighbor>* base = baseline.ResultOf(q);
+      ASSERT_NE(base, nullptr);
+      for (std::size_t i = 0; i < servers.size(); ++i) {
+        const std::vector<Neighbor>* other = servers[i]->ResultOf(q);
+        ASSERT_NE(other, nullptr) << configs[i] << " lost the query";
+        // At shards=1 even GMA must match byte for byte: tiling alone
+        // never changes an expansion order or a derived distance.
+        const bool cfg_exact = exact || configs[i].find("shards=1") !=
+                                            std::string::npos;
+        testing::ExpectSameNeighbors(cfg_exact, *base, *other, configs[i]);
+      }
+    }
+  }
+}
+
 class ShardDeterminismTest : public ::testing::TestWithParam<Algorithm> {};
 
 TEST_P(ShardDeterminismTest, GoldenTraceIsShardCountInvariant) {
@@ -137,6 +192,13 @@ TEST_P(ShardDeterminismTest, GoldenTraceIsShardCountInvariant) {
   ASSERT_TRUE(trace.ok()) << trace.status().ToString();
   ASSERT_GT(trace->batches.size(), 1u);
   ExpectShardCountInvariance(trace->network, GetParam(), trace->batches);
+}
+
+TEST_P(ShardDeterminismTest, GoldenTraceIsTileCountInvariant) {
+  Result<Trace> trace = ReadTrace(GoldenPath());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_GT(trace->batches.size(), 1u);
+  ExpectTileCountInvariance(trace->network, GetParam(), trace->batches);
 }
 
 TEST_P(ShardDeterminismTest, RandomizedScenarioIsShardCountInvariant) {

@@ -77,6 +77,9 @@ void PrintUsage() {
       "                        tick's generation+aggregation+validation\n"
       "                        with the current tick's maintenance —\n"
       "                        results are identical, see docs/pipeline.md)\n"
+      "  --tiles=N             region tiles of the weight storage\n"
+      "                        (default 1 = flat; results are independent\n"
+      "                        of the tile count — see docs/tiling.md)\n"
       "  --seed=N              master seed (default 42)\n"
       "  --record=FILE         record the generated workload as a trace\n"
       "  --replay=FILE         replay a recorded trace (the network and\n"
@@ -285,6 +288,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
         PrintUsage();
         return false;
       }
+    } else if (ParseFlag(argv[i], "--tiles", &v)) {
+      if (!ParsePositiveInt("--tiles", v, &opt->spec.tiles)) return false;
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       if (!ParseCount("--seed", v, &opt->spec.workload.seed)) return false;
       opt->spec.network.seed = opt->spec.workload.seed ^ 0x9E37;
@@ -401,6 +406,7 @@ int RunReplayModes(const Options& opt) {
     ConformanceOptions conf;
     conf.shards = opt.spec.shards;
     conf.pipeline_depth = opt.spec.pipeline_depth;
+    conf.tiles = opt.spec.tiles;
     return PrintConformance(CheckTraceConformance(*trace, conf));
   }
   if (opt.compare) {
@@ -408,7 +414,7 @@ int RunReplayModes(const Options& opt) {
         "Algorithm comparison (replay)", opt.memory, [&](Algorithm algo) {
           std::fprintf(stderr, "replaying %s...\n", AlgorithmName(algo));
           return RunTraceReplay(algo, *trace, opt.memory, opt.spec.shards,
-                                opt.spec.pipeline_depth);
+                                opt.spec.pipeline_depth, opt.spec.tiles);
         });
   }
   std::fprintf(stderr, "replaying %s on %s (%zu edges, %zu ticks)...\n",
@@ -416,7 +422,7 @@ int RunReplayModes(const Options& opt) {
                trace->network.NumEdges(), trace->batches.size());
   Result<RunMetrics> metrics =
       RunTraceReplay(opt.algo, *trace, opt.memory, opt.spec.shards,
-                     opt.spec.pipeline_depth);
+                     opt.spec.pipeline_depth, opt.spec.tiles);
   if (!metrics.ok()) {
     std::fprintf(stderr, "replay failed: %s\n",
                  metrics.status().ToString().c_str());
@@ -432,7 +438,8 @@ int RunGeneratedConformance(const Options& opt) {
   const RoadNetwork net = GenerateRoadNetwork(opt.spec.network);
   const std::vector<std::unique_ptr<MonitoringServer>> servers =
       BuildLockstepServers(net, ConformanceOptions{}.algorithms,
-                           opt.spec.shards, opt.spec.pipeline_depth);
+                           opt.spec.shards, opt.spec.pipeline_depth,
+                           opt.spec.tiles);
   std::vector<MonitoringServer*> ptrs;
   ptrs.reserve(servers.size());
   for (const auto& server : servers) ptrs.push_back(server.get());
