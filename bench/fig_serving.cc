@@ -1,0 +1,83 @@
+// Serving-throughput figure (beyond the paper): sustained updates/sec and
+// submit-to-visible latency percentiles of the multi-producer serving
+// front end (src/serve/, docs/serving.md) under the million-entity bursty
+// scenario — N objects and Q queries on the Table-2 network, `producers`
+// threads pushing pre-partitioned request streams through the bounded
+// queue, every 4th burst an arrival spike. The manual time / sec_per_ts
+// counter is the mean wall cost of one burst window (submission +
+// coalesced ticks), comparable to the per-timestamp cost of the other
+// figures; the serving-specific counters ride along as extras in
+// BENCH_results.json (updates_per_sec, p50/p95/p99/max latency in ms,
+// high-water queue depth, queue-full rejections).
+//
+// Paper and quick scale both run the full N=1M / Q=100K scenario (the
+// point of the figure is the ingest path at scale, and setup cost is
+// outside the timed windows); quick just shortens the burst horizon.
+// Smoke shrinks everything for the bench-smoke CTest leg.
+
+#include <cstddef>
+
+#include "bench/bench_common.h"
+#include "src/serve/loadgen.h"
+
+namespace cknn::bench {
+namespace {
+
+void FigServing(benchmark::State& state) {
+  const BenchScale scale = ScaleOf();
+  serve::LoadScenarioConfig config;
+  config.algorithm = AlgoOf(state.range(0));
+  config.producers = static_cast<int>(state.range(1));
+  config.network.seed = 1;
+  config.seed = 42;
+  if (scale == BenchScale::kSmoke) {
+    config.network.target_edges = 500;
+    config.num_objects = 20000;
+    config.num_queries = 2000;
+    config.k = 4;
+    config.bursts = 2;
+    config.heavy_every = 2;
+  } else {
+    config.network.target_edges = 10000;
+    config.num_objects = 1000000;
+    config.num_queries = 100000;
+    config.k = 10;
+    config.bursts = scale == BenchScale::kPaper ? 8 : 4;
+    config.heavy_every = 4;
+  }
+
+  for (auto _ : state) {
+    Result<serve::LoadScenarioReport> report =
+        serve::RunLoadScenario(config);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(report->metrics.AvgSeconds());
+    state.counters["sec_per_ts"] = report->metrics.AvgSeconds();
+    state.counters["max_sec"] = report->metrics.MaxSeconds();
+    state.counters["cpu_sec_per_ts"] = report->metrics.AvgCpuSeconds();
+    state.counters["updates_per_sec"] = report->updates_per_sec;
+    state.counters["p50_ms"] = report->stats.latency_p50_sec * 1e3;
+    state.counters["p95_ms"] = report->stats.latency_p95_sec * 1e3;
+    state.counters["p99_ms"] = report->stats.latency_p99_sec * 1e3;
+    state.counters["max_latency_ms"] = report->stats.latency_max_sec * 1e3;
+    state.counters["max_queue_depth"] =
+        static_cast<double>(report->stats.max_queue_depth);
+    state.counters["rejected_full"] =
+        static_cast<double>(report->stats.rejected_queue_full);
+    state.counters["serving_mem_kb"] =
+        static_cast<double>(report->monitor_memory_bytes) / 1024.0;
+  }
+  state.SetLabel(AlgorithmName(config.algorithm));
+}
+
+BENCHMARK(FigServing)
+    ->ArgNames({"algo", "producers"})
+    ->ArgsProduct({{1, 2}, {1, 4}})
+    ->Iterations(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cknn::bench

@@ -61,6 +61,7 @@ figures=(
   fig18_memory
   fig19_brinkhoff
   fig_pipeline
+  fig_serving
   fig_sharding
   fig_tiling
 )

@@ -103,6 +103,22 @@ class MonitoringServer {
     return shards_.ResultOf(id);
   }
 
+  /// \name Non-aborting read accessors (serving front ends).
+  /// Same data as `ResultOf`/`NumQueries`/`MonitorMemoryBytes`, but an
+  /// in-flight tick yields FailedPrecondition instead of tripping the
+  /// internal CHECK — a client read can never crash the server.
+  /// @{
+  Status TryResultOf(QueryId id, const std::vector<Neighbor>** out) const {
+    return shards_.TryResultOf(id, out);
+  }
+  Result<std::size_t> TryNumQueries() const {
+    return shards_.TryNumQueries();
+  }
+  Result<std::size_t> TryMonitorMemoryBytes() const {
+    return shards_.TryMemoryBytes();
+  }
+  /// @}
+
   const RoadNetwork& network() const { return network_; }
   const ObjectTable& objects() const { return objects_; }
   const PmrQuadtree& spatial_index() const { return *spatial_index_; }

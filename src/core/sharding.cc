@@ -158,6 +158,24 @@ std::size_t ShardSet::NumQueries() const {
   return n;
 }
 
+Result<std::size_t> ShardSet::TryNumQueries() const {
+  if (in_flight_) {
+    return Status::FailedPrecondition(
+        "query count unavailable: a detached tick is in flight (Drain "
+        "first)");
+  }
+  return NumQueries();
+}
+
+Result<std::size_t> ShardSet::TryMemoryBytes() const {
+  if (in_flight_) {
+    return Status::FailedPrecondition(
+        "memory metrics unavailable: a detached tick is in flight (Drain "
+        "first)");
+  }
+  return MemoryBytes();
+}
+
 std::size_t ShardSet::MemoryBytes() const {
   CKNN_CHECK(!in_flight_);
   std::size_t bytes = 0;

@@ -12,6 +12,7 @@
 #include "src/core/updates.h"
 #include "src/graph/road_network.h"
 #include "src/util/macros.h"
+#include "src/util/result.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
 
@@ -107,6 +108,36 @@ class ShardSet {
     CKNN_CHECK(!in_flight_);
     return shards_[ShardOf(id)].monitor->ResultOf(id);
   }
+
+  /// \name Non-aborting accessor variants for client-facing callers.
+  ///
+  /// The CHECK-guarded accessors above are internal invariants: the
+  /// engine's own pipeline never reads mid-flight, so tripping the CHECK
+  /// there is a bug. A serving front end, however, takes reads from
+  /// clients at arbitrary times; these variants turn the same in-flight
+  /// condition into a FailedPrecondition status so a well-timed read can
+  /// never crash the process.
+  /// @{
+
+  /// Result of a query without the CHECK: FailedPrecondition while a
+  /// detached tick is in flight, otherwise OK with `*out` set to the
+  /// k-NN list — nullptr when the query is unknown.
+  Status TryResultOf(QueryId id, const std::vector<Neighbor>** out) const {
+    if (in_flight_) {
+      return Status::FailedPrecondition(
+          "results unavailable: a detached tick is in flight (Drain first)");
+    }
+    *out = shards_[ShardOf(id)].monitor->ResultOf(id);
+    return Status::OK();
+  }
+
+  /// NumQueries without the CHECK (FailedPrecondition while in flight).
+  Result<std::size_t> TryNumQueries() const;
+
+  /// MemoryBytes without the CHECK (FailedPrecondition while in flight).
+  Result<std::size_t> TryMemoryBytes() const;
+
+  /// @}
 
   /// Whether a query is registered, according to the caller-side registry
   /// — the same answer as probing the owning engine for every validated

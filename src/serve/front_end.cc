@@ -1,0 +1,424 @@
+#include "src/serve/front_end.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/object_table.h"
+
+namespace cknn {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+ServingFrontEnd::ServingFrontEnd(MonitoringServer* server,
+                                 ServingConfig config)
+    : server_(server),
+      config_(config),
+      latency_(config.latency_reservoir_capacity) {
+  CKNN_CHECK(server_ != nullptr);
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+}
+
+ServingFrontEnd::~ServingFrontEnd() { Shutdown(); }
+
+Status ServingFrontEnd::TrySubmit(const ServeRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("serving front end is shut down");
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      ++rejected_queue_full_;
+      return Status::ResourceExhausted(
+          "submission queue full (capacity " +
+          std::to_string(config_.queue_capacity) + ")");
+    }
+    queue_.push_back(Entry{request, Clock::now()});
+    ++accepted_;
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+Status ServingFrontEnd::Submit(const ServeRequest& request) {
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    not_full_.wait(lock, [&] {
+      return shutdown_ || queue_.size() < config_.queue_capacity;
+    });
+    if (shutdown_) {
+      return Status::FailedPrecondition("serving front end is shut down");
+    }
+    queue_.push_back(Entry{request, Clock::now()});
+    ++accepted_;
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+void ServingFrontEnd::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  CKNN_CHECK(!pump_.joinable());
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    CKNN_CHECK(!shutdown_);
+  }
+  pump_ = std::thread([this] { PumpLoop(); });
+}
+
+void ServingFrontEnd::PumpLoop() {
+  while (true) {
+    std::vector<Entry> slice;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      not_empty_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // Shutdown with a drained queue.
+      slice = TakeSliceLocked();
+      pump_busy_ = true;
+    }
+    not_full_.notify_all();
+    ProcessSlice(std::move(slice));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pump_busy_ = false;
+    }
+    drained_.notify_all();
+  }
+  drained_.notify_all();
+}
+
+std::vector<ServingFrontEnd::Entry> ServingFrontEnd::TakeSliceLocked() {
+  const std::size_t limit =
+      config_.max_batch_requests == 0
+          ? queue_.size()
+          : std::min(queue_.size(), config_.max_batch_requests);
+  std::vector<Entry> slice;
+  slice.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    slice.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return slice;
+}
+
+Status ServingFrontEnd::Flush() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  while (true) {
+    std::vector<Entry> slice;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      if (pump_.joinable()) {
+        // With a pump the barrier is: every pre-Flush request has been
+        // taken AND processed (pump idle). New requests racing past the
+        // barrier are the next window's problem.
+        drained_.wait(lock, [&] { return queue_.empty() && !pump_busy_; });
+        break;
+      }
+      if (queue_.empty()) break;
+      slice = TakeSliceLocked();
+    }
+    not_full_.notify_all();
+    ProcessSlice(std::move(slice));
+  }
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  Status drained = DrainEngineLocked();
+  return drained;
+}
+
+void ServingFrontEnd::Shutdown() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  if (pump_.joinable()) pump_.join();  // Drains the queue before exiting.
+  // No pump (or requests the pump never saw): drain synchronously so
+  // every accepted request still reaches the engine.
+  while (true) {
+    std::vector<Entry> slice;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.empty()) break;
+      slice = TakeSliceLocked();
+    }
+    ProcessSlice(std::move(slice));
+  }
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  (void)DrainEngineLocked();
+}
+
+Result<std::vector<Neighbor>> ServingFrontEnd::ReadResult(QueryId id) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  Status drained = DrainEngineLocked();
+  if (!drained.ok()) return drained;
+  const std::vector<Neighbor>* neighbors = nullptr;
+  Status read = server_->TryResultOf(id, &neighbors);
+  if (!read.ok()) return read;
+  if (neighbors == nullptr) {
+    return Status::NotFound("unknown query " + std::to_string(id));
+  }
+  return *neighbors;
+}
+
+std::size_t ServingFrontEnd::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+ServingStats ServingFrontEnd::Stats() const {
+  ServingStats stats;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.accepted = accepted_;
+    stats.rejected_queue_full = rejected_queue_full_;
+    stats.max_queue_depth = max_queue_depth_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    stats.rejected_invalid = rejected_invalid_;
+    stats.applied = applied_;
+    stats.ticks = ticks_;
+    stats.latency_samples = latency_.count();
+    stats.latency_p50_sec = latency_.Percentile(50.0);
+    stats.latency_p95_sec = latency_.Percentile(95.0);
+    stats.latency_p99_sec = latency_.Percentile(99.0);
+    stats.latency_max_sec = latency_.max();
+  }
+  return stats;
+}
+
+Status ServingFrontEnd::last_error() const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return last_error_;
+}
+
+void ServingFrontEnd::ProcessSlice(std::vector<Entry> slice) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  std::vector<ServeRequest> requests;
+  requests.reserve(slice.size());
+  for (const Entry& entry : slice) requests.push_back(entry.request);
+  BatchBuild built = BuildBatch(requests, *server_);
+  rejected_invalid_ += built.rejected;
+  const std::size_t updates = built.batch.objects.size() +
+                              built.batch.queries.size() +
+                              built.batch.edges.size();
+  if (updates > 0) {
+    Status submitted = server_->SubmitBatch(built.batch);
+    ++ticks_;
+    if (submitted.ok()) {
+      applied_ += updates;
+    } else {
+      last_error_ = submitted;
+      BisectRejectedLocked(built.batch);
+    }
+  }
+  // Latency retirement under the depth-2 pipeline: whatever was pending
+  // completed at the apply barrier inside SubmitBatch; this slice's tick
+  // is visible once the *next* barrier (or a drain) passes.
+  const Clock::time_point now = Clock::now();
+  RetirePendingLocked(now);
+  if (server_->InFlight()) {
+    pending_retire_.reserve(pending_retire_.size() + slice.size());
+    for (const Entry& entry : slice) {
+      pending_retire_.push_back(entry.enqueued);
+    }
+  } else {
+    for (const Entry& entry : slice) {
+      latency_.Add(Seconds(now - entry.enqueued));
+    }
+  }
+}
+
+void ServingFrontEnd::BisectRejectedLocked(const UpdateBatch& batch) {
+  // The engine rejected the coalesced batch as a whole (validation leaves
+  // it untouched). Re-apply one update per tick, in canonical stream
+  // order, so the bad update is isolated and counted instead of vetoing
+  // its neighbors.
+  UpdateBatch single;
+  auto apply = [&] {
+    Status status = server_->Tick(single);
+    ++ticks_;
+    if (status.ok()) {
+      ++applied_;
+    } else {
+      ++rejected_invalid_;
+      last_error_ = status;
+    }
+  };
+  for (const ObjectUpdate& u : batch.objects) {
+    single.objects.assign(1, u);
+    apply();
+    single.objects.clear();
+  }
+  for (const QueryUpdate& u : batch.queries) {
+    single.queries.assign(1, u);
+    apply();
+    single.queries.clear();
+  }
+  for (const EdgeUpdate& u : batch.edges) {
+    single.edges.assign(1, u);
+    apply();
+    single.edges.clear();
+  }
+}
+
+Status ServingFrontEnd::DrainEngineLocked() {
+  Status status = server_->Drain();
+  RetirePendingLocked(Clock::now());
+  if (!status.ok()) last_error_ = status;
+  return status;
+}
+
+void ServingFrontEnd::RetirePendingLocked(Clock::time_point now) {
+  for (const Clock::time_point& enqueued : pending_retire_) {
+    latency_.Add(Seconds(now - enqueued));
+  }
+  pending_retire_.clear();
+}
+
+ServingFrontEnd::BatchBuild ServingFrontEnd::BuildBatch(
+    const std::vector<ServeRequest>& requests,
+    const MonitoringServer& server) {
+  BatchBuild out;
+  using Op = ServeRequest::Op;
+  // Split per stream in arrival order, then stable-sort by entity id:
+  // per-entity order (one producer's FIFO) is preserved, producer
+  // interleaving is canonicalized away.
+  std::vector<ServeRequest> objects, queries, edges;
+  for (const ServeRequest& r : requests) {
+    switch (r.op) {
+      case Op::kAddObject:
+      case Op::kMoveObject:
+      case Op::kRemoveObject:
+        objects.push_back(r);
+        break;
+      case Op::kInstallQuery:
+      case Op::kMoveQuery:
+      case Op::kTerminateQuery:
+        queries.push_back(r);
+        break;
+      case Op::kUpdateWeight:
+        edges.push_back(r);
+        break;
+    }
+  }
+  auto by_id = [](const ServeRequest& a, const ServeRequest& b) {
+    return a.id < b.id;
+  };
+  std::stable_sort(objects.begin(), objects.end(), by_id);
+  std::stable_sort(queries.begin(), queries.end(), by_id);
+  std::stable_sort(edges.begin(), edges.end(), by_id);
+
+  // Objects: the wire carries no old position, so resolve it against the
+  // shared table (current as of every submitted tick — the pipeline
+  // applies object updates at the submit barrier) plus a within-batch
+  // overlay for chains. Requests that cannot validate are dropped here,
+  // exactly as a sequential replay would reject them.
+  std::unordered_map<ObjectId, std::optional<NetworkPoint>> overlay;
+  for (const ServeRequest& r : objects) {
+    const ObjectId id = static_cast<ObjectId>(r.id);
+    std::optional<NetworkPoint> current;
+    auto it = overlay.find(id);
+    if (it != overlay.end()) {
+      current = it->second;
+    } else {
+      Result<NetworkPoint> pos = server.objects().Position(id);
+      if (pos.ok()) current = *pos;
+    }
+    switch (r.op) {
+      case Op::kAddObject:
+        if (current.has_value()) {
+          ++out.rejected;  // Already present.
+          continue;
+        }
+        out.batch.objects.push_back(ObjectUpdate{id, std::nullopt, r.pos});
+        break;
+      case Op::kMoveObject:
+        if (!current.has_value()) {
+          ++out.rejected;  // Unknown object.
+          continue;
+        }
+        out.batch.objects.push_back(ObjectUpdate{id, current, r.pos});
+        break;
+      case Op::kRemoveObject:
+        if (!current.has_value()) {
+          ++out.rejected;  // Unknown object.
+          continue;
+        }
+        out.batch.objects.push_back(
+            ObjectUpdate{id, current, std::nullopt});
+        overlay[id] = std::nullopt;
+        continue;
+      default:
+        continue;
+    }
+    overlay[id] = r.pos;
+  }
+
+  // Queries: validate against the caller-side registry (safe to consult
+  // mid-flight) plus a within-batch overlay; terminate-then-reinstall
+  // chains are legal and fold downstream.
+  std::unordered_map<QueryId, bool> registered;
+  auto is_registered = [&](QueryId id) {
+    auto it = registered.find(id);
+    if (it != registered.end()) return it->second;
+    return server.shards().IsRegistered(id);
+  };
+  for (const ServeRequest& r : queries) {
+    const QueryId id = static_cast<QueryId>(r.id);
+    switch (r.op) {
+      case Op::kInstallQuery:
+        if (is_registered(id)) {
+          ++out.rejected;  // Double install.
+          continue;
+        }
+        out.batch.queries.push_back(
+            QueryUpdate{id, QueryUpdate::Kind::kInstall, r.pos, r.k});
+        registered[id] = true;
+        break;
+      case Op::kMoveQuery:
+        if (!is_registered(id)) {
+          ++out.rejected;  // Unknown query.
+          continue;
+        }
+        out.batch.queries.push_back(
+            QueryUpdate{id, QueryUpdate::Kind::kMove, r.pos, 1});
+        break;
+      case Op::kTerminateQuery:
+        if (!is_registered(id)) {
+          ++out.rejected;  // Unknown query.
+          continue;
+        }
+        out.batch.queries.push_back(
+            QueryUpdate{id, QueryUpdate::Kind::kTerminate, NetworkPoint{},
+                        1});
+        registered[id] = false;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Edges pass through; the engine validates ids and weights (a rejected
+  // batch falls back to per-update bisection, so a bad weight update is
+  // dropped alone).
+  for (const ServeRequest& r : edges) {
+    out.batch.edges.push_back(
+        EdgeUpdate{static_cast<EdgeId>(r.id), r.weight});
+  }
+  return out;
+}
+
+}  // namespace cknn

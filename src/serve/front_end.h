@@ -1,0 +1,234 @@
+#ifndef CKNN_SERVE_FRONT_END_H_
+#define CKNN_SERVE_FRONT_END_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/core/updates.h"
+#include "src/graph/network_point.h"
+#include "src/graph/types.h"
+#include "src/sim/metrics.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+/// \brief One client-issued update, as it arrives over the wire or from an
+/// in-process producer. Unlike `ObjectUpdate`, a serve request carries no
+/// old position — the front end resolves it against the object table when
+/// the request is folded into a tick batch, so clients only ever state
+/// where an entity *is*.
+struct ServeRequest {
+  enum class Op {
+    kInstallQuery,
+    kMoveQuery,
+    kTerminateQuery,
+    kAddObject,
+    kMoveObject,
+    kRemoveObject,
+    kUpdateWeight,
+  };
+
+  Op op = Op::kMoveObject;
+  /// Query id, object id, or edge id, depending on `op`.
+  std::uint64_t id = 0;
+  /// Target position (install/move/add ops).
+  NetworkPoint pos;
+  /// Neighbor count (kInstallQuery only).
+  int k = 1;
+  /// New edge weight (kUpdateWeight only).
+  double weight = 0.0;
+};
+
+/// Knobs of the serving front end.
+struct ServingConfig {
+  /// Bounded submission-queue capacity; `TrySubmit` rejects with
+  /// ResourceExhausted when full (admission control), `Submit` blocks
+  /// (back-pressure).
+  std::size_t queue_capacity = std::size_t{1} << 16;
+  /// Largest number of requests coalesced into one engine tick; 0 takes
+  /// everything queued (the batching window is then purely
+  /// arrival-driven).
+  std::size_t max_batch_requests = 0;
+  /// Sample capacity of the update-latency reservoir.
+  std::size_t latency_reservoir_capacity = 4096;
+};
+
+/// Counters of a serving front end, snapshotted by `Stats()`.
+struct ServingStats {
+  std::uint64_t accepted = 0;            ///< Requests admitted to the queue.
+  std::uint64_t rejected_queue_full = 0; ///< TrySubmit ResourceExhausted.
+  std::uint64_t rejected_invalid = 0;    ///< Dropped by validation.
+  std::uint64_t applied = 0;             ///< Updates applied to the engine.
+  std::uint64_t ticks = 0;               ///< Engine ticks submitted.
+  std::size_t max_queue_depth = 0;       ///< High-water queue occupancy.
+  std::uint64_t latency_samples = 0;     ///< Retired latency measurements.
+  /// Wall-clock submit-to-visible latency percentiles (seconds), from the
+  /// sampling reservoir; exact until it saturates.
+  double latency_p50_sec = 0.0;
+  double latency_p95_sec = 0.0;
+  double latency_p99_sec = 0.0;
+  double latency_max_sec = 0.0;
+};
+
+/// \brief Multi-producer ingest front end over `MonitoringServer`'s
+/// `SubmitBatch`/`Drain` pipeline (docs/serving.md).
+///
+/// Producers push `ServeRequest`s into a bounded MPSC queue from any
+/// number of threads; a batching window (the pump thread started by
+/// `Start`, or a synchronous `Flush`) coalesces everything queued into one
+/// canonical per-tick `UpdateBatch` and feeds it to the engine, which
+/// aggregates per entity exactly as `Tick` would. Admission control is
+/// explicit: `TrySubmit` returns ResourceExhausted when the queue is full,
+/// `Submit` blocks until space frees up, and nothing in the client-facing
+/// surface can trip an internal `CKNN_CHECK` — reads go through the
+/// server's non-aborting `Try*` accessors and per-request validation
+/// failures are counted and dropped, never fatal.
+///
+/// Determinism: the batch built from a drained queue slice stable-sorts
+/// each stream by entity id, so any interleaving of producers that
+/// preserves per-entity order (e.g. a workload pre-partitioned across
+/// producers by entity) folds to the same batch bytes — and therefore the
+/// same results — as a serial replay of the same windows
+/// (`BuildBatch` is exposed so tests can replay exactly that).
+///
+/// Thread-safety: `Submit`/`TrySubmit`/`ReadResult`/`Stats`/`QueueDepth`
+/// may be called concurrently from any thread. `Start`, `Flush`, and
+/// `Shutdown` are serialized against each other internally;
+/// `Shutdown` drains the queue into final ticks before returning, and the
+/// destructor implies it.
+class ServingFrontEnd {
+ public:
+  /// Outcome of folding one queue slice into a tick batch.
+  struct BatchBuild {
+    UpdateBatch batch;
+    /// Requests dropped at build time (unknown entity, double install...).
+    std::uint64_t rejected = 0;
+  };
+
+  /// \param server the drained engine to feed; must outlive the front end.
+  explicit ServingFrontEnd(MonitoringServer* server,
+                           ServingConfig config = ServingConfig());
+
+  ServingFrontEnd(const ServingFrontEnd&) = delete;
+  ServingFrontEnd& operator=(const ServingFrontEnd&) = delete;
+
+  ~ServingFrontEnd();
+
+  /// Non-blocking admission: ResourceExhausted when the queue is full,
+  /// FailedPrecondition after shutdown, OK otherwise.
+  Status TrySubmit(const ServeRequest& request);
+
+  /// Blocking admission (back-pressure): waits for queue space.
+  /// FailedPrecondition after (or upon) shutdown.
+  Status Submit(const ServeRequest& request);
+
+  /// Starts the background batching pump. Call at most once, before any
+  /// concurrent use of `Flush`.
+  void Start();
+
+  /// Synchronous barrier: every request accepted before this call is
+  /// folded into the engine and the engine is drained. Returns the first
+  /// non-OK engine status encountered, OK otherwise. Without a pump this
+  /// is the only way requests reach the engine.
+  Status Flush();
+
+  /// Drains the queue into final ticks, drains the engine, and stops the
+  /// pump. Subsequent submissions fail with FailedPrecondition;
+  /// `ReadResult`/`Stats` keep working. Idempotent.
+  void Shutdown();
+
+  /// Current k-NN set of a query, as of the last tick the engine
+  /// completed (call `Flush` first for read-your-writes). Drains any
+  /// in-flight tick; never aborts: NotFound for an unknown query,
+  /// the engine's error if draining surfaced one.
+  Result<std::vector<Neighbor>> ReadResult(QueryId id);
+
+  /// Requests currently queued (not yet folded into a tick).
+  std::size_t QueueDepth() const;
+
+  /// Snapshot of the serving counters (percentiles computed on the spot).
+  ServingStats Stats() const;
+
+  /// Last non-OK status the engine reported (per-update rejects included);
+  /// OK if none. For diagnostics — rejects are already counted in Stats().
+  Status last_error() const;
+
+  /// Folds `requests` (arrival order) into one canonical tick batch
+  /// against `server`'s current tables: streams split per kind, stable-
+  /// sorted by entity id, object old-positions resolved through the table
+  /// plus a within-batch overlay, and requests that cannot possibly
+  /// validate (unknown object/query, double add/install) dropped and
+  /// counted. Static so tests can replay the exact serving fold serially.
+  static BatchBuild BuildBatch(const std::vector<ServeRequest>& requests,
+                               const MonitoringServer& server);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    ServeRequest request;
+    Clock::time_point enqueued;
+  };
+
+  /// Moves up to `max_batch_requests` entries off the queue front.
+  /// queue_mu_ held.
+  std::vector<Entry> TakeSliceLocked();
+
+  /// Folds one slice into the engine: build, submit, bisect on rejection,
+  /// retire latencies. Takes engine_mu_.
+  void ProcessSlice(std::vector<Entry> slice);
+
+  /// Re-applies a rejected batch one update per tick so one bad update
+  /// cannot veto its neighbors. engine_mu_ held.
+  void BisectRejectedLocked(const UpdateBatch& batch);
+
+  /// Drains the engine and retires pending latencies. engine_mu_ held.
+  Status DrainEngineLocked();
+
+  /// Records `enqueued -> now` for every pending retirement. engine_mu_
+  /// held.
+  void RetirePendingLocked(Clock::time_point now);
+
+  void PumpLoop();
+
+  MonitoringServer* server_;
+  ServingConfig config_;
+
+  /// Producer side: the bounded MPSC queue and its admission stats.
+  mutable std::mutex queue_mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  /// Signals `queue empty and pump idle` (the Flush barrier with a pump).
+  std::condition_variable drained_;
+  std::deque<Entry> queue_;
+  bool shutdown_ = false;
+  bool pump_busy_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::size_t max_queue_depth_ = 0;
+
+  /// Consumer side: engine access, latency accounting, engine stats.
+  mutable std::mutex engine_mu_;
+  std::vector<Clock::time_point> pending_retire_;
+  LatencyReservoir latency_;
+  std::uint64_t rejected_invalid_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t ticks_ = 0;
+  Status last_error_;
+
+  /// Lifecycle (Start/Flush/Shutdown serialization).
+  std::mutex lifecycle_mu_;
+  std::thread pump_;
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_SERVE_FRONT_END_H_

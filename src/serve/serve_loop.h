@@ -1,0 +1,35 @@
+#ifndef CKNN_SERVE_SERVE_LOOP_H_
+#define CKNN_SERVE_SERVE_LOOP_H_
+
+#include <cstdint>
+
+#include "src/serve/front_end.h"
+#include "src/util/status.h"
+
+namespace cknn::serve {
+
+/// Outcome of serving one connection to completion.
+struct ServeLoopResult {
+  std::uint64_t frames = 0;  ///< Request frames processed (incl. rejected).
+  bool shutdown = false;     ///< The peer sent kShutdown.
+  /// OK on a clean close; the framing/transport error that ended the
+  /// connection otherwise (a truncated trailing frame included).
+  Status status;
+};
+
+/// \brief Serves the cknn_serve protocol (src/serve/protocol.h) on a
+/// connected stream socket (or any byte-stream fd, e.g. one end of a
+/// socketpair) until EOF, a fatal framing error, or kShutdown.
+///
+/// Every request frame gets exactly one response frame, in order. Update
+/// ops go through `ServingFrontEnd::TrySubmit`, so a full queue answers
+/// ResourceExhausted — the client's back-off signal — instead of blocking
+/// the reader. Malformed payloads with intact framing are answered with
+/// their error and the connection continues; framing errors are answered
+/// and then the loop returns (the stream cannot resynchronize). The fd is
+/// not closed — the caller owns it.
+ServeLoopResult ServeConnection(int fd, ServingFrontEnd* front_end);
+
+}  // namespace cknn::serve
+
+#endif  // CKNN_SERVE_SERVE_LOOP_H_

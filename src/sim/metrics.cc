@@ -1,8 +1,64 @@
 #include "src/sim/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace cknn {
+
+namespace {
+
+/// splitmix64 step: cheap, stateless-per-call, and good enough for
+/// reservoir replacement decisions.
+std::uint64_t NextRandom(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Nearest-rank percentile of an unsorted sample vector (copied so the
+/// caller's order — which Algorithm R depends on — is preserved).
+double NearestRank(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  pct = std::min(100.0, std::max(0.0, pct));
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: ceil(p/100 * n), 1-based; p=0 maps to the minimum.
+  const double n = static_cast<double>(samples.size());
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(pct / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return samples[rank - 1];
+}
+
+}  // namespace
+
+LatencyReservoir::LatencyReservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity == 0 ? 1 : capacity), state_(seed) {
+  samples_.reserve(capacity_);
+}
+
+void LatencyReservoir::Add(double sample) {
+  ++count_;
+  max_ = std::max(max_, sample);
+  if (samples_.size() < capacity_) {
+    samples_.push_back(sample);
+    return;
+  }
+  // Algorithm R: the i-th sample (1-based) replaces a random slot with
+  // probability capacity/i.
+  const std::uint64_t slot = NextRandom(&state_) % count_;
+  if (slot < capacity_) samples_[static_cast<std::size_t>(slot)] = sample;
+}
+
+double LatencyReservoir::Percentile(double pct) const {
+  return NearestRank(samples_, pct);
+}
+
+void LatencyReservoir::Clear() {
+  count_ = 0;
+  max_ = 0.0;
+  samples_.clear();
+}
 
 double RunMetrics::TotalSeconds() const {
   double total = 0.0;
@@ -46,6 +102,13 @@ double RunMetrics::AvgMemoryKb() const {
     total += static_cast<double>(m.memory_bytes);
   }
   return total / static_cast<double>(steps.size()) / 1024.0;
+}
+
+double RunMetrics::PercentileSeconds(double pct) const {
+  std::vector<double> wall;
+  wall.reserve(steps.size());
+  for (const TimestepMetrics& m : steps) wall.push_back(m.seconds);
+  return NearestRank(std::move(wall), pct);
 }
 
 }  // namespace cknn

@@ -2,9 +2,46 @@
 #define CKNN_SIM_METRICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace cknn {
+
+/// \brief Fixed-capacity reservoir of latency samples with nearest-rank
+/// percentiles (the p50/p95/p99 columns of the serving figures).
+///
+/// Uses Vitter's Algorithm R with an internal splitmix64 generator seeded
+/// at construction, so two runs fed the same sample sequence produce the
+/// same percentiles — benchmarks and tests stay reproducible without
+/// touching any global RNG. Until `capacity` samples have arrived the
+/// reservoir holds every sample and percentiles are exact.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = 4096,
+                            std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Records one sample (seconds, but any unit works).
+  void Add(double sample);
+
+  /// Samples offered so far (not the retained count).
+  std::uint64_t count() const { return count_; }
+
+  /// Largest sample ever offered (tracked exactly, outside the reservoir).
+  double max() const { return max_; }
+
+  /// Nearest-rank percentile over the retained samples; `pct` in [0, 100].
+  /// 0 with no samples.
+  double Percentile(double pct) const;
+
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t state_;
+  std::uint64_t count_ = 0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+};
 
 /// Measurements of one simulated timestamp. Wall and CPU time are recorded
 /// separately: on a serial single-shard run they coincide, but a sharded
@@ -38,6 +75,10 @@ struct RunMetrics {
   double MaxCpuSeconds() const;
   /// Mean monitoring memory in KBytes — the y-axis of Figure 18.
   double AvgMemoryKb() const;
+  /// Nearest-rank percentile of the per-step wall times; `pct` in
+  /// [0, 100]. Exact (no sampling) — use LatencyReservoir when the
+  /// population is unbounded.
+  double PercentileSeconds(double pct) const;
 };
 
 }  // namespace cknn

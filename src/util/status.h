@@ -14,6 +14,7 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kFailedPrecondition,
+  kResourceExhausted,
   kIoError,
   kInternal,
 };
@@ -49,6 +50,9 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
@@ -69,6 +73,9 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }

@@ -84,6 +84,26 @@ file(WRITE "${WORK_DIR}/fig_good_b.json" [=[
 }
 ]=])
 
+# A fig_serving-shaped capture: throughput and latency percentiles are
+# non-standard counters and must ride along under "extras".
+file(WRITE "${WORK_DIR}/fig_serving_like.json" [=[
+{
+  "context": {"executable": "bench_fig_serving_like"},
+  "benchmarks": [
+    {
+      "name": "FigServing/algo:1/producers:4/iterations:1/manual_time",
+      "run_type": "iteration", "iterations": 1,
+      "real_time": 120.0, "cpu_time": 110.0, "time_unit": "ms",
+      "sec_per_ts": 0.12, "max_sec": 0.2, "cpu_sec_per_ts": 0.11,
+      "updates_per_sec": 150000.0,
+      "p50_ms": 4.5, "p95_ms": 11.0, "p99_ms": 25.5,
+      "max_queue_depth": 4096, "rejected_full": 0,
+      "label": "IMA"
+    }
+  ]
+}
+]=])
+
 file(WRITE "${WORK_DIR}/fig_malformed.json" "{ \"benchmarks\": [ truncated")
 
 file(WRITE "${WORK_DIR}/fig_not_bench.json" "{ \"results\": [] }")
@@ -123,6 +143,22 @@ expect_contains(happy "\"cpu_sec_per_ts\": 0.0015" "${merged}")
 expect_contains(happy "\"legacy_clone_mem_kb\": 9876.5" "${merged}")
 expect_contains(happy "\"extras\"" "${merged}")
 expect_contains(happy "\"cpu_sec_per_ts\": null" "${merged}")
+
+# ------------------------------------------- serving percentile counters --
+run_merge(serving TRUE "${WORK_DIR}/fig_serving_like.json")
+file(READ "${WORK_DIR}/serving_merged.json" serving_merged)
+expect_contains(serving "\"figure\": \"fig_serving_like\"" "${serving_merged}")
+expect_contains(serving "\"extras\"" "${serving_merged}")
+expect_contains(serving "\"updates_per_sec\": 150000.0" "${serving_merged}")
+expect_contains(serving "\"p50_ms\": 4.5" "${serving_merged}")
+expect_contains(serving "\"p95_ms\": 11.0" "${serving_merged}")
+expect_contains(serving "\"p99_ms\": 25.5" "${serving_merged}")
+expect_contains(serving "\"max_queue_depth\": 4096" "${serving_merged}")
+expect_contains(serving "\"rejected_full\": 0" "${serving_merged}")
+expect_contains(serving "\"producers\": 4" "${serving_merged}")
+# The standard counters stay top-level, not duplicated into extras.
+expect_contains(serving "\"sec_per_ts\": 0.12" "${serving_merged}")
+expect_contains(serving "\"cpu_sec_per_ts\": 0.11" "${serving_merged}")
 
 # -------------------------------------------------- malformed figure JSON --
 run_merge(malformed FALSE "${WORK_DIR}/fig_malformed.json")

@@ -1,0 +1,162 @@
+// Malformed-frame fuzzing of the serving wire protocol: random valid
+// streams must reassemble identically under any chunking; random
+// truncations, byte flips, and pure garbage must produce clean
+// InvalidArgument errors (or a clean decode, for lucky flips) — never a
+// crash, hang, or partial batch. Seeded via tests/fuzz_util.h
+// (CKNN_FUZZ_SEED / CKNN_FUZZ_SCALE widen the exploration).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/serve/protocol.h"
+#include "src/util/rng.h"
+#include "tests/fuzz_util.h"
+
+namespace cknn::serve {
+namespace {
+
+Message RandomMessage(Rng* rng) {
+  Message m;
+  m.op = static_cast<OpCode>(rng->UniformInt(1, 11));
+  m.id = rng->NextU64();
+  m.edge = rng->NextU64();
+  m.t = rng->NextDouble();
+  m.k = static_cast<std::uint32_t>(rng->UniformInt(1, 64));
+  m.weight = rng->Uniform(-10.0, 10.0);
+  return m;
+}
+
+/// Drains every completed frame; returns false on a framing error.
+bool DrainFrames(FrameDecoder* decoder,
+                 std::vector<std::vector<std::uint8_t>>* out) {
+  while (true) {
+    Result<std::optional<std::vector<std::uint8_t>>> next = decoder->Next();
+    if (!next.ok()) return false;
+    if (!next->has_value()) return true;
+    out->push_back(std::move(**next));
+  }
+}
+
+TEST(ProtocolFuzzTest, RandomChunkingReassemblesIdentically) {
+  const int iters = testing::FuzzIterations(60, 600);
+  for (int it = 0; it < iters; ++it) {
+    Rng rng(testing::FuzzSeed(7200 + static_cast<std::uint64_t>(it)));
+    SCOPED_TRACE("iteration " + std::to_string(it));
+    std::vector<std::uint8_t> stream;
+    std::vector<Message> sent;
+    const int frames = static_cast<int>(rng.UniformInt(1, 20));
+    for (int f = 0; f < frames; ++f) {
+      sent.push_back(RandomMessage(&rng));
+      EncodeMessage(sent.back(), &stream);
+    }
+    FrameDecoder decoder;
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::size_t at = 0;
+    while (at < stream.size()) {
+      const std::size_t n = std::min(
+          stream.size() - at,
+          static_cast<std::size_t>(rng.UniformInt(1, 13)));
+      decoder.Append(stream.data() + at, n);
+      at += n;
+      ASSERT_TRUE(DrainFrames(&decoder, &payloads));
+    }
+    ASSERT_TRUE(decoder.Finish().ok());
+    ASSERT_EQ(payloads.size(), sent.size());
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      Result<Message> decoded =
+          DecodeMessage(payloads[i].data(), payloads[i].size());
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->op, sent[i].op);
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, TruncationsNeverDecodePartially) {
+  const int iters = testing::FuzzIterations(60, 600);
+  for (int it = 0; it < iters; ++it) {
+    Rng rng(testing::FuzzSeed(7300 + static_cast<std::uint64_t>(it)));
+    SCOPED_TRACE("iteration " + std::to_string(it));
+    std::vector<std::uint8_t> stream;
+    EncodeMessage(RandomMessage(&rng), &stream);
+    EncodeMessage(RandomMessage(&rng), &stream);
+    const std::size_t cut =
+        static_cast<std::size_t>(rng.NextIndex(stream.size()));
+
+    FrameDecoder decoder;
+    decoder.Append(stream.data(), cut);
+    std::vector<std::vector<std::uint8_t>> payloads;
+    ASSERT_TRUE(DrainFrames(&decoder, &payloads));
+    // Whatever came out is a whole frame that decodes; the cut frame
+    // stayed buffered and Finish names the truncation.
+    for (const std::vector<std::uint8_t>& payload : payloads) {
+      EXPECT_TRUE(DecodeMessage(payload.data(), payload.size()).ok());
+    }
+    if (decoder.BufferedBytes() > 0) {
+      EXPECT_TRUE(decoder.Finish().IsInvalidArgument());
+    } else {
+      EXPECT_TRUE(decoder.Finish().ok());
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, ByteFlipsNeverCrashTheDecoder) {
+  const int iters = testing::FuzzIterations(120, 1200);
+  for (int it = 0; it < iters; ++it) {
+    Rng rng(testing::FuzzSeed(7400 + static_cast<std::uint64_t>(it)));
+    SCOPED_TRACE("iteration " + std::to_string(it));
+    std::vector<std::uint8_t> stream;
+    EncodeMessage(RandomMessage(&rng), &stream);
+    const std::size_t flip_at =
+        static_cast<std::size_t>(rng.NextIndex(stream.size()));
+    stream[flip_at] ^=
+        static_cast<std::uint8_t>(1u << rng.NextIndex(8));
+
+    FrameDecoder decoder;
+    decoder.Append(stream.data(), stream.size());
+    Result<std::optional<std::vector<std::uint8_t>>> next = decoder.Next();
+    if (!next.ok()) {
+      // A header flip: fatal framing error, cleanly reported.
+      EXPECT_TRUE(next.status().IsInvalidArgument());
+      continue;
+    }
+    if (!next->has_value()) {
+      // The flip grew the declared length: an incomplete frame, caught
+      // at stream end.
+      EXPECT_TRUE(decoder.Finish().IsInvalidArgument());
+      continue;
+    }
+    // A payload flip: decodes to either a clean error or a (possibly
+    // different) valid message — never a crash.
+    (void)DecodeMessage(next->value().data(), next->value().size());
+  }
+}
+
+TEST(ProtocolFuzzTest, GarbageStreamsFailCleanly) {
+  const int iters = testing::FuzzIterations(60, 600);
+  for (int it = 0; it < iters; ++it) {
+    Rng rng(testing::FuzzSeed(7500 + static_cast<std::uint64_t>(it)));
+    SCOPED_TRACE("iteration " + std::to_string(it));
+    std::vector<std::uint8_t> garbage(
+        static_cast<std::size_t>(rng.UniformInt(0, 256)));
+    for (std::uint8_t& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.NextIndex(256));
+    }
+    FrameDecoder decoder;
+    decoder.Append(garbage.data(), garbage.size());
+    // Drain until the decoder errors or wants more bytes; every returned
+    // payload must decode or fail cleanly as both a message and a
+    // response.
+    while (true) {
+      Result<std::optional<std::vector<std::uint8_t>>> next = decoder.Next();
+      if (!next.ok() || !next->has_value()) break;
+      (void)DecodeMessage(next->value().data(), next->value().size());
+      (void)DecodeResponse(next->value().data(), next->value().size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cknn::serve

@@ -1,0 +1,84 @@
+// LatencyReservoir (nearest-rank percentiles over Algorithm-R sampling)
+// and RunMetrics::PercentileSeconds: exact percentiles below capacity,
+// deterministic sampling above it, and sane aggregates.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/sim/metrics.h"
+
+namespace cknn {
+namespace {
+
+TEST(LatencyReservoirTest, ExactPercentilesBelowCapacity) {
+  LatencyReservoir reservoir(1000);
+  // 1..100 in a scrambled-ish order: percentiles sort internally.
+  for (int i = 0; i < 100; ++i) {
+    reservoir.Add(static_cast<double>((i * 37) % 100 + 1));
+  }
+  EXPECT_EQ(reservoir.count(), 100u);
+  EXPECT_EQ(reservoir.max(), 100.0);
+  // Nearest rank: ceil(pct/100 * 100) -> the pct-th smallest value.
+  EXPECT_EQ(reservoir.Percentile(50.0), 50.0);
+  EXPECT_EQ(reservoir.Percentile(95.0), 95.0);
+  EXPECT_EQ(reservoir.Percentile(99.0), 99.0);
+  EXPECT_EQ(reservoir.Percentile(100.0), 100.0);
+  EXPECT_EQ(reservoir.Percentile(0.0), 1.0);  // p0 = min.
+}
+
+TEST(LatencyReservoirTest, EmptyAndSingleSample) {
+  LatencyReservoir reservoir(16);
+  EXPECT_EQ(reservoir.Percentile(50.0), 0.0);
+  EXPECT_EQ(reservoir.max(), 0.0);
+  reservoir.Add(2.5);
+  EXPECT_EQ(reservoir.Percentile(0.0), 2.5);
+  EXPECT_EQ(reservoir.Percentile(50.0), 2.5);
+  EXPECT_EQ(reservoir.Percentile(100.0), 2.5);
+}
+
+TEST(LatencyReservoirTest, SamplingIsDeterministicAndBounded) {
+  LatencyReservoir a(64);
+  LatencyReservoir b(64);
+  for (int i = 0; i < 10000; ++i) {
+    a.Add(static_cast<double>(i));
+    b.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(a.count(), 10000u);
+  // Same seed, same sequence: identical percentiles despite sampling.
+  EXPECT_EQ(a.Percentile(50.0), b.Percentile(50.0));
+  EXPECT_EQ(a.Percentile(99.0), b.Percentile(99.0));
+  // The max is tracked exactly even when its sample was evicted.
+  EXPECT_EQ(a.max(), 9999.0);
+  // The sampled p50 of a uniform ramp lands near the middle.
+  EXPECT_GT(a.Percentile(50.0), 1000.0);
+  EXPECT_LT(a.Percentile(50.0), 9000.0);
+}
+
+TEST(LatencyReservoirTest, ClearResets) {
+  LatencyReservoir reservoir(8);
+  for (int i = 0; i < 20; ++i) reservoir.Add(1.0);
+  reservoir.Clear();
+  EXPECT_EQ(reservoir.count(), 0u);
+  EXPECT_EQ(reservoir.max(), 0.0);
+  EXPECT_EQ(reservoir.Percentile(99.0), 0.0);
+  reservoir.Add(3.0);
+  EXPECT_EQ(reservoir.Percentile(50.0), 3.0);
+}
+
+TEST(RunMetricsTest, PercentileSecondsIsExact) {
+  RunMetrics metrics;
+  for (int i = 10; i >= 1; --i) {
+    TimestepMetrics step;
+    step.seconds = static_cast<double>(i);
+    metrics.steps.push_back(step);
+  }
+  EXPECT_EQ(metrics.PercentileSeconds(50.0), 5.0);
+  EXPECT_EQ(metrics.PercentileSeconds(90.0), 9.0);
+  EXPECT_EQ(metrics.PercentileSeconds(100.0), 10.0);
+  EXPECT_EQ(metrics.PercentileSeconds(0.0), 1.0);
+  EXPECT_EQ(RunMetrics().PercentileSeconds(50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cknn

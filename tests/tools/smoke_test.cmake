@@ -1,12 +1,37 @@
 # End-to-end smoke test: run cknn_sim on a tiny generated network and
 # assert exit code 0 plus non-empty output; then assert that bad flag
 # usage (bare value-flags, unknown flags, valued boolean flags) exits
-# nonzero with usage text instead of silently misparsing. Invoked by
-# CTest as
-#   cmake -DCKNN_SIM=<path> -P smoke_test.cmake
+# nonzero with usage text instead of silently misparsing. With
+# -DCKNN_SERVE / -DCKNN_LOADGEN the serving binaries get the same
+# treatment (all three share tools/flag_util.h, so the error legs pin the
+# shared rules to every tool). Invoked by CTest as
+#   cmake -DCKNN_SIM=<path> [-DCKNN_SERVE=<path>] [-DCKNN_LOADGEN=<path>]
+#         -P smoke_test.cmake
 if(NOT DEFINED CKNN_SIM)
   message(FATAL_ERROR "smoke_test.cmake requires -DCKNN_SIM=<path to cknn_sim>")
 endif()
+
+# expect_tool_usage_error(<tool-path> <tool-name> <case> <args...>): the
+# invocation must exit nonzero and print the tool's usage text.
+function(expect_tool_usage_error tool tool_name case)
+  execute_process(
+    COMMAND ${tool} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(code EQUAL 0)
+    message(FATAL_ERROR
+      "${case}: ${tool_name} ${ARGN} exited 0 but should have failed\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  string(FIND "${out}${err}" "usage: ${tool_name}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "${case}: no usage text after bad invocation '${tool_name} ${ARGN}'\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  message(STATUS "${tool_name} ${case} OK (${code})")
+endfunction()
 
 execute_process(
   COMMAND ${CKNN_SIM}
@@ -133,3 +158,70 @@ if(pos EQUAL -1)
     "stdout:\n${out}\nstderr:\n${err}")
 endif()
 message(STATUS "cknn_sim missing_trace OK (${code})")
+
+# ------------------------------------------------------------- cknn_serve --
+if(DEFINED CKNN_SERVE)
+  # Happy path: the in-process protocol round trip (install, add, flush,
+  # read, stats, shutdown over a socketpair through the real serve loop).
+  execute_process(
+    COMMAND ${CKNN_SERVE} --selfcheck --edges=200 --seed=7
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "cknn_serve --selfcheck exited ${code}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  string(FIND "${out}" "selfcheck ok" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "cknn_serve --selfcheck did not report ok:\n${out}")
+  endif()
+  message(STATUS "cknn_serve selfcheck OK (${code})")
+
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve bare_port --port)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve non_numeric_port --port=x)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve huge_port --port=70000)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve negative_port --port=-1)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve trailing_garbage --edges=10x)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve unknown_flag --bogus)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve unknown_algorithm --algo=dijkstra)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve valued_bool_flag --selfcheck=yes)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve zero_queue --queue-capacity=0)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve deep_pipeline --pipeline=3)
+  expect_tool_usage_error(${CKNN_SERVE} cknn_serve zero_shards --shards=0)
+endif()
+
+# ----------------------------------------------------------- cknn_loadgen --
+if(DEFINED CKNN_LOADGEN)
+  # Happy path: a miniature bursty scenario must complete and report
+  # sustained throughput plus latency percentiles.
+  execute_process(
+    COMMAND ${CKNN_LOADGEN}
+      --objects=2000 --queries=100 --k=2 --edges=200
+      --producers=2 --bursts=2 --seed=7
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "cknn_loadgen exited ${code}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  string(FIND "${out}" "updates/sec" has_throughput)
+  string(FIND "${out}" "p99" has_p99)
+  if(has_throughput EQUAL -1 OR has_p99 EQUAL -1)
+    message(FATAL_ERROR
+      "cknn_loadgen should report updates/sec and latency percentiles:\n${out}")
+  endif()
+  message(STATUS "cknn_loadgen scenario OK (${code})")
+
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen bare_objects --objects)
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen negative_objects --objects=-5)
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen trailing_garbage --queries=10x)
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen unknown_flag --bogus)
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen valued_bool_flag --drop=yes)
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen zero_k --k=0)
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen zero_producers --producers=0)
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen deep_pipeline --pipeline=3)
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen zero_queue --queue-capacity=0)
+  expect_tool_usage_error(${CKNN_LOADGEN} cknn_loadgen unknown_algorithm --algo=dijkstra)
+endif()

@@ -19,11 +19,8 @@
 // and verifies that every query's k-NN set is identical at every timestamp
 // (exit 1 and the first divergence on failure).
 
-#include <cerrno>
-#include <climits>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -33,9 +30,18 @@
 #include "src/sim/conformance.h"
 #include "src/sim/experiment.h"
 #include "src/trace/trace_source.h"
+#include "tools/flag_util.h"
 
 namespace cknn {
 namespace {
+
+using tools::ParseCount;
+using tools::ParseDouble;
+using tools::ParseFlag;
+using tools::ParsePositiveInt;
+using tools::ParseSize;
+using tools::RejectValue;
+using tools::RequireValue;
 
 struct Options {
   Algorithm algo = Algorithm::kGma;
@@ -89,90 +95,10 @@ void PrintUsage() {
       "                        results (exit 1 on divergence)\n");
 }
 
-/// Matches `--name` (value left nullptr) or `--name=value`; other arguments,
-/// including longer flags sharing the prefix, do not match.
-bool ParseFlag(const char* arg, const char* name, const char** value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '\0') {
-    *value = nullptr;
-    return true;
-  }
-  if (arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
-/// A value flag given bare (`--algo` instead of `--algo=gma`) is an error,
-/// never a fall-through to the next flag in the chain.
-bool RequireValue(const char* flag, const char* v) {
-  if (v != nullptr && *v != '\0') return true;
-  std::fprintf(stderr, "missing value for %s\n\n", flag);
-  PrintUsage();
-  return false;
-}
-
-/// A boolean flag given a value (`--compare=yes`) is equally an error.
-bool RejectValue(const char* flag, const char* v) {
-  if (v == nullptr) return true;
-  std::fprintf(stderr, "%s does not take a value\n\n", flag);
-  PrintUsage();
-  return false;
-}
-
-bool BadNumber(const char* flag, const char* v) {
-  std::fprintf(stderr, "invalid numeric value for %s: '%s'\n\n", flag, v);
-  PrintUsage();
-  return false;
-}
-
-/// Strict numeric parsing: `--k=fifty` or `--edges=-5` must error out, not
-/// silently become 0 the way atoi/strtoull would.
-bool ParseCount(const char* flag, const char* v, std::uint64_t* out) {
-  if (!RequireValue(flag, v)) return false;
-  if (*v == '-') return BadNumber(flag, v);
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (errno != 0 || end == v || *end != '\0') return BadNumber(flag, v);
-  *out = parsed;
-  return true;
-}
-
-bool ParseSize(const char* flag, const char* v, std::size_t* out) {
-  std::uint64_t parsed = 0;
-  if (!ParseCount(flag, v, &parsed)) return false;
-  *out = static_cast<std::size_t>(parsed);
-  return true;
-}
-
-/// --k and --timestamps must be >= 1: a zero or negative value would run an
-/// empty simulation (or die deep in the engine) instead of erroring here.
-bool ParsePositiveInt(const char* flag, const char* v, int* out) {
-  if (!RequireValue(flag, v)) return false;
-  char* end = nullptr;
-  errno = 0;
-  const long parsed = std::strtol(v, &end, 10);
-  if (errno != 0 || end == v || *end != '\0' || parsed < 1 ||
-      parsed > INT_MAX) {
-    return BadNumber(flag, v);
-  }
-  *out = static_cast<int>(parsed);
-  return true;
-}
-
-bool ParseDouble(const char* flag, const char* v, double* out) {
-  if (!RequireValue(flag, v)) return false;
-  char* end = nullptr;
-  errno = 0;
-  const double parsed = std::strtod(v, &end);
-  if (errno != 0 || end == v || *end != '\0') return BadNumber(flag, v);
-  *out = parsed;
-  return true;
-}
-
+// The flag-parsing helpers (ParseFlag, strict numerics, bare/valued flag
+// rules) live in tools/flag_util.h, shared with cknn_serve and
+// cknn_loadgen. They print the error; on a false return, main prints the
+// usage text and exits 2.
 bool ParseOptions(int argc, char** argv, Options* opt) {
   opt->spec.network.target_edges = 10000;
   opt->spec.network.seed = 1;
@@ -209,7 +135,6 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
         opt->algo = Algorithm::kOvh;
       } else {
         std::fprintf(stderr, "unknown algorithm: %s\n\n", v);
-        PrintUsage();
         return false;
       }
     } else if (ParseFlag(argv[i], "--compare", &v)) {
@@ -285,7 +210,6 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       if (opt->spec.pipeline_depth > 2) {
         std::fprintf(stderr,
                      "--pipeline depth must be 1 or 2 (double buffering)\n\n");
-        PrintUsage();
         return false;
       }
     } else if (ParseFlag(argv[i], "--tiles", &v)) {
@@ -295,19 +219,16 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->spec.network.seed = opt->spec.workload.seed ^ 0x9E37;
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", argv[i]);
-      PrintUsage();
       return false;
     }
   }
   if (!opt->record_path.empty() && !opt->replay_path.empty()) {
     std::fprintf(stderr, "--record and --replay cannot be combined\n\n");
-    PrintUsage();
     return false;
   }
   if (opt->compare && (opt->conformance || !opt->record_path.empty())) {
     std::fprintf(stderr,
                  "--compare cannot be combined with --record/--conformance\n\n");
-    PrintUsage();
     return false;
   }
   if (!opt->replay_path.empty() && opt->generator_flag != nullptr) {
@@ -315,20 +236,17 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
                  "%s has no effect with --replay "
                  "(the trace defines network, workload, and horizon)\n\n",
                  opt->generator_flag);
-    PrintUsage();
     return false;
   }
   if (opt->conformance && opt->algo_flag_used) {
     std::fprintf(stderr,
                  "--algo has no effect with --conformance "
                  "(all three algorithms run in lockstep)\n\n");
-    PrintUsage();
     return false;
   }
   if (opt->conformance && opt->memory) {
     std::fprintf(stderr,
                  "--memory has no effect with --conformance\n\n");
-    PrintUsage();
     return false;
   }
   opt->spec.measure_memory = opt->memory;
@@ -523,6 +441,9 @@ int Run(const Options& opt) {
 
 int main(int argc, char** argv) {
   cknn::Options options;
-  if (!cknn::ParseOptions(argc, argv, &options)) return 2;
+  if (!cknn::ParseOptions(argc, argv, &options)) {
+    cknn::PrintUsage();
+    return 2;
+  }
   return cknn::Run(options);
 }

@@ -1,0 +1,110 @@
+#ifndef CKNN_TOOLS_FLAG_UTIL_H_
+#define CKNN_TOOLS_FLAG_UTIL_H_
+
+// Shared flag-parsing helpers of the CLI tools (cknn_sim, cknn_serve,
+// cknn_loadgen), enforcing one rule set everywhere:
+//
+//  * flags are `--name=value` or bare `--name`; a longer flag sharing the
+//    prefix does not match,
+//  * a value flag given bare (`--algo`) is an error, never a fall-through,
+//  * a boolean flag given a value (`--compare=yes`) is equally an error,
+//  * numerics are strict: non-numeric, negative-where-unsigned, and
+//    trailing-garbage values error out instead of becoming 0.
+//
+// On error the helpers print the message (ending in a blank line) to
+// stderr and return false; the *caller* prints its usage text and exits 2,
+// so every tool reports `error`, blank line, usage — in that order.
+
+#include <cerrno>
+#include <climits>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cknn::tools {
+
+/// Matches `--name` (value left nullptr) or `--name=value`; other
+/// arguments, including longer flags sharing the prefix, do not match.
+inline bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+/// A value flag given bare (`--algo` instead of `--algo=gma`) is an error.
+inline bool RequireValue(const char* flag, const char* v) {
+  if (v != nullptr && *v != '\0') return true;
+  std::fprintf(stderr, "missing value for %s\n\n", flag);
+  return false;
+}
+
+/// A boolean flag given a value (`--compare=yes`) is equally an error.
+inline bool RejectValue(const char* flag, const char* v) {
+  if (v == nullptr) return true;
+  std::fprintf(stderr, "%s does not take a value\n\n", flag);
+  return false;
+}
+
+inline bool BadNumber(const char* flag, const char* v) {
+  std::fprintf(stderr, "invalid numeric value for %s: '%s'\n\n", flag, v);
+  return false;
+}
+
+/// Strict unsigned parsing: `--k=fifty` or `--edges=-5` must error out,
+/// not silently become 0 the way atoi/strtoull would.
+inline bool ParseCount(const char* flag, const char* v, std::uint64_t* out) {
+  if (!RequireValue(flag, v)) return false;
+  if (*v == '-') return BadNumber(flag, v);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0') return BadNumber(flag, v);
+  *out = parsed;
+  return true;
+}
+
+inline bool ParseSize(const char* flag, const char* v, std::size_t* out) {
+  std::uint64_t parsed = 0;
+  if (!ParseCount(flag, v, &parsed)) return false;
+  *out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+/// Strict `>= 1` int parsing: a zero or negative count would run an empty
+/// scenario (or die deep in the engine) instead of erroring here.
+inline bool ParsePositiveInt(const char* flag, const char* v, int* out) {
+  if (!RequireValue(flag, v)) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed < 1 ||
+      parsed > INT_MAX) {
+    return BadNumber(flag, v);
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+inline bool ParseDouble(const char* flag, const char* v, double* out) {
+  if (!RequireValue(flag, v)) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (errno != 0 || end == v || *end != '\0') return BadNumber(flag, v);
+  *out = parsed;
+  return true;
+}
+
+}  // namespace cknn::tools
+
+#endif  // CKNN_TOOLS_FLAG_UTIL_H_
