@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# One-shot static-analysis pass, mirroring scripts/verify.sh: every check
+# the CI static-analysis job runs, runnable locally from anywhere. Checks
+# that need a tool the machine does not have are SKIPPED with a notice
+# (same spirit as the gtest-shim fallback), never silently passed — CI
+# installs the full toolchain and is the enforcement point.
+#
+#   1. determinism lint      (python3; self-test + tree run)
+#   2. clang thread-safety   (clang++; -Werror=thread-safety build)
+#   3. clang-tidy            (clang-tidy; over compile_commands.json)
+#
+# Exit code: non-zero if any check that RAN failed.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${CKNN_LINT_BUILD_DIR:-${repo_root}/build-lint}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+skipped=()
+failed=0
+
+note() { printf 'lint.sh: %s\n' "$*" >&2; }
+
+# --- 1. determinism lint ---------------------------------------------------
+if command -v python3 >/dev/null 2>&1; then
+  note "determinism lint (self-test + tree)"
+  python3 "${repo_root}/scripts/lint/determinism_lint.py" --self-test \
+    || failed=1
+  python3 "${repo_root}/scripts/lint/determinism_lint.py" \
+    --root "${repo_root}" || failed=1
+else
+  skipped+=("determinism-lint (python3 not found)")
+fi
+
+# --- 2. clang thread-safety build -----------------------------------------
+if command -v clang++ >/dev/null 2>&1; then
+  note "clang build with -Werror=thread-safety (${build_dir})"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCKNN_WERROR=ON >/dev/null
+  cmake --build "${build_dir}" -j "${jobs}" || failed=1
+else
+  skipped+=("thread-safety build (clang++ not found)")
+fi
+
+# --- 3. clang-tidy ---------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1 && [[ -d "${build_dir}" ]] \
+    && [[ -f "${build_dir}/compile_commands.json" ]]; then
+  note "clang-tidy over src/ (config: .clang-tidy)"
+  # shellcheck disable=SC2046
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${build_dir}" -quiet \
+      "${repo_root}/src/.*\.cc$" || failed=1
+  else
+    find "${repo_root}/src" -name '*.cc' -print0 \
+      | xargs -0 -P "${jobs}" -n 4 clang-tidy -p "${build_dir}" --quiet \
+      || failed=1
+  fi
+else
+  skipped+=("clang-tidy (clang-tidy or compile_commands.json not found)")
+fi
+
+# --- report ----------------------------------------------------------------
+for s in ${skipped[@]+"${skipped[@]}"}; do
+  note "SKIPPED: ${s}"
+done
+if [[ "${failed}" -ne 0 ]]; then
+  note "FAILED"
+  exit 1
+fi
+note "OK ($((3 - ${#skipped[@]})) of 3 checks ran)"

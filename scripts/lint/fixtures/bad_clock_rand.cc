@@ -1,0 +1,25 @@
+// Fixture: wall-clock and unseeded-randomness reads in a result path.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+inline double Jitter() {
+  return static_cast<double>(rand()) / RAND_MAX;  // LINT-EXPECT: raw-rand
+}
+
+inline long NowNanos() {
+  auto t = std::chrono::steady_clock::now();  // LINT-EXPECT: wall-clock
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(  // LINT-EXPECT: wall-clock
+             t.time_since_epoch())
+      .count();
+}
+
+inline unsigned Seed() {
+  std::random_device rd;  // LINT-EXPECT: raw-rand
+  return rd();
+}
+
+inline long Stamp() {
+  return static_cast<long>(time(nullptr));  // LINT-EXPECT: wall-clock
+}

@@ -1,0 +1,26 @@
+// Fixture: escape-comment handling. An allow without a reason is itself an
+// error, and an allow that matches no finding is stale.
+#include <unordered_map>
+
+struct S {
+  std::unordered_map<int, int> m_;
+
+  int Sum() const {
+    int t = 0;
+    // cknn-lint: allow(unordered-iter)
+    for (const auto& kv : m_) t += kv.second;  // LINT-EXPECT: allow-missing-reason
+    return t;
+  }
+
+  int WrongRule() const {
+    int t = 0;
+    // cknn-lint: allow(wall-clock) escaping the wrong rule does not help
+    for (const auto& kv : m_) t += kv.second;  // LINT-EXPECT: unordered-iter
+    return t;
+  }
+
+  int Count() const {
+    // cknn-lint: allow(unordered-iter) nothing here iterates anymore -- LINT-EXPECT: stale-allow
+    return static_cast<int>(m_.size());
+  }
+};

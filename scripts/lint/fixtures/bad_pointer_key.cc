@@ -1,0 +1,14 @@
+// Fixture: pointer-keyed ordered containers iterate in address order,
+// which ASLR re-rolls every run.
+#include <map>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+struct Registry {
+  std::map<Node*, int> ranks_;        // LINT-EXPECT: pointer-key
+  std::set<const Node*> live_;        // LINT-EXPECT: pointer-key
+  std::multimap<Node*, int> edges_;   // LINT-EXPECT: pointer-key
+};

@@ -1,0 +1,46 @@
+// Fixture: every banned pattern below must be flagged on the marked line.
+// LINT-EXPECT markers name the rule the linter must report for that line.
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Active {
+  std::unordered_set<int> queries;
+};
+
+struct Index {
+  std::unordered_map<int, double> weights_;
+  std::vector<std::unordered_map<int, int>> il_;
+  std::map<int, Active> by_id_;
+
+  double Sum() const {
+    double total = 0.0;
+    for (const auto& kv : weights_) {  // LINT-EXPECT: unordered-iter
+      total += kv.second;
+    }
+    return total;
+  }
+
+  int First() const {
+    auto it = weights_.begin();  // LINT-EXPECT: unordered-iter
+    return it == weights_.end() ? -1 : it->first;
+  }
+
+  int Nested() const {
+    int n = 0;
+    for (const auto& kv : il_[0]) {  // LINT-EXPECT: unordered-iter
+      n += kv.second;
+    }
+    return n;
+  }
+
+  int Member(const Active& a) const {
+    int n = 0;
+    for (int q : a.queries) {  // LINT-EXPECT: unordered-iter
+      n += q;
+    }
+    return n;
+  }
+};

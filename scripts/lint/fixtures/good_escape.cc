@@ -1,0 +1,22 @@
+// Fixture: a finding escaped with a rule and a reason is clean, whether the
+// escape sits on the flagged line or the line above it.
+#include <unordered_map>
+
+struct S {
+  std::unordered_map<int, int> m_;
+
+  int Sum() const {
+    int t = 0;
+    // cknn-lint: allow(unordered-iter) commutative integer sum, order-free
+    for (const auto& kv : m_) t += kv.second;
+    return t;
+  }
+
+  int Max() const {
+    int best = 0;
+    for (const auto& kv : m_) {  // cknn-lint: allow(unordered-iter) max is order-free
+      if (kv.second > best) best = kv.second;
+    }
+    return best;
+  }
+};

@@ -1,0 +1,29 @@
+// Fixture: the clean patterns -- point lookups into unordered containers
+// (no iteration), ordered iteration via a sorted sibling, and ordered maps
+// keyed by values rather than pointers.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct S {
+  std::unordered_map<std::uint64_t, double> weights_;
+  std::vector<std::uint64_t> ordered_ids_;  // Kept sorted on insert.
+  std::map<std::uint64_t, double> by_id_;
+
+  double Lookup(std::uint64_t id) const {
+    auto it = weights_.find(id);
+    return it == weights_.end() ? 0.0 : it->second;
+  }
+
+  double SumInIdOrder() const {
+    double total = 0.0;
+    for (std::uint64_t id : ordered_ids_) total += Lookup(id);
+    return total;
+  }
+
+  double FirstByKey() const {
+    auto it = by_id_.begin();
+    return it == by_id_.end() ? 0.0 : it->second;
+  }
+};

@@ -26,6 +26,7 @@ void Gma::SyncNodeK(NodeId n, ActiveNode* an) {
     return;
   }
   int max_k = 0;
+  // cknn-lint: allow(unordered-iter) commutative max over the node's query set
   for (QueryId q : an->queries) {
     max_k = std::max(max_k, queries_.at(q).k);
   }
@@ -201,6 +202,7 @@ void Gma::EvaluateQuery(QueryId id, UserQuery* uq) {
     }
   }
   uq->covered.reserve(intervals.size());
+  // cknn-lint: allow(unordered-iter) keyed il_ writes; covered is used as a set
   for (const auto& [e, iv] : intervals) {
     il_[e][id] = iv;
     uq->covered.push_back(e);
@@ -217,6 +219,7 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
   // Terminations first: no maintenance is spent on queries that are gone
   // (Fig. 12 line 1's Q_del).
   std::unordered_set<QueryId> to_evaluate;
+  // cknn-lint: allow(unordered-iter) batch.queries is a vector (name collision)
   for (const QueryUpdate& qu : batch.queries) {
     if (qu.kind != QueryUpdate::Kind::kTerminate) continue;
     auto it = queries_.find(qu.id);
@@ -236,6 +239,7 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
   // Structural query maintenance (Fig. 12 lines 1-4; a movement is a
   // deletion plus an insertion). Running it after the engine pass means
   // newly activated nodes compute against up-to-date tables.
+  // cknn-lint: allow(unordered-iter) batch.queries is a vector (name collision)
   for (const QueryUpdate& qu : batch.queries) {
     switch (qu.kind) {
       case QueryUpdate::Kind::kTerminate:
@@ -285,6 +289,7 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
     const NodeId n = static_cast<NodeId>(node_as_query);
     auto it = active_.find(n);
     if (it == active_.end()) continue;
+    // cknn-lint: allow(unordered-iter) set insert + counter, order-free
     for (QueryId q : it->second.queries) {
       const UserQuery& uq = queries_.at(q);
       if (std::find(uq.reached_nodes.begin(), uq.reached_nodes.end(), n) !=
@@ -294,6 +299,7 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
     }
   }
   auto mark_point = [&](const NetworkPoint& p) {
+    // cknn-lint: allow(unordered-iter) set insert + counter, order-free
     for (const auto& [q, iv] : il_[p.edge]) {
       if (p.t >= iv.lo && p.t <= iv.hi) {
         if (to_evaluate.insert(q).second) ++stats_.affected_by_object;
@@ -305,6 +311,7 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
     if (u.new_pos.has_value()) mark_point(*u.new_pos);
   }
   for (const EdgeUpdate& u : batch.edges) {
+    // cknn-lint: allow(unordered-iter) set insert + counter, order-free
     for (const auto& [q, iv] : il_[u.edge]) {
       (void)iv;
       if (to_evaluate.insert(q).second) ++stats_.affected_by_edge;
@@ -312,6 +319,7 @@ Status Gma::ProcessTimestamp(const UpdateBatch& batch) {
   }
 
   // Fig. 12 lines 16-17: recompute each affected or new query.
+  // cknn-lint: allow(unordered-iter) per-query recompute into (q)-keyed state
   for (QueryId q : to_evaluate) {
     auto it = queries_.find(q);
     if (it == queries_.end()) continue;  // Installed then terminated, etc.
@@ -325,15 +333,18 @@ std::size_t Gma::MemoryBytes() const {
                       HashMapBytes(queries_) + HashMapBytes(active_) +
                       il_.capacity() * sizeof(il_[0]) +
                       eval_cand_.MemoryBytes();
+  // cknn-lint: allow(unordered-iter) commutative byte sum
   for (const auto& [id, uq] : queries_) {
     (void)id;
     bytes += VectorBytes(uq.result) + VectorBytes(uq.reached_nodes) +
              VectorBytes(uq.covered);
   }
+  // cknn-lint: allow(unordered-iter) commutative byte sum
   for (const auto& [n, an] : active_) {
     (void)n;
     bytes += HashSetBytes(an.queries);
   }
+  // cknn-lint: allow(unordered-iter) commutative byte sum
   for (const auto& m : il_) bytes += HashMapBytes(m);
   return bytes;
 }

@@ -79,6 +79,7 @@ template <typename Fn>
 void ImaEngine::ForEachInfluenced(EdgeId e, Fn&& fn) {
   if (use_influence_filter_) {
     // Snapshot: fn may trigger coverage changes that edit influence_[e].
+    // cknn-lint: allow(unordered-iter) handlers write only (id)-keyed state
     std::vector<QueryId> ids(influence_[e].begin(), influence_[e].end());
     for (QueryId id : ids) {
       auto it = entries_.find(id);
@@ -86,6 +87,7 @@ void ImaEngine::ForEachInfluenced(EdgeId e, Fn&& fn) {
       fn(id, &it->second);
     }
   } else {
+    // cknn-lint: allow(unordered-iter) handlers write only (id)-keyed state
     for (auto& [id, entry] : entries_) {
       if (entry.state.EdgeTouched(*net_, e)) fn(id, &entry);
     }
@@ -370,6 +372,7 @@ std::vector<QueryId> ImaEngine::ProcessUpdates(
   for (const ObjectUpdate& u : object_updates) ApplyObjectUpdate(u);
 
   std::vector<QueryId> changed;
+  // cknn-lint: allow(unordered-iter) id-keyed work; changed is sorted below
   for (auto& [id, entry] : entries_) {
     if (entry.needs_recompute) {
       if (RecomputeEntry(id, &entry)) changed.push_back(id);
@@ -378,6 +381,9 @@ std::vector<QueryId> ImaEngine::ProcessUpdates(
       if (RebuildEntry(id, &entry)) changed.push_back(id);
     }
   }
+  // entries_ iterates in hash order; canonicalize the API surface so no
+  // caller can pick up a dependence on it.
+  std::sort(changed.begin(), changed.end());
   return changed;
 }
 
@@ -421,9 +427,11 @@ void ImaEngine::RebuildCoverage(QueryId id, Entry* entry) {
           covered.insert(inc.edge);
         }
       });
+  // cknn-lint: allow(unordered-iter) keyed set edits, order-free
   for (EdgeId e : entry->covered) {
     if (covered.count(e) == 0) influence_[e].erase(id);
   }
+  // cknn-lint: allow(unordered-iter) keyed set edits, order-free
   for (EdgeId e : covered) {
     if (entry->covered.count(e) == 0) influence_[e].insert(id);
   }
@@ -484,6 +492,7 @@ bool ImaEngine::RebuildEntry(QueryId id, Entry* entry) {
   }
   // Deferred coverage shrinking: edges whose region was pruned and not
   // re-settled by the expansion leave the influence lists now.
+  // cknn-lint: allow(unordered-iter) keyed erases, order-free
   for (EdgeId e : entry->pending_uncover) {
     if (!entry->state.EdgeTouched(*net_, e)) {
       if (entry->covered.erase(e) > 0) influence_[e].erase(id);
@@ -512,8 +521,10 @@ bool ImaEngine::RecomputeEntry(QueryId id, Entry* entry) {
   return ExtractResult(entry);
 }
 
+
 Status ImaEngine::CheckInvariants() const {
   auto fail = [](std::string msg) { return Status::Internal(std::move(msg)); };
+  // cknn-lint: allow(unordered-iter) validation; any order finds a violation
   for (const auto& [id, entry] : entries_) {
     const std::string tag = "query " + std::to_string(id) + ": ";
     // Expansion tree: parents settled, label arithmetic consistent.
@@ -570,6 +581,7 @@ Status ImaEngine::CheckInvariants() const {
     });
     if (!known_status.ok()) return known_status;
     // Coverage <-> influence agreement.
+    // cknn-lint: allow(unordered-iter) validation; any order finds a violation
     for (EdgeId e : entry.covered) {
       if (influence_[e].count(id) == 0) {
         return fail(tag + "covered edge without influence entry");
@@ -577,6 +589,7 @@ Status ImaEngine::CheckInvariants() const {
     }
   }
   for (EdgeId e = 0; e < influence_.size(); ++e) {
+    // cknn-lint: allow(unordered-iter) validation; any order finds a violation
     for (QueryId id : influence_[e]) {
       auto it = entries_.find(id);
       if (it == entries_.end()) {
@@ -593,12 +606,14 @@ Status ImaEngine::CheckInvariants() const {
 std::size_t ImaEngine::MemoryBytes() const {
   std::size_t bytes = HashMapBytes(entries_) +
                       influence_.capacity() * sizeof(influence_[0]);
+  // cknn-lint: allow(unordered-iter) commutative byte sum
   for (const auto& [id, entry] : entries_) {
     (void)id;
     bytes += entry.state.MemoryBytes() + entry.known.MemoryBytes() +
              entry.frontier.MemoryBytes() + VectorBytes(entry.result) +
              HashSetBytes(entry.covered) + HashSetBytes(entry.rescan_edges);
   }
+  // cknn-lint: allow(unordered-iter) commutative byte sum
   for (const auto& il : influence_) bytes += HashSetBytes(il);
   return bytes;
 }

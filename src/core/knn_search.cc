@@ -11,6 +11,8 @@ namespace cknn {
 namespace {
 
 FrontierQueueKind KindFromEnv() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): one-shot read before any
+  // thread is spawned; nothing in the tree calls setenv.
   const char* env = std::getenv("CKNN_FRONTIER_QUEUE");
   if (env != nullptr && std::strcmp(env, "bucket") == 0) {
     return FrontierQueueKind::kBucketQueue;

@@ -46,6 +46,7 @@ Status Ovh::ProcessTimestamp(const UpdateBatch& batch) {
   // Overhaul: recompute everything (Fig. 2 per query). The scratch
   // expansion is reused across queries — O(1) epoch clears instead of
   // rebuilding the state/frontier/candidate structures each time.
+  // cknn-lint: allow(unordered-iter) per-query recompute into (q)-keyed state
   for (auto& [id, uq] : queries_) {
     (void)id;
     uq.result = SnapshotKnn(*net_, *objects_, uq.pos, uq.k, &scratch_);
@@ -60,6 +61,7 @@ const std::vector<Neighbor>* Ovh::ResultOf(QueryId id) const {
 
 std::size_t Ovh::MemoryBytes() const {
   std::size_t bytes = HashMapBytes(queries_) + scratch_.MemoryBytes();
+  // cknn-lint: allow(unordered-iter) commutative byte sum
   for (const auto& [id, uq] : queries_) {
     (void)id;
     bytes += VectorBytes(uq.result);

@@ -50,6 +50,7 @@ std::vector<Neighbor> RangeSearch(const RoadNetwork& net,
   }
   std::vector<Neighbor> out;
   out.reserve(best.size());
+  // cknn-lint: allow(unordered-iter) sorted by (distance, id) just below
   for (const auto& [obj, dist] : best) out.push_back(Neighbor{obj, dist});
   std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
     return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
@@ -110,6 +111,7 @@ Status RangeMonitor::ProcessTimestamp(const UpdateBatch& batch) {
   for (const EdgeUpdate& u : batch.edges) {
     CKNN_RETURN_NOT_OK(net_->SetWeight(u.edge, u.new_weight));
   }
+  // cknn-lint: allow(unordered-iter) per-query refresh into (q)-keyed state
   for (auto& [id, query] : queries_) {
     (void)id;
     Refresh(&query);

@@ -41,6 +41,7 @@ std::unordered_map<ObjectId, RnnAssignment> ComputeObjectAssignments(
   };
   // Queries grouped by edge for same-edge object assignment later.
   std::unordered_map<EdgeId, std::vector<QueryId>> queries_on_edge;
+  // cknn-lint: allow(unordered-iter) Better() tie-breaks by id; order-free
   for (const auto& [q, pos] : queries) {
     CKNN_CHECK(pos.edge < net.NumEdges());
     const RoadNetwork::Edge& ed = net.edge(pos.edge);
@@ -107,6 +108,7 @@ std::unordered_map<QueryId, std::vector<Neighbor>> ComputeReverseNearest(
     const std::unordered_map<QueryId, NetworkPoint>& queries) {
   std::unordered_map<QueryId, std::vector<Neighbor>> out;
   out.reserve(queries.size());
+  // cknn-lint: allow(unordered-iter) keyed emplace, order-free
   for (const auto& [q, pos] : queries) {
     (void)pos;
     out.emplace(q, std::vector<Neighbor>{});
@@ -115,6 +117,7 @@ std::unordered_map<QueryId, std::vector<Neighbor>> ComputeReverseNearest(
        ComputeObjectAssignments(net, objects, queries)) {
     out[assignment.query].push_back(Neighbor{obj, assignment.distance});
   }
+  // cknn-lint: allow(unordered-iter) each list sorted by (distance, id)
   for (auto& [q, list] : out) {
     (void)q;
     std::sort(list.begin(), list.end(),
@@ -145,6 +148,7 @@ Status RnnMonitor::ProcessTimestamp(const UpdateBatch& batch) {
   for (const EdgeUpdate& u : batch.edges) {
     CKNN_RETURN_NOT_OK(net_->SetWeight(u.edge, u.new_weight));
   }
+  // cknn-lint: allow(unordered-iter) batch.queries is a vector (name collision)
   for (const QueryUpdate& qu : batch.queries) {
     switch (qu.kind) {
       case QueryUpdate::Kind::kTerminate:

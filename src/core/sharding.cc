@@ -60,6 +60,7 @@ ShardSet::ShardSet(RoadNetwork* primary_network, ObjectTable* objects,
 }
 
 ShardSet::~ShardSet() {
+  owner_role_.Assert();
   if (in_flight_) (void)WaitProcessTimestamp();
 }
 
@@ -108,6 +109,7 @@ Status ShardSet::MergeStatuses() const {
 }
 
 Status ShardSet::ProcessTimestamp(const UpdateBatch& aggregated) {
+  owner_role_.Assert();
   CKNN_CHECK(!in_flight_);
   UpdateRegistry(aggregated);
   if (shards_.size() == 1) {
@@ -129,6 +131,7 @@ Status ShardSet::ProcessTimestamp(const UpdateBatch& aggregated) {
 }
 
 void ShardSet::BeginProcessTimestamp(const UpdateBatch& aggregated) {
+  owner_role_.Assert();
   CKNN_CHECK(!in_flight_);
   CKNN_CHECK(pool_ != nullptr);  // Requires pipelined construction.
   UpdateRegistry(aggregated);
@@ -145,6 +148,7 @@ void ShardSet::BeginProcessTimestamp(const UpdateBatch& aggregated) {
 }
 
 Status ShardSet::WaitProcessTimestamp() {
+  owner_role_.Assert();
   CKNN_CHECK(in_flight_);
   pool_->Wait();
   in_flight_ = false;
@@ -152,6 +156,7 @@ Status ShardSet::WaitProcessTimestamp() {
 }
 
 std::size_t ShardSet::NumQueries() const {
+  owner_role_.Assert();
   CKNN_CHECK(!in_flight_);
   std::size_t n = 0;
   for (const Shard& shard : shards_) n += shard.monitor->NumQueries();
@@ -159,6 +164,7 @@ std::size_t ShardSet::NumQueries() const {
 }
 
 Result<std::size_t> ShardSet::TryNumQueries() const {
+  owner_role_.Assert();
   if (in_flight_) {
     return Status::FailedPrecondition(
         "query count unavailable: a detached tick is in flight (Drain "
@@ -168,6 +174,7 @@ Result<std::size_t> ShardSet::TryNumQueries() const {
 }
 
 Result<std::size_t> ShardSet::TryMemoryBytes() const {
+  owner_role_.Assert();
   if (in_flight_) {
     return Status::FailedPrecondition(
         "memory metrics unavailable: a detached tick is in flight (Drain "
@@ -177,6 +184,7 @@ Result<std::size_t> ShardSet::TryMemoryBytes() const {
 }
 
 std::size_t ShardSet::MemoryBytes() const {
+  owner_role_.Assert();
   CKNN_CHECK(!in_flight_);
   std::size_t bytes = 0;
   for (const Shard& shard : shards_) {

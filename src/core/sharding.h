@@ -11,6 +11,7 @@
 #include "src/core/object_table.h"
 #include "src/core/updates.h"
 #include "src/graph/road_network.h"
+#include "src/util/annotations.h"
 #include "src/util/macros.h"
 #include "src/util/result.h"
 #include "src/util/status.h"
@@ -101,10 +102,14 @@ class ShardSet {
 
   /// Whether a detached tick is currently in flight. While true, engine
   /// state (results, registries, shard networks) must not be read.
-  bool InFlight() const { return in_flight_; }
+  bool InFlight() const {
+    owner_role_.Assert();
+    return in_flight_;
+  }
 
   /// Result of a query, routed to its owning shard.
   const std::vector<Neighbor>* ResultOf(QueryId id) const {
+    owner_role_.Assert();
     CKNN_CHECK(!in_flight_);
     return shards_[ShardOf(id)].monitor->ResultOf(id);
   }
@@ -123,6 +128,7 @@ class ShardSet {
   /// detached tick is in flight, otherwise OK with `*out` set to the
   /// k-NN list — nullptr when the query is unknown.
   Status TryResultOf(QueryId id, const std::vector<Neighbor>** out) const {
+    owner_role_.Assert();
     if (in_flight_) {
       return Status::FailedPrecondition(
           "results unavailable: a detached tick is in flight (Drain first)");
@@ -145,6 +151,7 @@ class ShardSet {
   /// the engines (the registry is folded on the calling thread when a
   /// tick is submitted).
   bool IsRegistered(QueryId id) const {
+    owner_role_.Assert();
     return registered_.count(id) != 0;
   }
 
@@ -179,23 +186,33 @@ class ShardSet {
   };
 
   /// Splits `aggregated` into the per-shard `sub` batches.
-  void Partition(const UpdateBatch& aggregated);
+  void Partition(const UpdateBatch& aggregated) CKNN_REQUIRES(owner_role_);
 
   /// Folds the batch's install/terminate updates into `registered_`
   /// (called on the submitting thread, before the shards run).
-  void UpdateRegistry(const UpdateBatch& aggregated);
+  void UpdateRegistry(const UpdateBatch& aggregated)
+      CKNN_REQUIRES(owner_role_);
 
   /// First non-OK shard status in shard order.
   Status MergeStatuses() const;
 
   std::vector<Shard> shards_;
+  /// ShardSet is synchronized by protocol, not by a lock: exactly one
+  /// thread submits ticks and reads results, and the parallel phase's
+  /// writes reach it through the pool's completion barrier. The role
+  /// capability makes that contract checkable — every public entry point
+  /// asserts it, so the protocol state below cannot be reached from a
+  /// path the analysis has not seen claim ownership (docs/sharding.md,
+  /// docs/static_analysis.md).
+  ThreadRole owner_role_;
   /// Query ids registered after every tick submitted so far; mirrors the
   /// engines' registries for validated input (see IsRegistered).
-  std::unordered_set<QueryId> registered_;
+  std::unordered_set<QueryId> registered_ CKNN_GUARDED_BY(owner_role_);
   /// Per-tick task closures of the detached mode; must outlive the pool
   /// batch, so they live here rather than on the Begin caller's stack.
-  std::vector<std::function<void()>> detached_tasks_;
-  bool in_flight_ = false;
+  std::vector<std::function<void()>> detached_tasks_
+      CKNN_GUARDED_BY(owner_role_);
+  bool in_flight_ CKNN_GUARDED_BY(owner_role_) = false;
   /// Workers for the parallel phase: `num_shards - 1` blocking-mode
   /// workers (the calling thread runs the remaining shard), or
   /// `num_shards` in pipelined mode. nullptr for a serial single shard.

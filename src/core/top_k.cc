@@ -33,6 +33,7 @@ bool CandidateSet::TopErase(const Key& key) const {
 void CandidateSet::EnsureTop() const {
   if (top_exact_) return;
   top_.clear();
+  // cknn-lint: allow(unordered-iter) bounded insert under a total order
   for (const auto& [id, dist] : by_id_) {
     const Key key{dist, id};
     if (top_.size() == static_cast<std::size_t>(top_cap_)) {
@@ -127,6 +128,7 @@ std::vector<Neighbor> CandidateSet::TopK(int k) const {
 std::vector<Neighbor> CandidateSet::All() const {
   std::vector<Key> keys;
   keys.reserve(by_id_.size());
+  // cknn-lint: allow(unordered-iter) collected then sorted below
   for (const auto& [id, dist] : by_id_) keys.push_back(Key{dist, id});
   std::sort(keys.begin(), keys.end());
   std::vector<Neighbor> out;
@@ -138,6 +140,7 @@ std::vector<Neighbor> CandidateSet::All() const {
 }
 
 void CandidateSet::PruneBeyond(double bound) {
+  // cknn-lint: allow(unordered-iter) keyed erases; top_ repair order-free
   for (auto it = by_id_.begin(); it != by_id_.end();) {
     it = it->second > bound ? by_id_.erase(it) : std::next(it);
   }

@@ -86,6 +86,7 @@ class CandidateSet {
   /// Iteration over (id, distance) pairs; unspecified order.
   template <typename F>
   void ForEachCandidate(F&& f) const {
+    // cknn-lint: allow(unordered-iter) order documented unspecified at callers
     for (const auto& [id, dist] : by_id_) f(id, dist);
   }
 

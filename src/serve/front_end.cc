@@ -31,7 +31,7 @@ ServingFrontEnd::~ServingFrontEnd() { Shutdown(); }
 
 Status ServingFrontEnd::TrySubmit(const ServeRequest& request) {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (shutdown_) {
       return Status::FailedPrecondition("serving front end is shut down");
     }
@@ -45,16 +45,16 @@ Status ServingFrontEnd::TrySubmit(const ServeRequest& request) {
     ++accepted_;
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::OK();
 }
 
 Status ServingFrontEnd::Submit(const ServeRequest& request) {
   {
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    not_full_.wait(lock, [&] {
-      return shutdown_ || queue_.size() < config_.queue_capacity;
-    });
+    MutexLock lock(queue_mu_);
+    while (!shutdown_ && queue_.size() >= config_.queue_capacity) {
+      not_full_.Wait(queue_mu_);
+    }
     if (shutdown_) {
       return Status::FailedPrecondition("serving front end is shut down");
     }
@@ -62,15 +62,15 @@ Status ServingFrontEnd::Submit(const ServeRequest& request) {
     ++accepted_;
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::OK();
 }
 
 void ServingFrontEnd::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   CKNN_CHECK(!pump_.joinable());
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     CKNN_CHECK(!shutdown_);
   }
   pump_ = std::thread([this] { PumpLoop(); });
@@ -80,21 +80,21 @@ void ServingFrontEnd::PumpLoop() {
   while (true) {
     std::vector<Entry> slice;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      not_empty_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!shutdown_ && queue_.empty()) not_empty_.Wait(queue_mu_);
       if (queue_.empty()) break;  // Shutdown with a drained queue.
       slice = TakeSliceLocked();
       pump_busy_ = true;
     }
-    not_full_.notify_all();
+    not_full_.NotifyAll();
     ProcessSlice(std::move(slice));
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       pump_busy_ = false;
     }
-    drained_.notify_all();
+    drained_.NotifyAll();
   }
-  drained_.notify_all();
+  drained_.NotifyAll();
 }
 
 std::vector<ServingFrontEnd::Entry> ServingFrontEnd::TakeSliceLocked() {
@@ -112,55 +112,55 @@ std::vector<ServingFrontEnd::Entry> ServingFrontEnd::TakeSliceLocked() {
 }
 
 Status ServingFrontEnd::Flush() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   while (true) {
     std::vector<Entry> slice;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (pump_.joinable()) {
         // With a pump the barrier is: every pre-Flush request has been
         // taken AND processed (pump idle). New requests racing past the
         // barrier are the next window's problem.
-        drained_.wait(lock, [&] { return queue_.empty() && !pump_busy_; });
+        while (!queue_.empty() || pump_busy_) drained_.Wait(queue_mu_);
         break;
       }
       if (queue_.empty()) break;
       slice = TakeSliceLocked();
     }
-    not_full_.notify_all();
+    not_full_.NotifyAll();
     ProcessSlice(std::move(slice));
   }
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  MutexLock lock(engine_mu_);
   Status drained = DrainEngineLocked();
   return drained;
 }
 
 void ServingFrontEnd::Shutdown() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     shutdown_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
   if (pump_.joinable()) pump_.join();  // Drains the queue before exiting.
   // No pump (or requests the pump never saw): drain synchronously so
   // every accepted request still reaches the engine.
   while (true) {
     std::vector<Entry> slice;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (queue_.empty()) break;
       slice = TakeSliceLocked();
     }
     ProcessSlice(std::move(slice));
   }
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  MutexLock lock(engine_mu_);
   (void)DrainEngineLocked();
 }
 
 Result<std::vector<Neighbor>> ServingFrontEnd::ReadResult(QueryId id) {
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  MutexLock lock(engine_mu_);
   Status drained = DrainEngineLocked();
   if (!drained.ok()) return drained;
   const std::vector<Neighbor>* neighbors = nullptr;
@@ -173,20 +173,20 @@ Result<std::vector<Neighbor>> ServingFrontEnd::ReadResult(QueryId id) {
 }
 
 std::size_t ServingFrontEnd::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   return queue_.size();
 }
 
 ServingStats ServingFrontEnd::Stats() const {
   ServingStats stats;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stats.accepted = accepted_;
     stats.rejected_queue_full = rejected_queue_full_;
     stats.max_queue_depth = max_queue_depth_;
   }
   {
-    std::lock_guard<std::mutex> lock(engine_mu_);
+    MutexLock lock(engine_mu_);
     stats.rejected_invalid = rejected_invalid_;
     stats.applied = applied_;
     stats.ticks = ticks_;
@@ -200,12 +200,12 @@ ServingStats ServingFrontEnd::Stats() const {
 }
 
 Status ServingFrontEnd::last_error() const {
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  MutexLock lock(engine_mu_);
   return last_error_;
 }
 
 void ServingFrontEnd::ProcessSlice(std::vector<Entry> slice) {
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  MutexLock lock(engine_mu_);
   std::vector<ServeRequest> requests;
   requests.reserve(slice.size());
   for (const Entry& entry : slice) requests.push_back(entry.request);

@@ -2,11 +2,9 @@
 #define CKNN_SERVE_FRONT_END_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,6 +13,7 @@
 #include "src/graph/network_point.h"
 #include "src/graph/types.h"
 #include "src/sim/metrics.h"
+#include "src/util/annotations.h"
 #include "src/util/result.h"
 #include "src/util/status.h"
 
@@ -124,42 +123,43 @@ class ServingFrontEnd {
 
   /// Non-blocking admission: ResourceExhausted when the queue is full,
   /// FailedPrecondition after shutdown, OK otherwise.
-  Status TrySubmit(const ServeRequest& request);
+  Status TrySubmit(const ServeRequest& request) CKNN_EXCLUDES(queue_mu_);
 
   /// Blocking admission (back-pressure): waits for queue space.
   /// FailedPrecondition after (or upon) shutdown.
-  Status Submit(const ServeRequest& request);
+  Status Submit(const ServeRequest& request) CKNN_EXCLUDES(queue_mu_);
 
   /// Starts the background batching pump. Call at most once, before any
   /// concurrent use of `Flush`.
-  void Start();
+  void Start() CKNN_EXCLUDES(lifecycle_mu_, queue_mu_);
 
   /// Synchronous barrier: every request accepted before this call is
   /// folded into the engine and the engine is drained. Returns the first
   /// non-OK engine status encountered, OK otherwise. Without a pump this
   /// is the only way requests reach the engine.
-  Status Flush();
+  Status Flush() CKNN_EXCLUDES(lifecycle_mu_, queue_mu_, engine_mu_);
 
   /// Drains the queue into final ticks, drains the engine, and stops the
   /// pump. Subsequent submissions fail with FailedPrecondition;
   /// `ReadResult`/`Stats` keep working. Idempotent.
-  void Shutdown();
+  void Shutdown() CKNN_EXCLUDES(lifecycle_mu_, queue_mu_, engine_mu_);
 
   /// Current k-NN set of a query, as of the last tick the engine
   /// completed (call `Flush` first for read-your-writes). Drains any
   /// in-flight tick; never aborts: NotFound for an unknown query,
   /// the engine's error if draining surfaced one.
-  Result<std::vector<Neighbor>> ReadResult(QueryId id);
+  Result<std::vector<Neighbor>> ReadResult(QueryId id)
+      CKNN_EXCLUDES(engine_mu_);
 
   /// Requests currently queued (not yet folded into a tick).
-  std::size_t QueueDepth() const;
+  std::size_t QueueDepth() const CKNN_EXCLUDES(queue_mu_);
 
   /// Snapshot of the serving counters (percentiles computed on the spot).
-  ServingStats Stats() const;
+  ServingStats Stats() const CKNN_EXCLUDES(queue_mu_, engine_mu_);
 
   /// Last non-OK status the engine reported (per-update rejects included);
   /// OK if none. For diagnostics — rejects are already counted in Stats().
-  Status last_error() const;
+  Status last_error() const CKNN_EXCLUDES(engine_mu_);
 
   /// Folds `requests` (arrival order) into one canonical tick batch
   /// against `server`'s current tables: streams split per kind, stable-
@@ -180,53 +180,57 @@ class ServingFrontEnd {
 
   /// Moves up to `max_batch_requests` entries off the queue front.
   /// queue_mu_ held.
-  std::vector<Entry> TakeSliceLocked();
+  std::vector<Entry> TakeSliceLocked() CKNN_REQUIRES(queue_mu_);
 
   /// Folds one slice into the engine: build, submit, bisect on rejection,
   /// retire latencies. Takes engine_mu_.
-  void ProcessSlice(std::vector<Entry> slice);
+  void ProcessSlice(std::vector<Entry> slice)
+      CKNN_EXCLUDES(queue_mu_, engine_mu_);
 
   /// Re-applies a rejected batch one update per tick so one bad update
   /// cannot veto its neighbors. engine_mu_ held.
-  void BisectRejectedLocked(const UpdateBatch& batch);
+  void BisectRejectedLocked(const UpdateBatch& batch)
+      CKNN_REQUIRES(engine_mu_);
 
   /// Drains the engine and retires pending latencies. engine_mu_ held.
-  Status DrainEngineLocked();
+  Status DrainEngineLocked() CKNN_REQUIRES(engine_mu_);
 
   /// Records `enqueued -> now` for every pending retirement. engine_mu_
   /// held.
-  void RetirePendingLocked(Clock::time_point now);
+  void RetirePendingLocked(Clock::time_point now) CKNN_REQUIRES(engine_mu_);
 
-  void PumpLoop();
+  void PumpLoop() CKNN_EXCLUDES(queue_mu_, engine_mu_);
 
-  MonitoringServer* server_;
-  ServingConfig config_;
+  /// The engine and everything fed to or read from it is serialized by
+  /// engine_mu_ (the pointer itself is set once in the constructor).
+  MonitoringServer* server_ CKNN_PT_GUARDED_BY(engine_mu_);
+  ServingConfig config_;  ///< Immutable after construction.
 
   /// Producer side: the bounded MPSC queue and its admission stats.
-  mutable std::mutex queue_mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  mutable Mutex queue_mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
   /// Signals `queue empty and pump idle` (the Flush barrier with a pump).
-  std::condition_variable drained_;
-  std::deque<Entry> queue_;
-  bool shutdown_ = false;
-  bool pump_busy_ = false;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_queue_full_ = 0;
-  std::size_t max_queue_depth_ = 0;
+  CondVar drained_;
+  std::deque<Entry> queue_ CKNN_GUARDED_BY(queue_mu_);
+  bool shutdown_ CKNN_GUARDED_BY(queue_mu_) = false;
+  bool pump_busy_ CKNN_GUARDED_BY(queue_mu_) = false;
+  std::uint64_t accepted_ CKNN_GUARDED_BY(queue_mu_) = 0;
+  std::uint64_t rejected_queue_full_ CKNN_GUARDED_BY(queue_mu_) = 0;
+  std::size_t max_queue_depth_ CKNN_GUARDED_BY(queue_mu_) = 0;
 
   /// Consumer side: engine access, latency accounting, engine stats.
-  mutable std::mutex engine_mu_;
-  std::vector<Clock::time_point> pending_retire_;
-  LatencyReservoir latency_;
-  std::uint64_t rejected_invalid_ = 0;
-  std::uint64_t applied_ = 0;
-  std::uint64_t ticks_ = 0;
-  Status last_error_;
+  mutable Mutex engine_mu_;
+  std::vector<Clock::time_point> pending_retire_ CKNN_GUARDED_BY(engine_mu_);
+  LatencyReservoir latency_ CKNN_GUARDED_BY(engine_mu_);
+  std::uint64_t rejected_invalid_ CKNN_GUARDED_BY(engine_mu_) = 0;
+  std::uint64_t applied_ CKNN_GUARDED_BY(engine_mu_) = 0;
+  std::uint64_t ticks_ CKNN_GUARDED_BY(engine_mu_) = 0;
+  Status last_error_ CKNN_GUARDED_BY(engine_mu_);
 
   /// Lifecycle (Start/Flush/Shutdown serialization).
-  std::mutex lifecycle_mu_;
-  std::thread pump_;
+  Mutex lifecycle_mu_;
+  std::thread pump_ CKNN_GUARDED_BY(lifecycle_mu_);
 };
 
 }  // namespace cknn

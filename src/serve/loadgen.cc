@@ -1,8 +1,6 @@
 #include "src/serve/loadgen.h"
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -10,6 +8,7 @@
 #include "src/core/server.h"
 #include "src/core/updates.h"
 #include "src/gen/workload.h"
+#include "src/util/annotations.h"
 #include "src/util/stopwatch.h"
 
 namespace cknn::serve {
@@ -22,24 +21,24 @@ class CyclicBarrier {
  public:
   explicit CyclicBarrier(int parties) : parties_(parties) {}
 
-  void ArriveAndWait() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void ArriveAndWait() CKNN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     const std::uint64_t generation = generation_;
     if (++waiting_ == parties_) {
       waiting_ = 0;
       ++generation_;
-      cv_.notify_all();
+      cv_.NotifyAll();
       return;
     }
-    cv_.wait(lock, [&] { return generation_ != generation; });
+    while (generation_ == generation) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int parties_;
-  int waiting_ = 0;
-  std::uint64_t generation_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  const int parties_;
+  int waiting_ CKNN_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ CKNN_GUARDED_BY(mu_) = 0;
 };
 
 void AppendRequests(const UpdateBatch& batch,

@@ -15,6 +15,10 @@ namespace cknn {
 /// same percentiles — benchmarks and tests stay reproducible without
 /// touching any global RNG. Until `capacity` samples have arrived the
 /// reservoir holds every sample and percentiles are exact.
+///
+/// Not internally synchronized: the owner serializes access (e.g.
+/// `ServingFrontEnd` guards its reservoir with `engine_mu_` and
+/// annotates it `CKNN_GUARDED_BY` — see docs/static_analysis.md).
 class LatencyReservoir {
  public:
   explicit LatencyReservoir(std::size_t capacity = 4096,

@@ -1,0 +1,169 @@
+#ifndef CKNN_UTIL_ANNOTATIONS_H_
+#define CKNN_UTIL_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// \file
+/// Clang thread-safety annotations (docs/static_analysis.md) and the thin
+/// capability-annotated synchronization wrappers the rest of the tree locks
+/// through.
+///
+/// On Clang the macros expand to the `__attribute__((...))` family behind
+/// `-Wthread-safety`, so lock-discipline errors — touching a
+/// `CKNN_GUARDED_BY` member without its mutex, calling a `CKNN_REQUIRES`
+/// function unlocked, leaking a lock out of a scope — fail the build
+/// (`-Werror=thread-safety`, wired unconditionally for Clang in the root
+/// CMakeLists). On every other compiler they expand to nothing and the
+/// wrappers cost exactly what the `std::` primitives underneath them cost.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CKNN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CKNN_THREAD_ANNOTATION
+#define CKNN_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (a lock, or a protocol role) the
+/// analysis tracks.
+#define CKNN_CAPABILITY(name) CKNN_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define CKNN_SCOPED_CAPABILITY CKNN_THREAD_ANNOTATION(scoped_lockable)
+
+/// The member is protected by the given capability: every read or write
+/// must happen with it held.
+#define CKNN_GUARDED_BY(x) CKNN_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is protected by the given
+/// capability.
+#define CKNN_PT_GUARDED_BY(x) CKNN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function must be called with the capability held (and does not
+/// release it).
+#define CKNN_REQUIRES(...) \
+  CKNN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define CKNN_ACQUIRE(...) \
+  CKNN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability the caller held.
+#define CKNN_RELEASE(...) \
+  CKNN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function must be called with the capability NOT held (anti-deadlock:
+/// it will acquire it itself).
+#define CKNN_EXCLUDES(...) CKNN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define CKNN_TRY_ACQUIRE(ret, ...) \
+  CKNN_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Tells the analysis the capability is held here without acquiring it
+/// (runtime no-op; used for protocol roles, see cknn::ThreadRole).
+#define CKNN_ASSERT_CAPABILITY(x) \
+  CKNN_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability (so
+/// `MutexLock lock(obj.mu())` type accessors analyze correctly).
+#define CKNN_RETURN_CAPABILITY(x) CKNN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is not analyzed. Every use carries a
+/// written reason next to it.
+#define CKNN_NO_THREAD_SAFETY_ANALYSIS \
+  CKNN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cknn {
+
+/// \brief `std::mutex` annotated as a capability, so members can be
+/// declared `CKNN_GUARDED_BY(mu_)` and functions `CKNN_REQUIRES(mu_)`.
+///
+/// Lock through `MutexLock` (scoped) or `Lock`/`Unlock` (annotated) — never
+/// through a raw `std::lock_guard` on `native()`, which the analysis cannot
+/// see. `native()` exists only for `CondVar`'s wait hand-off.
+class CKNN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CKNN_ACQUIRE() { mu_.lock(); }
+  void Unlock() CKNN_RELEASE() { mu_.unlock(); }
+  bool TryLock() CKNN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for `CondVar::Wait` only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over `Mutex` (the annotated `std::lock_guard`).
+class CKNN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CKNN_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CKNN_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable paired with `Mutex`.
+///
+/// `Wait` is deliberately predicate-less: the caller re-checks its
+/// condition in a `while` loop inside the locked scope, where the analysis
+/// can see every guarded read (a predicate lambda would be analyzed as an
+/// unannotated function and flag them). Same semantics as
+/// `std::condition_variable::wait(lock)` — spurious wakeups included, which
+/// the `while` loop absorbs exactly like the predicate overload would.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; `mu` is re-held on return. The
+  /// caller must hold `mu` (typically via a `MutexLock` in scope).
+  void Wait(Mutex& mu) CKNN_REQUIRES(mu) {
+    // Adopt the caller's hold for the wait, then release ownership back so
+    // the caller's MutexLock still performs the final unlock: no extra
+    // lock/unlock pair, byte-for-byte the std::condition_variable protocol.
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// \brief A zero-size, zero-cost capability standing for a single-threaded
+/// access protocol rather than a lock: "only the owning/submitting thread
+/// touches this state".
+///
+/// Structures like `ShardSet` are synchronized by contract (one thread
+/// submits ticks and reads results; workers touch disjoint shard state
+/// through the pool's happens-before edges), not by a mutex. Declaring the
+/// protocol state `CKNN_GUARDED_BY(owner_role_)` and opening each public
+/// entry point with `owner_role_.Assert()` makes the contract checkable:
+/// any new code path that reaches the guarded members without going
+/// through an asserting entry point fails `-Wthread-safety`.
+class CKNN_CAPABILITY("role") ThreadRole {
+ public:
+  /// States (to the analysis only — runtime no-op) that the calling thread
+  /// holds this role.
+  void Assert() const CKNN_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace cknn
+
+#endif  // CKNN_UTIL_ANNOTATIONS_H_

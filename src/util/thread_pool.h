@@ -3,14 +3,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/util/annotations.h"
 #include "src/util/macros.h"
 
 namespace cknn {
@@ -59,12 +58,12 @@ class ThreadPool {
   /// claiming and running its tasks while the destructor joins, so
   /// dropping the vector early is a use-after-free. (ShardSet complies:
   /// its destructor Waits any in-flight tick first.)
-  ~ThreadPool() {
+  ~ThreadPool() CKNN_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     for (std::thread& t : workers_) t.join();
   }
 
@@ -73,14 +72,17 @@ class ThreadPool {
   /// Runs every task in `tasks` to completion, the calling thread
   /// participating. Safe to call repeatedly and concurrently with an
   /// in-flight `Begin` batch (the two overlap on the same workers).
-  void RunAll(const std::vector<std::function<void()>>& tasks) {
+  void RunAll(const std::vector<std::function<void()>>& tasks)
+      CKNN_EXCLUDES(mu_) {
     std::shared_ptr<Batch> batch = Enqueue(tasks);
     if (batch != nullptr) Finish(std::move(batch));
   }
 
   /// Starts a detached batch: the workers begin claiming immediately, the
   /// caller returns. `tasks` must outlive the matching `Wait()`.
-  void Begin(const std::vector<std::function<void()>>& tasks) {
+  void Begin(const std::vector<std::function<void()>>& tasks)
+      CKNN_EXCLUDES(mu_) {
+    owner_role_.Assert();
     CKNN_CHECK(detached_ == nullptr);
     detached_ = Enqueue(tasks);
   }
@@ -88,7 +90,8 @@ class ThreadPool {
   /// Blocks until the detached batch finished, helping drain unclaimed
   /// tasks. A `Wait` without a preceding `Begin` (or after a `Begin` of an
   /// empty task vector) is a no-op.
-  void Wait() {
+  void Wait() CKNN_EXCLUDES(mu_) {
+    owner_role_.Assert();
     if (detached_ == nullptr) return;
     std::shared_ptr<Batch> batch = std::move(detached_);
     detached_ = nullptr;
@@ -105,46 +108,60 @@ class ThreadPool {
     /// happen only while the batch's completer is still blocked in
     /// `Finish`, when the vector is alive).
     std::atomic<std::size_t> next{0};
-    std::size_t pending = 0;  ///< Unfinished tasks; guarded by mu_.
+    /// Unfinished tasks; guarded by the owning pool's mu_ (a nested struct
+    /// cannot name the outer capability in CKNN_GUARDED_BY, so every
+    /// access lives in a CKNN_REQUIRES(mu_) region of the pool instead).
+    std::size_t pending = 0;
   };
 
   std::shared_ptr<Batch> Enqueue(
-      const std::vector<std::function<void()>>& tasks) {
+      const std::vector<std::function<void()>>& tasks) CKNN_EXCLUDES(mu_) {
     if (tasks.empty()) return nullptr;
     auto batch = std::make_shared<Batch>();
     batch->tasks = &tasks;
     batch->size = tasks.size();
     batch->pending = tasks.size();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       active_.push_back(batch);
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     return batch;
   }
 
   /// Drains `batch` on the calling thread, waits for stragglers, and
   /// retires it from the active list.
-  void Finish(std::shared_ptr<Batch> batch) {
+  void Finish(std::shared_ptr<Batch> batch) CKNN_EXCLUDES(mu_) {
     DrainTasks(*batch);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [&] { return batch->pending == 0; });
+    MutexLock lock(mu_);
+    while (!BatchDoneLocked(*batch)) done_.Wait(mu_);
     active_.erase(std::find(active_.begin(), active_.end(), batch));
   }
 
+  /// Whether every task of `batch` finished. mu_ held.
+  bool BatchDoneLocked(const Batch& batch) const CKNN_REQUIRES(mu_) {
+    return batch.pending == 0;
+  }
+
+  /// Retires one completed task of `batch`, waking its completer on the
+  /// last one. mu_ held.
+  void FinishTaskLocked(Batch& batch) CKNN_REQUIRES(mu_) {
+    if (--batch.pending == 0) done_.NotifyAll();
+  }
+
   /// Claims and runs tasks from `batch` until its index is exhausted.
-  void DrainTasks(Batch& batch) {
+  void DrainTasks(Batch& batch) CKNN_EXCLUDES(mu_) {
     while (true) {
       const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch.size) return;
       (*batch.tasks)[i]();
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--batch.pending == 0) done_.notify_all();
+      MutexLock lock(mu_);
+      FinishTaskLocked(batch);
     }
   }
 
   /// First active batch with unclaimed tasks, nullptr if none. mu_ held.
-  std::shared_ptr<Batch> ClaimableLocked() {
+  std::shared_ptr<Batch> ClaimableLocked() CKNN_REQUIRES(mu_) {
     for (const std::shared_ptr<Batch>& batch : active_) {
       if (batch->next.load(std::memory_order_relaxed) < batch->size) {
         return batch;
@@ -153,29 +170,31 @@ class ThreadPool {
     return nullptr;
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() CKNN_EXCLUDES(mu_) {
     while (true) {
       std::shared_ptr<Batch> batch;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [&] {
-          return shutdown_ || (batch = ClaimableLocked()) != nullptr;
-        });
+        MutexLock lock(mu_);
+        while (!shutdown_ && (batch = ClaimableLocked()) == nullptr) {
+          wake_.Wait(mu_);
+        }
         if (batch == nullptr) return;  // Shutdown.
       }
       DrainTasks(*batch);
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
+  Mutex mu_;
+  CondVar wake_;
+  CondVar done_;
   std::vector<std::thread> workers_;
   /// Batches with tasks that may still be unclaimed or running.
-  std::vector<std::shared_ptr<Batch>> active_;
+  std::vector<std::shared_ptr<Batch>> active_ CKNN_GUARDED_BY(mu_);
+  /// The single thread that issues Begin/Wait pairs (see ThreadRole).
+  ThreadRole owner_role_;
   /// The in-flight Begin batch (touched only by the owning thread).
-  std::shared_ptr<Batch> detached_;
-  bool shutdown_ = false;
+  std::shared_ptr<Batch> detached_ CKNN_GUARDED_BY(owner_role_);
+  bool shutdown_ CKNN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cknn

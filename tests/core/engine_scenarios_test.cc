@@ -3,6 +3,8 @@
 // and inspects the expansion tree afterwards (distances, coverage,
 // result), with the brute-force oracle as referee.
 
+#include <algorithm>
+
 #include "gtest/gtest.h"
 #include "src/core/ima.h"
 #include "tests/test_util.h"
@@ -198,6 +200,27 @@ TEST_F(EngineScenarioTest, IgnoredUpdateDoesNotChangeResult) {
       1, NetworkPoint{e34_, 0.5}, NetworkPoint{e34_, 0.6}}};
   const auto changed = engine_->ProcessUpdates(updates, {}, {});
   EXPECT_TRUE(changed.empty());
+}
+
+TEST_F(EngineScenarioTest, ChangedQueriesReturnedSortedById) {
+  // Regression: the maintenance loop iterates the hash-ordered entry
+  // table, so the changed-query list used to come back in hash order.
+  // The API now canonicalizes it (ascending ids) so callers cannot pick
+  // up a dependence on hash-iteration order.
+  ASSERT_TRUE(objects_->Insert(0, NetworkPoint{e12_, 0.5}).ok());
+  for (QueryId q = 1; q <= 8; ++q) {
+    ASSERT_TRUE(
+        engine_->AddQuery(q, ExpansionSource::AtPoint({e12_, 0.1 * q}), 1)
+            .ok());
+  }
+  // Moving the only object changes every query's result.
+  std::vector<ObjectUpdate> updates{
+      ObjectUpdate{0, NetworkPoint{e12_, 0.5}, NetworkPoint{e12_, 0.05}}};
+  const auto changed = engine_->ProcessUpdates(updates, {}, {});
+  ASSERT_GE(changed.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(changed.begin(), changed.end()));
+  EXPECT_TRUE(std::adjacent_find(changed.begin(), changed.end()) ==
+              changed.end());
 }
 
 TEST_F(EngineScenarioTest, MultipleQueriesIndependentResults) {

@@ -102,7 +102,9 @@ TEST(DenseIdMapTest, RandomizedDifferentialAgainstUnorderedMap) {
         auto it = ref.find(id);
         const double* p = dense.Find(id);
         ASSERT_EQ(p != nullptr, it != ref.end());
-        if (p != nullptr) EXPECT_EQ(*p, it->second);
+        if (p != nullptr) {
+          EXPECT_EQ(*p, it->second);
+        }
         break;
       }
       case 3:
