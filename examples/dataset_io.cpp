@@ -43,12 +43,18 @@ int main(int argc, char** argv) {
                     rng.Uniform(box.min_y, box.max_y)};
     const auto snapped = server.Snap(gps);
     if (!snapped.ok()) return 1;
-    server.AddObject(id, *snapped);
+    if (Status st = server.AddObject(id, *snapped); !st.ok()) {
+      std::printf("add failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   const auto query_pos = server.Snap(Point{
       0.5 * (box.min_x + box.max_x), 0.5 * (box.min_y + box.max_y)});
   if (!query_pos.ok()) return 1;
-  server.InstallQuery(0, *query_pos, 5);
+  if (Status st = server.InstallQuery(0, *query_pos, 5); !st.ok()) {
+    std::printf("install failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   std::printf("5 nearest objects to the city center (network distance):\n");
   for (const Neighbor& nb : *server.ResultOf(0)) {

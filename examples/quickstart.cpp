@@ -9,6 +9,7 @@
 // Run: ./quickstart
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/core/server.h"
 
@@ -31,6 +32,15 @@ void PrintResult(const MonitoringServer& server, cknn::QueryId q) {
     std::printf("  object %u @ %.2f", nb.id, nb.distance);
   }
   std::printf("\n");
+}
+
+// Demo-grade error handling: every update in this walkthrough is valid by
+// construction, so a failure is a broken example — print and bail.
+void MustOk(cknn::Status status, const char* what) {
+  if (!status.ok()) {
+    std::printf("%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
 }
 
 }  // namespace
@@ -56,25 +66,28 @@ int main() {
   MonitoringServer server(std::move(net), Algorithm::kIma);
 
   // 3. Objects appear; a continuous 2-NN query is installed mid-edge.
-  server.AddObject(/*id=*/0, NetworkPoint{top_right, 0.5});
-  server.AddObject(/*id=*/1, NetworkPoint{bottom_left, 0.25});
-  server.AddObject(/*id=*/2, NetworkPoint{bottom_right, 0.8});
-  server.InstallQuery(/*id=*/7, NetworkPoint{top_left, 0.5}, /*k=*/2);
+  MustOk(server.AddObject(/*id=*/0, NetworkPoint{top_right, 0.5}), "add");
+  MustOk(server.AddObject(/*id=*/1, NetworkPoint{bottom_left, 0.25}), "add");
+  MustOk(server.AddObject(/*id=*/2, NetworkPoint{bottom_right, 0.8}), "add");
+  MustOk(server.InstallQuery(/*id=*/7, NetworkPoint{top_left, 0.5}, /*k=*/2),
+         "install");
   std::printf("after install:\n");
   PrintResult(server, 7);
 
   // 4. An object moves closer — the result updates incrementally.
-  server.MoveObject(2, NetworkPoint{middle, 0.3});
+  MustOk(server.MoveObject(2, NetworkPoint{middle, 0.3}), "move");
   std::printf("after object 2 moves onto the middle edge:\n");
   PrintResult(server, 7);
 
   // 5. Congestion: the middle edge's travel cost triples.
-  server.UpdateEdgeWeight(middle, server.network().edge(middle).weight * 3);
+  MustOk(server.UpdateEdgeWeight(middle,
+                                 server.network().edge(middle).weight * 3),
+         "congest");
   std::printf("after congestion on the middle edge:\n");
   PrintResult(server, 7);
 
   // 6. The query itself drives east.
-  server.MoveQuery(7, NetworkPoint{top_right, 0.9});
+  MustOk(server.MoveQuery(7, NetworkPoint{top_right, 0.9}), "move query");
   std::printf("after the query moves east:\n");
   PrintResult(server, 7);
 

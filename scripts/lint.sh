@@ -6,8 +6,9 @@
 # installs the full toolchain and is the enforcement point.
 #
 #   1. determinism lint      (python3; self-test + tree run)
-#   2. clang thread-safety   (clang++; -Werror=thread-safety build)
-#   3. clang-tidy            (clang-tidy; over compile_commands.json)
+#   2. status lint           (python3; self-test + tree run + abort inventory)
+#   3. clang thread-safety   (clang++; -Werror=thread-safety build)
+#   4. clang-tidy            (clang-tidy; over compile_commands.json)
 #
 # Exit code: non-zero if any check that RAN failed.
 set -euo pipefail
@@ -32,7 +33,18 @@ else
   skipped+=("determinism-lint (python3 not found)")
 fi
 
-# --- 2. clang thread-safety build -----------------------------------------
+# --- 2. status lint --------------------------------------------------------
+if command -v python3 >/dev/null 2>&1; then
+  note "status lint (self-test + tree + abort-reachability inventory)"
+  python3 "${repo_root}/scripts/lint/status_lint.py" --self-test \
+    || failed=1
+  python3 "${repo_root}/scripts/lint/status_lint.py" \
+    --root "${repo_root}" || failed=1
+else
+  skipped+=("status-lint (python3 not found)")
+fi
+
+# --- 3. clang thread-safety build -----------------------------------------
 if command -v clang++ >/dev/null 2>&1; then
   note "clang build with -Werror=thread-safety (${build_dir})"
   cmake -B "${build_dir}" -S "${repo_root}" \
@@ -43,7 +55,7 @@ else
   skipped+=("thread-safety build (clang++ not found)")
 fi
 
-# --- 3. clang-tidy ---------------------------------------------------------
+# --- 4. clang-tidy ---------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1 && [[ -d "${build_dir}" ]] \
     && [[ -f "${build_dir}/compile_commands.json" ]]; then
   note "clang-tidy over src/ (config: .clang-tidy)"
@@ -68,4 +80,4 @@ if [[ "${failed}" -ne 0 ]]; then
   note "FAILED"
   exit 1
 fi
-note "OK ($((3 - ${#skipped[@]})) of 3 checks ran)"
+note "OK ($((4 - ${#skipped[@]})) of 4 checks ran)"

@@ -1,0 +1,20 @@
+// Fixture: abort paths in a client-reachable file (the self-test lints
+// every fixture as if it lived under src/serve/) must be flagged unless
+// escaped with a reason.
+#include "src/util/macros.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+Status SomeStatus();
+
+void HandleFrame(int payload) {
+  CKNN_CHECK(payload > 0);       // LINT-EXPECT: client-abort
+  CKNN_DCHECK(payload < 100);    // LINT-EXPECT: client-abort
+  CKNN_CHECK_OK(SomeStatus());   // LINT-EXPECT: client-abort
+  if (payload == 42) {
+    std::abort();                // LINT-EXPECT: client-abort
+  }
+}
+
+}  // namespace cknn

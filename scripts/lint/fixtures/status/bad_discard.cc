@@ -1,0 +1,16 @@
+// Fixture: bare (void)-discards of Status/Result-returning calls must be
+// flagged; CKNN_IGNORE_STATUS is the only sanctioned drop.
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+Status Flush();
+Result<int> TryCount();
+
+void Caller() {
+  (void)Flush();                  // LINT-EXPECT: status-discard
+  static_cast<void>(TryCount());  // LINT-EXPECT: status-discard
+}
+
+}  // namespace cknn

@@ -1,0 +1,18 @@
+// Fixture: properly escaped sites and CKNN_IGNORE_STATUS drops produce no
+// findings (no LINT-EXPECT markers in this file).
+#include "src/util/macros.h"
+#include "src/util/status.h"
+
+namespace cknn {
+
+Status Flush();
+
+void Shutdown() {
+  // cknn-lint: allow(status-discard) shutdown path: the error was already latched upstream
+  (void)Flush();
+  CKNN_IGNORE_STATUS(Flush(), "best-effort tail flush on shutdown");
+  // cknn-lint: allow(abort) construction-time precondition; no client input reaches it
+  CKNN_CHECK(true);
+}
+
+}  // namespace cknn

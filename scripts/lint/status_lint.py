@@ -1,0 +1,526 @@
+#!/usr/bin/env python3
+"""Status-discipline lint: dropped errors and client-reachable aborts.
+
+Companion of determinism_lint.py (whose comment-stripping and escape
+machinery this file imports). The serving contract established in PR 8 —
+"nothing client-reachable can trip a `CKNN_CHECK`" — and the error-
+propagation contract behind `CKNN_NODISCARD` are enforced here, where the
+compiler cannot see them:
+
+  status-discard   a bare `(void)` / `static_cast<void>` cast of a call
+                   returning cknn::Status or cknn::Result<T>. The cast
+                   silences [[nodiscard]] without leaving an audit trail;
+                   deliberate drops must use CKNN_IGNORE_STATUS(expr,
+                   "reason") instead.
+  client-abort     CKNN_CHECK / CKNN_CHECK_OK / CKNN_DCHECK / abort() in
+                   the client-reachable layers: every file under
+                   src/serve/ and tools/, plus the body of any
+                   `Try*`/`Submit*` entry-point function anywhere in the
+                   tree. A client must get a Status back, never a process
+                   abort.
+  abort-reach      the transitive abort-reachability inventory: a
+                   grep-built call graph is walked from the cknn_serve
+                   opcode handlers (`HandlePayload`, `ServeConnection`);
+                   every reached function that contains an un-escaped
+                   CKNN_CHECK/CKNN_CHECK_OK/abort() must carry a reasoned
+                   entry in scripts/lint/abort_inventory.txt. An entry
+                   whose function left the inventory set is itself an
+                   error (stale-inventory), so the list cannot rot.
+
+`CKNN_DCHECK` counts as an abort in the client layers (a debug-built
+server must not abort on client input either) but not in the reachability
+walk — production serving builds compile it out, and the inventory
+documents the production surface.
+
+The call graph is grep-built and blunt by design: calls resolve by bare
+function name to every definition of that name (virtual dispatch and
+overloads collapse into one node), receivers are ignored, and names the
+tree does not define are external. False edges cost an inventory entry
+with an honest reason; missed edges are limited to calls through function
+pointers/std::function, which the serving surface does not use.
+
+Escapes use the shared syntax, with rule `abort` covering both abort
+rules at the flagged site:
+
+    CKNN_CHECK(server_ != nullptr);  // cknn-lint: allow(abort) ctor precondition
+
+Self-tests: `--self-test` lints the fixtures under
+scripts/lint/fixtures/status/ against their `LINT-EXPECT: <rule>` markers
+(every fixture is treated as client-reachable, and the reachability walk
+runs per fixture with an empty inventory).
+
+Exit code: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from determinism_lint import (  # noqa: E402
+    ALLOW_RE,
+    EXPECT_RE,
+    find_allows,
+    strip_comments_and_strings,
+)
+
+RULES = {
+    "status-discard":
+        "(void)-cast of a Status/Result-returning call drops the error "
+        "without an audit trail; use CKNN_IGNORE_STATUS(expr, \"reason\")",
+    "client-abort":
+        "abort path in a client-reachable layer (src/serve, tools, "
+        "Try*/Submit* entry points); report a Status instead, or escape "
+        "with a reason why no client input can reach it",
+    "abort-reach":
+        "function reachable from the cknn_serve opcode handlers contains "
+        "an abort; add a reasoned entry to scripts/lint/abort_inventory.txt "
+        "or restructure the path to propagate a Status",
+    "stale-inventory":
+        "abort_inventory.txt entry matches no reachable abort-carrying "
+        "function; remove it so the inventory stays an honest surface map",
+}
+
+DEFAULT_DIRS = ("src", "tools")
+CLIENT_DIRS = ("src/serve", "tools")
+ROOTS = ("HandlePayload", "ServeConnection")
+SOURCE_EXTS = (".h", ".cc", ".cpp", ".hpp")
+
+# Abort tokens. CKNN_DCHECK joins only in the client layers (see module
+# docstring).
+ABORT_RE = re.compile(
+    r"\bCKNN_CHECK\s*\(|\bCKNN_CHECK_OK\s*\(|"
+    r"\b(?:std\s*::\s*)?abort\s*\(")
+CLIENT_ABORT_RE = re.compile(
+    r"\bCKNN_CHECK\s*\(|\bCKNN_CHECK_OK\s*\(|\bCKNN_DCHECK\s*\(|"
+    r"\b(?:std\s*::\s*)?abort\s*\(")
+
+# Declarations returning Status or Result<...>: `Status Name(`,
+# `Result<T> Name(`, optionally virtual/static/class-qualified.
+STATUS_DECL_RE = re.compile(
+    r"\b(?:Status|Result\s*<[^;{}]*?>)\s+"
+    r"(?:[A-Za-z_]\w*\s*::\s*)?([A-Za-z_]\w*)\s*\(")
+
+# A (void)/static_cast<void> cast followed by a (possibly qualified) call.
+VOID_CAST_RE = re.compile(
+    r"(?:\(\s*void\s*\)|static_cast\s*<\s*void\s*>\s*\()\s*"
+    r"((?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*)([A-Za-z_]\w*)\s*\(")
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+NON_CALL_NAMES = frozenset((
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "static_assert", "decltype", "alignof", "defined", "assert",
+    "new", "delete", "throw", "co_await", "co_return", "co_yield",
+))
+
+INVENTORY_LINE_RE = re.compile(r"^([A-Za-z_]\w*)\s*:\s*(.*)$")
+
+
+def blank_preprocessor(stripped):
+    """Blanks #directives (with their backslash continuations) so macro
+    bodies — CKNN_CHECK's own abort() above all — are never scanned."""
+    lines = stripped.split("\n")
+    i = 0
+    while i < len(lines):
+        if lines[i].lstrip().startswith("#"):
+            while True:
+                continued = lines[i].rstrip().endswith("\\")
+                lines[i] = ""
+                if not continued or i + 1 >= len(lines):
+                    break
+                i += 1
+        i += 1
+    return "\n".join(lines)
+
+
+def match_paren(text, open_at):
+    """Offset just past the `)` matching `(` at `open_at`, or -1."""
+    depth = 0
+    for k in range(open_at, len(text)):
+        if text[k] == "(":
+            depth += 1
+        elif text[k] == ")":
+            depth -= 1
+            if depth == 0:
+                return k + 1
+    return -1
+
+
+def match_brace(text, open_at):
+    """Offset just past the `}` matching `{` at `open_at`, or len(text)."""
+    depth = 0
+    for k in range(open_at, len(text)):
+        if text[k] == "{":
+            depth += 1
+        elif text[k] == "}":
+            depth -= 1
+            if depth == 0:
+                return k + 1
+    return len(text)
+
+
+def extract_functions(code):
+    """Function definitions in preprocessed `code`.
+
+    Yields (name, header_offset, body_start, body_end). Grep-grade: a
+    `name(args...)` followed — past qualifiers, attribute macros, and a
+    ctor-initializer list — by `{` opens a definition; `;` first means a
+    declaration. Control-flow keywords are excluded.
+    """
+    out = []
+    for m in CALL_RE.finditer(code):
+        name = m.group(1)
+        if name in NON_CALL_NAMES:
+            continue
+        open_paren = code.find("(", m.end(1))
+        after = match_paren(code, open_paren)
+        if after < 0:
+            continue
+        k = after
+        while k < len(code):
+            c = code[k]
+            if c == ";":
+                k = -1
+                break
+            if c == "{":
+                break
+            if c == "(":  # Attribute macro / ctor-initializer argument.
+                k = match_paren(code, k)
+                if k < 0:
+                    break
+                continue
+            # `= default/delete`, an enclosing scope closing, or a bare `)`
+            # (the "call" was a subexpression like `if (x.empty()) {`).
+            if c in "}=)":
+                k = -1
+                break
+            k += 1
+        if k is None or k < 0 or k >= len(code):
+            continue
+        body_end = match_brace(code, k)
+        out.append((name, m.start(1), k, body_end))
+    return out
+
+
+def build_symbol_table(files):
+    """Names declared anywhere with a Status/Result return type."""
+    names = set()
+    for _, code in files.items():
+        for m in STATUS_DECL_RE.finditer(code):
+            names.add(m.group(1))
+    return names
+
+
+def line_of(code, offset):
+    return code.count("\n", 0, offset) + 1
+
+
+class FileScan:
+    """One file's stripped code, raw lines, and function extents."""
+
+    def __init__(self, path, text):
+        self.path = path
+        self.raw_lines = text.splitlines()
+        self.code = blank_preprocessor(strip_comments_and_strings(text))
+        self.functions = extract_functions(self.code)
+
+    def abort_sites(self, pattern):
+        """(lineno, token) of every abort token in the file."""
+        return [(line_of(self.code, m.start()), m.group(0).rstrip("( \t"))
+                for m in pattern.finditer(self.code)]
+
+
+def is_escaped(scan, lineno, rule, findings):
+    """True when an `allow(<rule>)` escape covers `lineno`; reason-less
+    escapes are reported through `findings`."""
+    allowed, missing = find_allows(scan.raw_lines, lineno)
+    if missing is not None:
+        findings.append((scan.path, missing, "allow-missing-reason",
+                         "escape comment without a reason"))
+        return False
+    return rule in allowed
+
+
+def scan_discards(scan, status_symbols, findings, escaped_lines):
+    for m in VOID_CAST_RE.finditer(scan.code):
+        name = m.group(2)
+        if name not in status_symbols:
+            continue
+        lineno = line_of(scan.code, m.start())
+        if is_escaped(scan, lineno, "status-discard", findings):
+            escaped_lines.add((scan.path, lineno))
+            continue
+        findings.append((scan.path, lineno, "status-discard",
+                         f"'(void){name}(...)': {RULES['status-discard']}"))
+
+
+def client_regions(scan, rel):
+    """Byte ranges of `scan.code` that are client-reachable: the whole
+    file under src/serve//tools/, else every Try*/Submit* body."""
+    posix = rel.replace(os.sep, "/")
+    if any(posix.startswith(d + "/") for d in CLIENT_DIRS):
+        return [(0, len(scan.code))]
+    return [(body_start, body_end)
+            for name, _, body_start, body_end in scan.functions
+            if re.fullmatch(r"(?:Try|Submit)[A-Z]\w*|Submit", name)]
+
+
+def scan_client_aborts(scan, rel, findings, escaped_lines):
+    regions = client_regions(scan, rel)
+    if not regions:
+        return
+    for m in CLIENT_ABORT_RE.finditer(scan.code):
+        if not any(lo <= m.start() < hi for lo, hi in regions):
+            continue
+        lineno = line_of(scan.code, m.start())
+        token = m.group(0).rstrip("( \t")
+        if is_escaped(scan, lineno, "abort", findings):
+            escaped_lines.add((scan.path, lineno))
+            continue
+        findings.append((scan.path, lineno, "client-abort",
+                         f"'{token}': {RULES['client-abort']}"))
+
+
+def build_call_graph(scans):
+    """name -> set of callee names, plus name -> [(path, lineno, token)]
+    un-escaped abort sites per function (inline `allow(abort)` escapes are
+    honored here too — an inline-reasoned site needs no inventory entry)."""
+    graph = {}
+    aborts = {}
+    defined = set()
+    escapes_used = []
+    for scan in scans:
+        for name, _, body_start, body_end in scan.functions:
+            defined.add(name)
+            body = scan.code[body_start:body_end]
+            callees = graph.setdefault(name, set())
+            for m in CALL_RE.finditer(body):
+                callee = m.group(1)
+                if callee not in NON_CALL_NAMES and callee != name:
+                    callees.add(callee)
+            for m in ABORT_RE.finditer(body):
+                lineno = line_of(scan.code, body_start + m.start())
+                token = m.group(0).rstrip("( \t")
+                allowed, missing = find_allows(scan.raw_lines, lineno)
+                if missing is None and "abort" in allowed:
+                    escapes_used.append((scan.path, lineno))
+                    continue
+                aborts.setdefault(name, []).append(
+                    (scan.path, lineno, token))
+    return graph, aborts, defined, escapes_used
+
+
+def reachable_from(graph, defined, roots):
+    seen = set()
+    stack = [r for r in roots if r in defined]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for callee in graph.get(name, ()):
+            if callee in defined and callee not in seen:
+                stack.append(callee)
+    return seen
+
+
+def load_inventory(path):
+    """{name: reason} from abort_inventory.txt; malformed lines error."""
+    entries = {}
+    errors = []
+    if not os.path.isfile(path):
+        return entries, errors
+    with open(path, "r", encoding="utf-8") as f:
+        for i, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = INVENTORY_LINE_RE.match(line)
+            if not m or not m.group(2).strip():
+                errors.append((path, i, "abort-reach",
+                               "malformed inventory line (want "
+                               "'FunctionName: reason')"))
+                continue
+            entries[m.group(1)] = i
+    return entries, errors
+
+
+def scan_reachability(scans, inventory_path, findings):
+    graph, aborts, defined, _ = build_call_graph(scans)
+    reached = reachable_from(graph, defined, ROOTS)
+    inventory, errors = load_inventory(inventory_path)
+    findings.extend(errors)
+    flagged = set()
+    for name in sorted(reached & set(aborts)):
+        if name in inventory:
+            flagged.add(name)
+            continue
+        for path, lineno, token in aborts[name]:
+            findings.append((path, lineno, "abort-reach",
+                             f"'{token}' in '{name}' (reachable from "
+                             f"{'/'.join(ROOTS)}): {RULES['abort-reach']}"))
+    for name, inv_line in sorted(inventory.items()):
+        if name not in flagged:
+            findings.append((inventory_path, inv_line, "stale-inventory",
+                             f"'{name}': {RULES['stale-inventory']}"))
+
+
+def scan_stale_escapes(scan, escaped_lines, findings):
+    """`allow(status-discard)`/`allow(abort)` escapes that matched nothing
+    rot-check, mirroring determinism_lint's stale-allow rule."""
+    for i, raw in enumerate(scan.raw_lines, start=1):
+        m = ALLOW_RE.search(raw)
+        if not m or m.group(1) not in ("status-discard", "abort"):
+            continue
+        if not m.group(2).strip():
+            continue  # Reported as allow-missing-reason by the scans.
+        if (scan.path, i) in escaped_lines or \
+                (scan.path, i + 1) in escaped_lines:
+            continue
+        findings.append((scan.path, i, "stale-allow",
+                         f"escape for '{m.group(1)}' matches no finding "
+                         "on this or the next line"))
+
+
+def iter_sources(root, rel_dirs):
+    for rel in rel_dirs:
+        base = os.path.join(root, rel)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def load_scans(paths):
+    scans = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            scans.append(FileScan(path, f.read()))
+    return scans
+
+
+def lint_scans(scans, root, inventory_path):
+    """All findings over a file set, as (path, lineno, rule, message)."""
+    findings = []
+    escaped_lines = set()
+    status_symbols = build_symbol_table(
+        {s.path: s.code for s in scans})
+    for scan in scans:
+        rel = os.path.relpath(scan.path, root)
+        scan_discards(scan, status_symbols, findings, escaped_lines)
+        scan_client_aborts(scan, rel, findings, escaped_lines)
+    scan_reachability(scans, inventory_path, findings)
+    # Inline abort escapes consumed by the reachability pass also count as
+    # used (they suppress inventory entries).
+    _, _, _, reach_escapes = build_call_graph(scans)
+    escaped_lines.update(reach_escapes)
+    for scan in scans:
+        scan_stale_escapes(scan, escaped_lines, findings)
+    return sorted(set(findings))
+
+
+def run_tree(root, rel_dirs, inventory_path):
+    scans = load_scans(iter_sources(root, rel_dirs))
+    total = 0
+    for path, lineno, rule, message in lint_scans(scans, root,
+                                                  inventory_path):
+        rel = os.path.relpath(path, root)
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+        total += 1
+    if total:
+        print(f"status_lint: {total} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_self_test(fixtures_dir):
+    """Per-fixture run: every fixture is linted as a client-reachable file
+    (placed under a virtual src/serve/) with an empty inventory, and its
+    findings must equal its LINT-EXPECT markers."""
+    failures = 0
+    checked = 0
+    for name in sorted(os.listdir(fixtures_dir)):
+        if not name.endswith(SOURCE_EXTS):
+            continue
+        path = os.path.join(fixtures_dir, name)
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        expected = []
+        for i, raw in enumerate(text.splitlines(), start=1):
+            for m in EXPECT_RE.finditer(raw):
+                expected.append((i, m.group(1)))
+        scan = FileScan(os.path.join("src/serve", name), text)
+        got = [(lineno, rule)
+               for _, lineno, rule, _ in lint_scans(
+                   [scan], ".", os.path.join(fixtures_dir,
+                                             "no_such_inventory.txt"))]
+        if sorted(got) != sorted(expected):
+            failures += 1
+            print(f"SELF-TEST FAIL {name}:", file=sys.stderr)
+            print(f"  expected: {sorted(expected)}", file=sys.stderr)
+            print(f"  got:      {sorted(got)}", file=sys.stderr)
+        else:
+            checked += 1
+    if failures:
+        print(f"status_lint --self-test: {failures} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    if checked == 0:
+        print("status_lint --self-test: no fixtures found", file=sys.stderr)
+        return 2
+    print(f"status_lint --self-test: {checked} fixtures OK")
+    return 0
+
+
+def run_dump_reach(root, rel_dirs):
+    """Prints the reachable abort inventory (debug aid for authoring
+    abort_inventory.txt)."""
+    scans = load_scans(iter_sources(root, rel_dirs))
+    graph, aborts, defined, _ = build_call_graph(scans)
+    reached = reachable_from(graph, defined, ROOTS)
+    for name in sorted(reached & set(aborts)):
+        sites = ", ".join(
+            f"{os.path.relpath(p, root)}:{ln}" for p, ln, _ in aborts[name])
+        print(f"{name}: {sites}")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="cknn status-discipline lint "
+                    "(see docs/static_analysis.md)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this "
+                             "script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the status fixtures and check "
+                             "LINT-EXPECT markers")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--dump-reach", action="store_true",
+                        help="print the reachable abort-carrying functions "
+                             "with their sites (inventory authoring aid)")
+    parser.add_argument("paths", nargs="*",
+                        help="directories to scan, relative to --root "
+                             f"(default: {' '.join(DEFAULT_DIRS)})")
+    args = parser.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    root = args.root or os.path.dirname(os.path.dirname(script_dir))
+    inventory = os.path.join(script_dir, "abort_inventory.txt")
+
+    if args.list_rules:
+        for rule, text in RULES.items():
+            print(f"{rule}: {text}")
+        return 0
+    if args.self_test:
+        return run_self_test(os.path.join(script_dir, "fixtures", "status"))
+    if args.dump_reach:
+        return run_dump_reach(root, args.paths or list(DEFAULT_DIRS))
+    return run_tree(root, args.paths or list(DEFAULT_DIRS), inventory)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

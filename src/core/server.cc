@@ -418,6 +418,7 @@ Status MonitoringServer::SubmitBatch(const UpdateBatch& batch) {
   // tick has fully retired (same CKNN_CHECK promotion as SerialTick).
   if (shards_.InFlight()) {
     const Status shard_status = shards_.WaitProcessTimestamp();
+    // cknn-lint: allow(abort) bad input is bisected to Status pre-tick; a failed tick is corrupted engine state
     CKNN_CHECK(shard_status.ok());
   }
   ApplyObjectUpdates(prepared);

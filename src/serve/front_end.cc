@@ -23,6 +23,7 @@ ServingFrontEnd::ServingFrontEnd(MonitoringServer* server,
     : server_(server),
       config_(config),
       latency_(config.latency_reservoir_capacity) {
+  // cknn-lint: allow(abort) construction-time precondition of the host process, before any client connects
   CKNN_CHECK(server_ != nullptr);
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
 }
@@ -68,9 +69,11 @@ Status ServingFrontEnd::Submit(const ServeRequest& request) {
 
 void ServingFrontEnd::Start() {
   MutexLock lifecycle(lifecycle_mu_);
+  // cknn-lint: allow(abort) lifecycle precondition driven by the embedding main, not by client traffic
   CKNN_CHECK(!pump_.joinable());
   {
     MutexLock lock(queue_mu_);
+    // cknn-lint: allow(abort) lifecycle precondition driven by the embedding main, not by client traffic
     CKNN_CHECK(!shutdown_);
   }
   pump_ = std::thread([this] { PumpLoop(); });
@@ -156,7 +159,9 @@ void ServingFrontEnd::Shutdown() {
     ProcessSlice(std::move(slice));
   }
   MutexLock lock(engine_mu_);
-  (void)DrainEngineLocked();
+  CKNN_IGNORE_STATUS(DrainEngineLocked(),
+                     "shutdown is void by contract; DrainEngineLocked "
+                     "already latched the status into last_error_");
 }
 
 Result<std::vector<Neighbor>> ServingFrontEnd::ReadResult(QueryId id) {

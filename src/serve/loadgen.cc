@@ -183,9 +183,13 @@ Result<LoadScenarioReport> RunLoadScenario(const LoadScenarioConfig& config) {
           // by the front end, and later updates of the same entity
           // re-resolve against the live table, so nothing desyncs.
           if (block) {
-            (void)front_end.Submit(r);
+            CKNN_IGNORE_STATUS(front_end.Submit(r),
+                               "load generator: drops are part of the "
+                               "scenario and counted by the front end");
           } else {
-            (void)front_end.TrySubmit(r);
+            CKNN_IGNORE_STATUS(front_end.TrySubmit(r),
+                               "load generator: admission-control rejects "
+                               "are the measured signal (rejected_full)");
           }
         }
         barrier.ArriveAndWait();
@@ -212,13 +216,20 @@ Result<LoadScenarioReport> RunLoadScenario(const LoadScenarioConfig& config) {
     // belongs to the run, so fold the flush into the final window.
     Stopwatch wall;
     cpu.Reset();
-    (void)front_end.Flush();
+    CKNN_IGNORE_STATUS(front_end.Flush(),
+                       "tail flush; a drain failure is latched into "
+                       "last_error(), which the report carries as "
+                       "engine_error");
     report.metrics.steps.back().seconds += wall.ElapsedSeconds();
     report.metrics.steps.back().cpu_seconds += cpu.ElapsedSeconds();
   }
   report.total_seconds = total.ElapsedSeconds();
   front_end.Shutdown();
 
+  // Shutdown's drain ran, so the latch is final. Without this the report
+  // would show plausible counters for a run whose updates the engine
+  // silently refused.
+  report.engine_error = front_end.last_error();
   report.stats = front_end.Stats();
   report.updates_per_sec =
       report.total_seconds > 0.0

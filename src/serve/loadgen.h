@@ -67,10 +67,18 @@ struct LoadScenarioReport {
   /// Setup cost (network + initial install of N objects and Q queries),
   /// outside `total_seconds`.
   double setup_seconds = 0.0;
+  /// The front end's latched `last_error()` after the final drain. The
+  /// generated workload is valid, so any engine-side rejection during the
+  /// run is a real failure — admission drops and build-time rejects are
+  /// counted in `stats`, never latched here. Callers must check this:
+  /// `stats` alone cannot distinguish a clean run from one whose updates
+  /// the engine refused.
+  Status engine_error;
 };
 
 /// Runs the scenario end to end. Fails (non-OK) only on setup errors —
 /// per-request rejections are part of the measurement, not a failure.
+/// Engine-side failures during the run surface in `engine_error`.
 Result<LoadScenarioReport> RunLoadScenario(const LoadScenarioConfig& config);
 
 }  // namespace cknn::serve

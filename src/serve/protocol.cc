@@ -80,6 +80,7 @@ std::size_t BeginFrame(std::vector<std::uint8_t>* out) {
 
 void FinishFrame(std::size_t header_at, std::vector<std::uint8_t>* out) {
   const std::size_t payload = out->size() - header_at - kFrameHeaderBytes;
+  // cknn-lint: allow(abort) frame sizes come from the server's own encoder, never from client bytes
   CKNN_CHECK(payload > 0 && payload <= kMaxFramePayload);
   (*out)[header_at] = static_cast<std::uint8_t>(payload >> 24);
   (*out)[header_at + 1] = static_cast<std::uint8_t>(payload >> 16);

@@ -48,7 +48,11 @@ void HandlePayload(const std::vector<std::uint8_t>& payload,
     case OpCode::kRead: {
       // Read-your-writes: fold everything this client already submitted
       // before consulting the registry.
-      (void)front_end->Flush();
+      CKNN_IGNORE_STATUS(
+          front_end->Flush(),
+          "per-update rejects are answered on their own frames and "
+          "counted in Stats(); the read below re-drains and surfaces "
+          "any engine error as its own response");
       Result<std::vector<Neighbor>> result =
           front_end->ReadResult(static_cast<QueryId>(message.id));
       if (result.ok()) {
@@ -110,7 +114,10 @@ ServeLoopResult ServeConnection(int fd, ServingFrontEnd* front_end) {
         // Fatal framing error: report it to the peer, then hang up.
         std::vector<std::uint8_t> response;
         EncodeStatusResponse(next.status(), &response);
-        (void)WriteAll(fd, response);
+        CKNN_IGNORE_STATUS(WriteAll(fd, response),
+                           "best-effort error report on a stream that is "
+                           "about to close; the framing error below is "
+                           "what the caller sees");
         result.status = next.status();
         return result;
       }

@@ -32,4 +32,29 @@
     if (!_st.ok()) return _st;              \
   } while (0)
 
+/// \brief Marks a type or function whose return value must not be silently
+/// dropped. `cknn::Status` and `cknn::Result<T>` carry it, so every
+/// Status/Result-returning call in the tree is compiler-enforced under
+/// `-Werror` (docs/static_analysis.md, "Status discipline"). Deliberate
+/// drops go through CKNN_IGNORE_STATUS — never a bare `(void)` cast, which
+/// scripts/lint/status_lint.py rejects as unauditable.
+#define CKNN_NODISCARD [[nodiscard]]
+
+/// \brief Audited, deliberate drop of a Status/Result return value.
+///
+///   CKNN_IGNORE_STATUS(front_end.Flush(),
+///                      "best-effort flush on shutdown; last_error() "
+///                      "keeps the status for diagnostics");
+///
+/// The reason is a mandatory string literal: it makes every intentional
+/// drop greppable and reviewable, where `(void)` says nothing. The
+/// expression is evaluated exactly once.
+#define CKNN_IGNORE_STATUS(expr, reason)                                  \
+  do {                                                                    \
+    static_assert(sizeof(reason) > 1,                                     \
+                  "CKNN_IGNORE_STATUS requires a non-empty reason");      \
+    auto _cknn_ignored_status = (expr);                                   \
+    static_cast<void>(_cknn_ignored_status);                              \
+  } while (0)
+
 #endif  // CKNN_UTIL_MACROS_H_

@@ -13,8 +13,11 @@ namespace cknn {
 ///
 /// A Result<T> holds either a T (success) or a non-OK Status (failure).
 /// Accessing the value of a failed Result is a checked programming error.
+///
+/// `CKNN_NODISCARD` like Status: a dropped Result is a dropped error.
+/// Deliberate drops use `CKNN_IGNORE_STATUS(expr, "reason")`.
 template <typename T>
-class Result {
+class CKNN_NODISCARD Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

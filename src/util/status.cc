@@ -1,8 +1,14 @@
 #include "src/util/status.h"
 
+#include <cstdlib>
+
 namespace cknn {
 
 const char* StatusCodeName(StatusCode code) {
+  // No `default:` on purpose: -Werror (-Wswitch) makes this switch total,
+  // so a new StatusCode cannot land without a name. Every case returns;
+  // falling out means `code` held a value outside the enum — a programming
+  // error, never client input.
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -23,7 +29,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal:
       return "Internal";
   }
-  return "Unknown";
+  std::abort();  // cknn-lint: allow(abort) unreachable for in-range codes
 }
 
 std::string Status::ToString() const {

@@ -1,8 +1,12 @@
 #ifndef CKNN_UTIL_STATUS_H_
 #define CKNN_UTIL_STATUS_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
+
+#include "src/util/macros.h"
 
 namespace cknn {
 
@@ -24,7 +28,12 @@ enum class StatusCode {
 ///
 /// An OK status carries no allocation; error statuses carry a code and a
 /// human-readable message.
-class Status {
+///
+/// The class is `CKNN_NODISCARD`: any call returning a Status by value is a
+/// compile error under `-Werror` if the result is dropped. Propagate it,
+/// handle it, or drop it deliberately with `CKNN_IGNORE_STATUS(expr,
+/// "reason")` — never with a bare `(void)` cast (docs/static_analysis.md).
+class CKNN_NODISCARD Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -91,9 +100,33 @@ class Status {
   std::string message_;
 };
 
-/// Name of a status code, e.g. "InvalidArgument".
+/// Name of a status code, e.g. "InvalidArgument". Total over the enum: the
+/// switch in status.cc has no default, so adding a StatusCode without a
+/// name fails the -Werror=switch build.
 const char* StatusCodeName(StatusCode code);
 
+/// Number of StatusCode enumerators (kOk included). Asserted against the
+/// exhaustive StatusCodeName switch by tests/util/status_test.cc; bump it
+/// when adding a code.
+inline constexpr int kNumStatusCodes =
+    static_cast<int>(StatusCode::kInternal) + 1;
+
 }  // namespace cknn
+
+/// \brief Aborts when `expr` yields a non-OK Status, printing it. For
+/// internal must-succeed transitions only — like CKNN_CHECK it is banned
+/// from the client-reachable layers (src/serve, tools, the Try*/Submit
+/// entry points) by scripts/lint/status_lint.py: a client must get a
+/// Status back, never a process abort.
+#define CKNN_CHECK_OK(expr)                                                \
+  do {                                                                     \
+    ::cknn::Status _cknn_check_ok_st = (expr);                             \
+    if (!_cknn_check_ok_st.ok()) {                                         \
+      std::fprintf(stderr, "CKNN_CHECK_OK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__,                                     \
+                   _cknn_check_ok_st.ToString().c_str());                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
 
 #endif  // CKNN_UTIL_STATUS_H_

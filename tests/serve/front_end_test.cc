@@ -176,6 +176,23 @@ TEST(FrontEndTest, InvalidRequestsAreCountedAndDropped) {
   EXPECT_TRUE(server.objects().Contains(7));
 }
 
+// Regression: an engine-side reject is bisected away, so Flush() returns
+// OK and the counters look like an ordinary validation drop — the latched
+// last_error() is the only witness. Report consumers (the load scenario's
+// `engine_error` field) must carry it; reading Stats() alone reproduces
+// the old silent-failure path.
+TEST(FrontEndTest, OkFlushDoesNotClearTheEngineErrorWitness) {
+  MonitoringServer server = MakeServer();
+  ServingFrontEnd fe(&server);
+  ASSERT_TRUE(fe.TrySubmit(UpdateWeight(std::uint64_t{1} << 30, 2.0)).ok());
+  const Status flushed = fe.Flush();
+  EXPECT_TRUE(flushed.ok()) << flushed.ToString();
+  EXPECT_FALSE(fe.last_error().ok());
+  fe.Shutdown();
+  // Survives the final drain, so post-run reporting still sees it.
+  EXPECT_FALSE(fe.last_error().ok());
+}
+
 TEST(FrontEndTest, LatencyStatsArePopulated) {
   MonitoringServer server = MakeServer();
   ServingFrontEnd fe(&server);

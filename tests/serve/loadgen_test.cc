@@ -1,0 +1,35 @@
+// RunLoadScenario's report contract: a clean run of the generated (valid)
+// workload applies updates and reports engine_error == OK. Regression for
+// the report dropping the front end's latched last_error(): engine_error
+// is the only way a scenario consumer can tell a clean run from one whose
+// updates the engine refused (stats stay plausible either way — see
+// FrontEndTest.OkFlushDoesNotClearTheEngineErrorWitness).
+
+#include "src/serve/loadgen.h"
+
+#include "gtest/gtest.h"
+
+namespace cknn::serve {
+namespace {
+
+TEST(LoadScenarioTest, SmallRunReportsCleanEngine) {
+  LoadScenarioConfig config;
+  config.network.target_edges = 200;
+  config.num_objects = 200;
+  config.num_queries = 20;
+  config.k = 2;
+  config.producers = 2;
+  config.bursts = 2;
+  config.heavy_every = 0;
+  config.queue_capacity = std::size_t{1} << 12;
+  Result<LoadScenarioReport> run = RunLoadScenario(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->engine_error.ok()) << run->engine_error.ToString();
+  EXPECT_GT(run->stats.applied, 0u);
+  // The generated workload is valid end to end: nothing may have been
+  // silently refused by the engine or the batch builder.
+  EXPECT_EQ(run->stats.rejected_invalid, 0u);
+}
+
+}  // namespace
+}  // namespace cknn::serve

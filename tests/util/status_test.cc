@@ -1,5 +1,6 @@
 #include "src/util/status.h"
 
+#include <set>
 #include <string>
 
 #include "gtest/gtest.h"
@@ -40,6 +41,29 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+// StatusCodeName's switch has no `default:`, so -Wswitch under -Werror
+// forces a case for every enumerator at compile time; this test covers the
+// runtime half of the contract — every code maps to a distinct,
+// non-empty name (a copy-pasted case body would collide here).
+TEST(StatusTest, CodeNamesAreExhaustiveAndUnique) {
+  std::set<std::string> seen;
+  for (int c = 0; c < kNumStatusCodes; ++c) {
+    const char* name = StatusCodeName(static_cast<StatusCode>(c));
+    ASSERT_NE(name, nullptr);
+    ASSERT_FALSE(std::string(name).empty());
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate status code name: " << name;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumStatusCodes));
+}
+
+TEST(StatusTest, CheckOkPassesOnOkStatus) {
+  // Also compile-coverage for the macro: it must be usable from any TU
+  // that includes status.h alone. (The failure path aborts by design and
+  // is exercised by the lint fixtures, not at runtime here.)
+  CKNN_CHECK_OK(Status::OK());
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -175,6 +175,12 @@ int Run(const serve::LoadScenarioConfig& config) {
                 static_cast<double>(report.monitor_memory_bytes) /
                     (1024.0 * 1024.0));
   }
+  if (!report.engine_error.ok()) {
+    std::fprintf(stderr,
+                 "engine error during run (results above are suspect): %s\n",
+                 report.engine_error.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 
